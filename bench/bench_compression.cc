@@ -1,0 +1,102 @@
+// Compression ablation (§4.1-4.2 of the paper): parallel-byte compressed
+// graphs vs raw CSR — memory footprint, the latency of fetching an
+// arbitrary i-th incident edge (the random-walk primitive), and full
+// random-walk throughput, across block sizes. The paper picked block = 64
+// as the size/latency sweet spot; this bench regenerates that trade-off.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/random_walk.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+using namespace lightne;         // NOLINT
+using namespace lightne::bench;  // NOLINT
+
+namespace {
+
+// Mean ns per Neighbor(v, i) call over random (v, i).
+template <typename G>
+double IthEdgeLatencyNs(const G& g, uint64_t probes) {
+  Rng rng(9);
+  // Pre-draw queries so RNG cost is excluded from the hot loop as much as
+  // possible for the timed region.
+  std::vector<std::pair<NodeId, uint64_t>> queries;
+  queries.reserve(probes);
+  while (queries.size() < probes) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    if (g.Degree(v) == 0) continue;
+    queries.push_back({v, rng.UniformInt(g.Degree(v))});
+  }
+  Timer t;
+  uint64_t sink = 0;
+  for (auto& [v, i] : queries) sink += g.Neighbor(v, i);
+  const double ns = t.Seconds() * 1e9 / static_cast<double>(probes);
+  if (sink == 0xdeadbeef) std::printf("!");
+  return ns;
+}
+
+template <typename G>
+double WalkThroughputMsteps(const G& g, uint64_t walks) {
+  Rng rng(5);
+  Timer t;
+  uint64_t sink = 0;
+  for (uint64_t w = 0; w < walks; ++w) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    if (g.Degree(v) == 0) continue;
+    sink += RandomWalk(g, v, 10, rng);
+  }
+  if (sink == 0xdeadbeef) std::printf("!");
+  return static_cast<double>(walks) * 10 / t.Seconds() / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  Banner("compression ablation — parallel-byte (Ligra+) vs raw CSR",
+         "Reproduces the §4.2 block-size trade-off; the paper chose 64.");
+  const double s = BenchScale();
+  CsrGraph g = CsrGraph::FromEdges(
+      GenerateRmat(18, static_cast<EdgeId>(3000000 * s), 7));
+  std::printf("RMAT: %u vertices, %llu edges (power-law)\n", g.NumVertices(),
+              static_cast<unsigned long long>(g.NumUndirectedEdges()));
+  const uint64_t probes = static_cast<uint64_t>(2000000 * s);
+  const uint64_t walks = static_cast<uint64_t>(200000 * s);
+
+  std::printf("\n%-18s %14s %10s %16s %16s %12s\n", "Representation",
+              "size", "vs CSR", "ith-edge(ns)", "walk(Msteps/s)",
+              "encode(s)");
+  {
+    const double latency = IthEdgeLatencyNs(g, probes);
+    const double throughput = WalkThroughputMsteps(g, walks);
+    std::printf("%-18s %14s %9.1f%% %16.1f %16.2f %12s\n", "raw CSR",
+                HumanBytes(g.SizeBytes()).c_str(), 100.0, latency,
+                throughput, "-");
+  }
+  for (uint32_t block : {16u, 64u, 256u, 1u << 30}) {
+    Timer enc;
+    CompressedGraph cg = CompressedGraph::FromCsr(g, block);
+    const double encode_seconds = enc.Seconds();
+    const double latency = IthEdgeLatencyNs(cg, probes);
+    const double throughput = WalkThroughputMsteps(cg, walks);
+    char name[32];
+    if (block == (1u << 30)) {
+      std::snprintf(name, sizeof(name), "byte (1 block)");
+    } else {
+      std::snprintf(name, sizeof(name), "parallel-byte/%u", block);
+    }
+    std::printf("%-18s %14s %9.1f%% %16.1f %16.2f %12.1f\n", name,
+                HumanBytes(cg.SizeBytes()).c_str(),
+                100.0 * cg.SizeBytes() / g.SizeBytes(), latency, throughput,
+                encode_seconds);
+  }
+  std::printf("\nshape check: compression shrinks the power-law graph well "
+              "below CSR (the paper fits ClueWeb's 564 GB of edges in "
+              "107 GB); small blocks decode faster per i-th-edge fetch but "
+              "compress worse, single-block byte coding decodes O(degree) — "
+              "block 64 is the sweet spot the paper selected.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Regenerates Figure 4: predictive performance on the small benchmark
+// graphs (BlogCatalog, YouTube) — Micro/Macro F1 versus training ratio for
+// all six systems: GraphVite (DeepWalk), PBG (LINE), NetSMF, ProNE+, NRP and
+// LightNE. BlogCatalog runs at the paper's full scale (10,312 vertices).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/deepwalk.h"
+#include "baselines/line.h"
+#include "baselines/netsmf_original.h"
+#include "baselines/nrp.h"
+#include "baselines/prone.h"
+#include "bench_util.h"
+#include "core/lightne.h"
+#include "eval/classification.h"
+#include "util/timer.h"
+
+using namespace lightne;         // NOLINT
+using namespace lightne::bench;  // NOLINT
+
+namespace {
+
+struct SystemRun {
+  std::string name;
+  Matrix embedding;
+};
+
+std::vector<SystemRun> EmbedAll(const CsrGraph& g) {
+  std::vector<SystemRun> runs;
+  const uint64_t dim = 64;
+  {
+    DeepWalkOptions opt;
+    opt.dim = dim;
+    opt.walks_per_node = 8;
+    opt.walk_length = 20;
+    opt.window = 5;
+    opt.learning_rate = 0.05;
+    runs.push_back({"GraphVite(DW)", TrainDeepWalk(g, opt)});
+  }
+  {
+    LineOptions opt;
+    opt.dim = dim;
+    opt.samples_per_edge = 25;
+    opt.learning_rate = 0.05;
+    runs.push_back({"PBG(LINE)", TrainLine(g, opt)});
+  }
+  {
+    NetsmfOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = 4.0;
+    auto r = RunNetsmfOriginal(g, opt);
+    if (r.ok()) runs.push_back({"NetSMF", std::move(r->embedding)});
+  }
+  {
+    ProneOptions opt;
+    opt.dim = dim;
+    auto r = RunProne(g, opt);
+    if (r.ok()) runs.push_back({"ProNE+", std::move(r->embedding)});
+  }
+  {
+    NrpOptions opt;
+    opt.dim = dim;
+    auto r = RunNrp(g, opt);
+    if (r.ok()) runs.push_back({"NRP", std::move(*r)});
+  }
+  {
+    LightNeOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = 4.0;
+    auto r = RunLightNe(g, opt);
+    if (r.ok()) runs.push_back({"LightNE", std::move(r->embedding)});
+  }
+  return runs;
+}
+
+void Sweep(const Dataset& ds, const std::vector<double>& ratios) {
+  Timer timer;
+  std::vector<SystemRun> runs = EmbedAll(ds.graph);
+  std::printf("(embedded all %zu systems in %.0f s)\n", runs.size(),
+              timer.Seconds());
+  for (auto& [metric, micro] :
+       {std::pair<const char*, bool>{"Micro-F1", true}, {"Macro-F1", false}}) {
+    std::printf("\n%s (%%) by training ratio:\n%-16s", metric, "System");
+    for (double r : ratios) std::printf(" %7.0f%%", 100.0 * r);
+    std::printf("\n");
+    for (const auto& run : runs) {
+      std::printf("%-16s", run.name.c_str());
+      for (double r : ratios) {
+        F1Scores f1 =
+            EvaluateNodeClassification(run.embedding, ds.labels, r, 31);
+        std::printf(" %8.2f", 100.0 * (micro ? f1.micro : f1.macro));
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 4 — predictive performance on small graphs", ScaleNote());
+
+  {
+    Section("BlogCatalog (paper-scale: 10,312 vertices)");
+    Dataset ds = BuildScaled("BlogCatalog-sim");
+    std::printf("%u vertices, %llu edges, %u labels\n",
+                ds.graph.NumVertices(),
+                static_cast<unsigned long long>(
+                    ds.graph.NumUndirectedEdges()),
+                ds.labels.num_labels);
+    Sweep(ds, {0.1, 0.3, 0.5, 0.7, 0.9});
+  }
+  {
+    Section("YouTube (stand-in)");
+    Dataset ds = BuildScaled("YouTube-sim");
+    std::printf("%u vertices, %llu edges, %u labels\n",
+                ds.graph.NumVertices(),
+                static_cast<unsigned long long>(
+                    ds.graph.NumUndirectedEdges()),
+                ds.labels.num_labels);
+    Sweep(ds, {0.02, 0.04, 0.06, 0.08, 0.10});
+  }
+
+  std::printf("\nshape check (paper Fig. 4): LightNE tops Macro-F1 on "
+              "BlogCatalog and ties the best Micro-F1; on YouTube LightNE "
+              "and the DeepWalk system lead, ProNE+ trails LightNE "
+              "throughout; NRP (no trunc_log) sits below the "
+              "factorization methods.\n");
+  return 0;
+}

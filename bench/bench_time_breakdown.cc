@@ -1,0 +1,92 @@
+// Regenerates Table 5: the per-stage running-time distribution of
+// LightNE-Small/Large, NetSMF and ProNE+ — parallel sparsifier construction,
+// randomized SVD, and spectral propagation. NetSMF has no propagation stage;
+// ProNE+ has no sparsifier stage (it factorizes the modulated Laplacian
+// directly), exactly as in the paper.
+#include <cstdio>
+
+#include "baselines/netsmf_original.h"
+#include "baselines/prone.h"
+#include "bench_util.h"
+#include "core/lightne.h"
+
+using namespace lightne;         // NOLINT
+using namespace lightne::bench;  // NOLINT
+
+namespace {
+
+void PrintRow(const char* name, double sparsifier, double rsvd,
+              double propagation) {
+  auto cell = [](double v) {
+    static char buf[4][32];
+    static int slot = 0;
+    char* b = buf[slot];
+    slot = (slot + 1) % 4;
+    if (v < 0) {
+      std::snprintf(b, 32, "%10s", "NA");
+    } else {
+      std::snprintf(b, 32, "%9.1fs", v);
+    }
+    return b;
+  };
+  std::printf("%-18s %s %s %s\n", name, cell(sparsifier), cell(rsvd),
+              cell(propagation));
+}
+
+}  // namespace
+
+int main() {
+  Banner("Table 5 — running-time distribution per stage", ScaleNote());
+  DatasetSpec spec = *FindDataset("OAG-sim");
+  spec.n = 20000;
+  spec.sampled_edges = 200000;
+  Dataset ds = BuildDataset(Scaled(spec));
+  std::printf("graph: %u vertices, %llu edges\n", ds.graph.NumVertices(),
+              static_cast<unsigned long long>(ds.graph.NumUndirectedEdges()));
+
+  std::printf("\n%-18s %10s %10s %10s\n", "Method", "Sparsifier", "rSVD",
+              "Propagation");
+
+  const uint64_t dim = 64;
+  for (auto& [name, ratio] :
+       {std::pair<const char*, double>{"LightNE-Large", 20.0},
+        {"LightNE-Small", 0.1}}) {
+    LightNeOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = ratio;
+    auto r = RunLightNe(ds.graph, opt);
+    if (!r.ok()) return 1;
+    PrintRow(name, r->timing.SecondsFor("sparsifier"),
+             r->timing.SecondsFor("rsvd"),
+             r->timing.SecondsFor("propagation"));
+  }
+  {
+    NetsmfOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = 8.0;
+    auto r = RunNetsmfOriginal(ds.graph, opt);
+    if (!r.ok()) return 1;
+    PrintRow("NetSMF (M=8Tm)", r->timing.SecondsFor("sparsifier"),
+             r->timing.SecondsFor("rsvd"), -1);
+  }
+  {
+    ProneOptions opt;
+    opt.dim = dim;
+    auto r = RunProne(ds.graph, opt);
+    if (!r.ok()) return 1;
+    PrintRow("ProNE+", -1, r->timing.SecondsFor("factorization"),
+             r->timing.SecondsFor("propagation"));
+  }
+
+  Section("paper-reported (real OAG, 88 cores)");
+  std::printf("LightNE-Large   32.8min   49.9min    8.1min\n");
+  std::printf("LightNE-Small    1.4min   10.5min    8.2min\n");
+  std::printf("NetSMF (M=8Tm)     18h        4h        NA\n");
+  std::printf("ProNE+               NA     12min    8.2min\n");
+  std::printf("\nshape check: the sparsifier stage dominates NetSMF; "
+              "LightNE-Small's stages are ProNE+-like; propagation cost is "
+              "identical wherever present.\n");
+  return 0;
+}

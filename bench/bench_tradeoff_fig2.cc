@@ -1,0 +1,83 @@
+// Regenerates Figure 2: LightNE's efficiency-effectiveness trade-off on the
+// OAG stand-in. Sweeps the edge-sample budget M from 0.1*T*m to 20*T*m and
+// reports wall time plus Micro/Macro F1 at a low and a high label ratio,
+// with ProNE+ and NetSMF as the fixed reference points the curve must
+// dominate (the paper's Pareto argument).
+#include <cstdio>
+
+#include "baselines/netsmf_original.h"
+#include "baselines/prone.h"
+#include "bench_util.h"
+#include "core/lightne.h"
+#include "eval/classification.h"
+#include "util/timer.h"
+
+using namespace lightne;         // NOLINT
+using namespace lightne::bench;  // NOLINT
+
+namespace {
+
+void Report(const char* name, double seconds, const Matrix& emb,
+            const MultiLabels& labels) {
+  F1Scores low = EvaluateNodeClassification(emb, labels, 0.001, 23);
+  F1Scores high = EvaluateNodeClassification(emb, labels, 0.10, 23);
+  std::printf("%-18s %9.1f %11.2f %11.2f %11.2f %11.2f\n", name, seconds,
+              100.0 * low.micro, 100.0 * low.macro, 100.0 * high.micro,
+              100.0 * high.macro);
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 2 — efficiency-effectiveness trade-off curve", ScaleNote());
+  DatasetSpec spec = *FindDataset("OAG-sim");
+  spec.n = 30000;
+  spec.sampled_edges = 300000;
+  Dataset ds = BuildDataset(Scaled(spec));
+  std::printf("graph: %u vertices, %llu edges; label ratios 0.1%% and 10%%\n",
+              ds.graph.NumVertices(),
+              static_cast<unsigned long long>(ds.graph.NumUndirectedEdges()));
+
+  std::printf("\n%-18s %9s %11s %11s %11s %11s\n", "Config", "time(s)",
+              "Micro@0.1%", "Macro@0.1%", "Micro@10%", "Macro@10%");
+
+  const uint64_t dim = 64;
+  for (double ratio : {0.1, 0.3, 1.0, 3.0, 10.0, 20.0}) {
+    LightNeOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = ratio;
+    Timer t;
+    auto r = RunLightNe(ds.graph, opt);
+    if (!r.ok()) return 1;
+    char name[64];
+    std::snprintf(name, sizeof(name), "LightNE M=%.1fTm", ratio);
+    Report(name, t.Seconds(), r->embedding, ds.labels);
+  }
+  {
+    ProneOptions opt;
+    opt.dim = dim;
+    Timer t;
+    auto r = RunProne(ds.graph, opt);
+    if (!r.ok()) return 1;
+    Report("ProNE+", t.Seconds(), r->embedding, ds.labels);
+  }
+  for (double ratio : {1.0, 4.0, 8.0}) {
+    NetsmfOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = ratio;
+    Timer t;
+    auto r = RunNetsmfOriginal(ds.graph, opt);
+    if (!r.ok()) return 1;
+    char name[64];
+    std::snprintf(name, sizeof(name), "NetSMF M=%.0fTm", ratio);
+    Report(name, t.Seconds(), r->embedding, ds.labels);
+  }
+
+  std::printf("\nshape check (paper): the LightNE sweep traces a climbing "
+              "curve; for every NetSMF/ProNE+ point some LightNE config is "
+              "simultaneously faster and more accurate (Pareto "
+              "dominance).\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Link prediction with the PBG evaluation protocol (the paper's LiveJournal
+// comparison, §5.2.1): hold out a fraction of edges, embed the training
+// graph, rank each held-out edge among corrupted candidates, and report MR,
+// MRR, HITS@10 and AUC.
+//
+//   link_prediction [--scale 15] [--edges 400000] [--dim 64] [--window 5]
+//                   [--holdout 0.001] [--negatives 1000]
+#include <cstdio>
+
+#include "core/lightne.h"
+#include "data/generators.h"
+#include "eval/link_prediction.h"
+#include "graph/csr.h"
+#include "util/cli.h"
+
+using namespace lightne;  // NOLINT
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::Parse(argc, argv);
+  if (!cli.ok()) return 1;
+  const int scale = static_cast<int>(cli->GetInt("scale", 15));
+  const EdgeId edges = static_cast<EdgeId>(cli->GetInt("edges", 400000));
+  const double holdout = cli->GetDouble("holdout", 0.001);
+  const uint64_t seed = 11;
+
+  EdgeList raw = GenerateRmat(scale, edges, seed);
+  SymmetrizeAndClean(&raw);
+  EdgeSplit split = SplitEdges(raw, holdout, seed);
+  std::printf("graph: %u vertices, %zu train directed edges, %zu held-out "
+              "positives\n",
+              raw.num_vertices, split.train.edges.size(),
+              split.test_positives.size());
+  CsrGraph train = CsrGraph::FromCleanEdgeList(split.train);
+
+  LightNeOptions opt;
+  opt.dim = static_cast<uint64_t>(cli->GetInt("dim", 64));
+  opt.window = static_cast<uint32_t>(cli->GetInt("window", 5));
+  opt.samples_ratio = cli->GetDouble("ratio", 2.0);
+  Timer timer;
+  auto result = RunLightNe(train, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("embedded in %.1f s (sparsifier %.1f, rsvd %.1f, "
+              "propagation %.1f)\n",
+              timer.Seconds(), result->timing.SecondsFor("sparsifier"),
+              result->timing.SecondsFor("rsvd"),
+              result->timing.SecondsFor("propagation"));
+
+  const uint32_t negatives =
+      static_cast<uint32_t>(cli->GetInt("negatives", 1000));
+  RankingMetrics metrics = EvaluateRanking(
+      result->embedding, split.test_positives, negatives, {1, 10, 50}, seed);
+  const double auc =
+      EvaluateAuc(result->embedding, split.test_positives, seed);
+  std::printf("\nMR        %8.2f\nMRR       %8.4f\nHITS@1    %8.4f\n"
+              "HITS@10   %8.4f\nHITS@50   %8.4f\nAUC       %8.4f\n",
+              metrics.mean_rank, metrics.mean_reciprocal_rank,
+              metrics.hits_at[0], metrics.hits_at[1], metrics.hits_at[2],
+              auc);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: embed a graph with LightNE in ~30 lines of API use.
+//
+//   quickstart [--edges FILE] [--dim 64] [--window 10] [--ratio 1.0]
+//              [--out embedding.txt]
+//
+// Without --edges, a small synthetic social network is generated. The
+// program prints the stage breakdown (sparsifier / randomized SVD / spectral
+// propagation) and writes one embedding row per line.
+#include <cstdio>
+
+#include "core/lightne.h"
+#include "data/generators.h"
+#include "graph/csr.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "la/embedding_io.h"
+#include "util/cli.h"
+
+using namespace lightne;  // NOLINT — examples favour brevity
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::Parse(argc, argv);
+  if (!cli.ok()) {
+    std::fprintf(stderr, "bad arguments: %s\n",
+                 cli.status().ToString().c_str());
+    return 1;
+  }
+
+  // 1. Load or generate a graph.
+  EdgeList edges;
+  const std::string path = cli->GetString("edges");
+  if (!path.empty()) {
+    auto loaded = LoadEdgeListText(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    edges = std::move(*loaded);
+    std::printf("loaded %zu edges from %s\n", edges.edges.size(),
+                path.c_str());
+  } else {
+    std::printf("no --edges given; generating a 2^14-vertex RMAT graph\n");
+    edges = GenerateRmat(14, 200000, /*seed=*/42);
+  }
+  CsrGraph graph = CsrGraph::FromEdges(std::move(edges));
+  GraphStats stats = ComputeStats(graph);
+  std::printf("graph: %u vertices, %llu edges, max degree %llu, "
+              "%u components\n",
+              stats.num_vertices,
+              static_cast<unsigned long long>(stats.num_undirected_edges),
+              static_cast<unsigned long long>(stats.max_degree),
+              stats.num_components);
+
+  // 2. Embed.
+  LightNeOptions opt;
+  opt.dim = static_cast<uint64_t>(cli->GetInt("dim", 64));
+  opt.window = static_cast<uint32_t>(cli->GetInt("window", 10));
+  opt.samples_ratio = cli->GetDouble("ratio", 1.0);
+  auto result = RunLightNe(graph, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "LightNE failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Report.
+  for (const auto& [stage, seconds] : result->timing.stages()) {
+    std::printf("  stage %-12s %8.2f s\n", stage.c_str(), seconds);
+  }
+  std::printf("sparsifier: %llu samples accepted, %llu nonzeros after "
+              "trunc_log\n",
+              static_cast<unsigned long long>(
+                  result->sparsifier_stats.samples_accepted),
+              static_cast<unsigned long long>(result->sparsifier_nnz));
+
+  // 4. Save (word2vec text format).
+  const std::string out = cli->GetString("out", "embedding.txt");
+  Status save = SaveEmbeddingText(result->embedding, out);
+  if (!save.ok()) {
+    std::fprintf(stderr, "%s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %llu x %llu embedding to %s\n",
+              static_cast<unsigned long long>(result->embedding.rows()),
+              static_cast<unsigned long long>(result->embedding.cols()),
+              out.c_str());
+  return 0;
+}

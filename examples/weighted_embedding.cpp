@@ -1,0 +1,98 @@
+// Weighted-graph embedding: the paper's formulas are stated for general
+// A_uv (downsampling probability p_e = min(1, C A_uv (1/d_u + 1/d_v)),
+// weight-proportional walks, vol(G) = total weight), and this example shows
+// the pipeline honouring them. It builds a graph whose two communities are
+// distinguishable ONLY by edge weight — the topology is a uniform random
+// graph — embeds it, and verifies the embedding recovers the blocks.
+//
+//   weighted_embedding [--edges FILE] [--nodes 2000] [--dim 16]
+#include <cstdio>
+
+#include "core/lightne.h"
+#include "graph/io.h"
+#include "graph/weighted_csr.h"
+#include "util/cli.h"
+#include "util/random.h"
+
+using namespace lightne;  // NOLINT
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::Parse(argc, argv);
+  if (!cli.ok()) return 1;
+
+  WeightedEdgeList edges;
+  const std::string path = cli->GetString("edges");
+  if (!path.empty()) {
+    auto loaded = LoadWeightedEdgeListText(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    edges = std::move(*loaded);
+    std::printf("loaded %zu weighted edges from %s\n", edges.edges.size(),
+                path.c_str());
+  } else {
+    const NodeId n = static_cast<NodeId>(cli->GetInt("nodes", 2000));
+    edges.num_vertices = n;
+    Rng rng(7);
+    for (NodeId e = 0; e < n * 20; ++e) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+      if (u == v) continue;
+      const bool same = (u < n / 2) == (v < n / 2);
+      edges.Add(u, v, same ? 8.0f : 1.0f);
+    }
+    std::printf("generated a 2-block graph: uniform topology, intra-block "
+                "edges 8x heavier\n");
+  }
+  WeightedCsrGraph graph = WeightedCsrGraph::FromEdges(std::move(edges));
+  std::printf("graph: %u vertices, %llu edges, vol(G) = %.0f\n",
+              graph.NumVertices(),
+              static_cast<unsigned long long>(graph.NumUndirectedEdges()),
+              graph.Volume());
+
+  LightNeOptions opt;
+  opt.dim = static_cast<uint64_t>(cli->GetInt("dim", 16));
+  opt.window = 5;
+  opt.samples_ratio = 4.0;
+  Timer timer;
+  auto result = RunLightNe(graph, opt);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("embedded in %.1f s (%llu samples accepted)\n", timer.Seconds(),
+              static_cast<unsigned long long>(
+                  result->sparsifier_stats.samples_accepted));
+
+  // Recoverability check (synthetic mode only): same-block vs cross-block
+  // cosine similarity.
+  if (path.empty()) {
+    Matrix x = result->embedding;
+    x.NormalizeRows();
+    const NodeId n = graph.NumVertices();
+    Rng rng(13);
+    double intra = 0, inter = 0;
+    int ic = 0, oc = 0;
+    for (int t = 0; t < 50000; ++t) {
+      NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+      if (a == b) continue;
+      double dot = 0;
+      for (uint64_t j = 0; j < x.cols(); ++j) {
+        dot += static_cast<double>(x.At(a, j)) * x.At(b, j);
+      }
+      if ((a < n / 2) == (b < n / 2)) {
+        intra += dot;
+        ++ic;
+      } else {
+        inter += dot;
+        ++oc;
+      }
+    }
+    std::printf("mean cosine similarity: same-block %.3f, cross-block %.3f "
+                "(the gap comes entirely from edge weights)\n",
+                intra / ic, inter / oc);
+  }
+  return 0;
+}

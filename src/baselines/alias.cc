@@ -1,0 +1,48 @@
+#include "baselines/alias.h"
+
+#include <vector>
+
+namespace lightne {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  LIGHTNE_CHECK_GT(n, 0u);
+  double total = 0;
+  for (double w : weights) {
+    LIGHTNE_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  LIGHTNE_CHECK_GT(total, 0.0);
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<uint32_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {  // numerical leftovers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+}  // namespace lightne

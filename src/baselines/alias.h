@@ -1,0 +1,37 @@
+// Walker's alias method: O(1) sampling from a fixed discrete distribution.
+// Used by the SGNS baselines for the unigram^0.75 negative-sampling noise
+// distribution (word2vec convention).
+#ifndef LIGHTNE_BASELINES_ALIAS_H_
+#define LIGHTNE_BASELINES_ALIAS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights (at least one positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples an index proportional to its weight.
+  uint32_t Sample(Rng& rng) const {
+    const uint32_t slot = static_cast<uint32_t>(rng.UniformInt(prob_.size()));
+    return rng.Uniform() < prob_[slot] ? slot : alias_[slot];
+  }
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_BASELINES_ALIAS_H_

@@ -1,0 +1,67 @@
+// LINE with second-order proximity (Tang et al., WWW'15): edge sampling +
+// SGNS on 1-hop neighborhoods. Serves as the PyTorch-BigGraph stand-in
+// (PBG trains first-order edge models with negative sampling; DESIGN.md §1).
+#ifndef LIGHTNE_BASELINES_LINE_H_
+#define LIGHTNE_BASELINES_LINE_H_
+
+#include "baselines/sgns.h"
+#include "graph/graph_view.h"
+#include "parallel/parallel_for.h"
+
+namespace lightne {
+
+struct LineOptions {
+  uint64_t dim = 128;
+  /// Total edge samples as a multiple of the directed edge count.
+  double samples_per_edge = 20.0;
+  uint32_t negatives = 5;
+  double learning_rate = 0.025;
+  uint64_t seed = 1;
+};
+
+/// Trains LINE(2nd) embeddings by sampling directed edges uniformly (the
+/// graphs here are unweighted) and applying SGNS updates.
+template <GraphView G>
+Matrix TrainLine(const G& g, const LineOptions& opt) {
+  const NodeId n = g.NumVertices();
+  SgnsOptions sopt;
+  sopt.dim = opt.dim;
+  sopt.negatives = opt.negatives;
+  sopt.learning_rate = opt.learning_rate;
+  sopt.seed = opt.seed;
+  SgnsModel model(n, sopt);
+  AliasTable noise = DegreeNoiseTable(g);
+
+  const uint64_t total = static_cast<uint64_t>(
+      opt.samples_per_edge * static_cast<double>(g.NumDirectedEdges()));
+  // Edge sampling batched per vertex (mirrors Algo 2's per-edge scheme): each
+  // directed edge receives ~total/2m updates.
+  const double per_edge =
+      static_cast<double>(total) / static_cast<double>(g.NumDirectedEdges());
+  std::atomic<uint64_t> done{0};
+  ParallelFor(
+      0, n,
+      [&](uint64_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        g.MapNeighbors(u, [&](NodeId v) {
+          Rng rng(HashCombine64(PackEdge(u, v), opt.seed ^ 0x11E5ull));
+          uint64_t ne = static_cast<uint64_t>(per_edge);
+          if (rng.Bernoulli(per_edge - static_cast<double>(ne))) ++ne;
+          const double progress =
+              static_cast<double>(done.fetch_add(ne,
+                                                 std::memory_order_relaxed)) /
+              static_cast<double>(total);
+          const float lr = static_cast<float>(
+              opt.learning_rate * std::max(0.05, 1.0 - progress));
+          for (uint64_t i = 0; i < ne; ++i) {
+            model.TrainPair(u, v, lr, noise, rng);
+          }
+        });
+      },
+      /*grain=*/32);
+  return model.embedding();
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_BASELINES_LINE_H_

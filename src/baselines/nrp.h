@@ -1,0 +1,91 @@
+// NRP-style personalized-PageRank embedding (Yang et al., VLDB'20), the
+// related-work comparator in Figure 4. The defining property the paper
+// highlights (§2) is that NRP factorizes the PPR matrix *without* the
+// entrywise truncated logarithm, which lets it work on the original graph.
+//
+// Implementation: spectral filter on the symmetric normalized adjacency
+// N = D^{-1/2} A D^{-1/2} = U diag(lambda) U^T. The PPR kernel
+//     sum_{r>=0} alpha (1-alpha)^r N^r = alpha / (1 - (1-alpha) lambda)
+// is applied to the leading singular values from randomized SVD (a spectral
+// simplification of NRP's reweighting iterations; documented in DESIGN.md).
+#ifndef LIGHTNE_BASELINES_NRP_H_
+#define LIGHTNE_BASELINES_NRP_H_
+
+#include <cmath>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_view.h"
+#include "graph/weights.h"
+#include "la/rsvd.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace lightne {
+
+struct NrpOptions {
+  uint64_t dim = 128;
+  double alpha = 0.15;  // PPR teleport probability
+  uint64_t svd_oversample = 10;
+  uint64_t svd_power_iters = 1;
+  uint64_t seed = 1;
+};
+
+template <GraphView G>
+Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
+  if (g.NumVertices() == 0 || g.NumDirectedEdges() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (opt.dim > g.NumVertices()) {
+    return Status::InvalidArgument("embedding dim exceeds vertex count");
+  }
+  const NodeId n = g.NumVertices();
+  // N = D^{-1/2} A D^{-1/2}.
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(g.NumDirectedEdges());
+  std::mutex mu;
+  ParallelForWorkers([&](int worker, int workers) {
+    std::vector<std::pair<uint64_t, double>> local;
+    const NodeId lo = static_cast<NodeId>(
+        static_cast<uint64_t>(n) * worker / workers);
+    const NodeId hi = static_cast<NodeId>(
+        static_cast<uint64_t>(n) * (worker + 1) / workers);
+    for (NodeId u = lo; u < hi; ++u) {
+      const double su = std::sqrt(VertexWeightedDegree(g, u));
+      MapNeighborsWeighted(g, u, [&](NodeId v, float w) {
+        const double sv = std::sqrt(VertexWeightedDegree(g, v));
+        local.push_back({PackEdge(u, v), static_cast<double>(w) / (su * sv)});
+      });
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    entries.insert(entries.end(), local.begin(), local.end());
+  });
+  SparseMatrix norm_adj = SparseMatrix::FromEntries(n, n, std::move(entries));
+
+  RandomizedSvdOptions ropt;
+  ropt.rank = opt.dim;
+  ropt.oversample = opt.svd_oversample;
+  ropt.power_iters = opt.svd_power_iters;
+  ropt.symmetric = true;
+  ropt.seed = opt.seed + 5;
+  RandomizedSvdResult svd = RandomizedSvd(norm_adj, ropt);
+
+  // Apply the PPR kernel to the spectrum (singular values of the symmetric
+  // N are |eigenvalues|; the kernel is monotone on [0, 1]).
+  Matrix x = svd.u;
+  std::vector<float> scale(opt.dim);
+  for (uint64_t j = 0; j < opt.dim; ++j) {
+    const double lambda = std::min<double>(svd.sigma[j], 1.0);
+    const double kernel =
+        opt.alpha * lambda / (1.0 - (1.0 - opt.alpha) * lambda + 1e-9);
+    scale[j] = static_cast<float>(std::sqrt(kernel));
+  }
+  x.ScaleColumns(scale);
+  x.NormalizeRows();
+  return x;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_BASELINES_NRP_H_

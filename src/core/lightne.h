@@ -1,0 +1,116 @@
+// The LightNE pipeline (Figure 1): parallel sparsifier construction ->
+// NetMF rescale + trunc_log -> randomized SVD -> spectral propagation.
+// Generic over raw-CSR and parallel-byte-compressed graphs.
+#ifndef LIGHTNE_CORE_LIGHTNE_H_
+#define LIGHTNE_CORE_LIGHTNE_H_
+
+#include <cstdint>
+
+#include "core/netmf.h"
+#include "core/sparsifier.h"
+#include "core/spectral_propagation.h"
+#include "graph/graph_view.h"
+#include "la/rsvd.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace lightne {
+
+struct LightNeOptions {
+  /// Embedding dimension d.
+  uint64_t dim = 128;
+  /// Context window size T.
+  uint32_t window = 10;
+  /// Negative-sample count b in the NetMF matrix.
+  double negative_samples = 1.0;
+  /// Number of path samples as a multiple of T*m (the paper's
+  /// parameterization: LightNE-Small = 0.1, LightNE-Large = 20).
+  double samples_ratio = 1.0;
+  /// Absolute sample count override; used instead of samples_ratio if > 0.
+  uint64_t num_samples = 0;
+  /// Edge downsampling (§3.2). Off = plain NetSMF sampling.
+  bool downsample = true;
+  /// C in the downsampling probability; 0 = log(n).
+  double downsample_constant = 0.0;
+  /// Spectral-propagation enhancement (step 2). The paper disables it on the
+  /// very large graphs for memory reasons.
+  bool spectral_propagation = true;
+  SpectralPropagationOptions propagation;
+  /// Randomized SVD knobs (Algo 3). power_iters = 0 is the paper's Algo 3.
+  uint64_t svd_oversample = 10;
+  uint64_t svd_power_iters = 1;
+  uint64_t seed = 1;
+};
+
+struct LightNeResult {
+  Matrix embedding;  // n x dim
+  /// Stage breakdown matching Table 5: "sparsifier", "rsvd", "propagation".
+  StageTimer timing;
+  SparsifierResult sparsifier_stats;  // matrix member left empty
+  uint64_t sparsifier_nnz_raw = 0;    // before trunc_log pruning
+  uint64_t sparsifier_nnz = 0;        // after trunc_log pruning
+};
+
+/// Runs the full pipeline. The graph must be symmetric and simple.
+template <GraphView G>
+Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
+  if (g.NumVertices() == 0 || g.NumDirectedEdges() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  if (opt.dim > g.NumVertices()) {
+    return Status::InvalidArgument("embedding dim exceeds vertex count");
+  }
+  LightNeResult result;
+
+  // ---- Stage 1: parallel sparsifier construction -------------------------
+  result.timing.Start("sparsifier");
+  SparsifierOptions sopt;
+  const double m = static_cast<double>(g.NumDirectedEdges()) / 2.0;
+  sopt.num_samples =
+      opt.num_samples > 0
+          ? opt.num_samples
+          : static_cast<uint64_t>(opt.samples_ratio * opt.window * m);
+  sopt.window = opt.window;
+  sopt.downsample = opt.downsample;
+  sopt.downsample_constant = opt.downsample_constant;
+  sopt.seed = opt.seed;
+  auto sparsifier = BuildSparsifier(g, sopt);
+  if (!sparsifier.ok()) return sparsifier.status();
+  SparseMatrix matrix = std::move(sparsifier->matrix);
+  result.sparsifier_nnz_raw = matrix.nnz();
+  ApplyNetmfTransform(g, sopt.num_samples, opt.negative_samples, &matrix);
+  result.sparsifier_nnz = matrix.nnz();
+  result.sparsifier_stats = std::move(*sparsifier);
+  result.sparsifier_stats.matrix = SparseMatrix();
+  LIGHTNE_LOG_DEBUG(
+      "sparsifier: %llu samples drawn, %llu accepted, nnz %llu -> %llu",
+      static_cast<unsigned long long>(result.sparsifier_stats.samples_drawn),
+      static_cast<unsigned long long>(
+          result.sparsifier_stats.samples_accepted),
+      static_cast<unsigned long long>(result.sparsifier_nnz_raw),
+      static_cast<unsigned long long>(result.sparsifier_nnz));
+
+  // ---- Stage 2: randomized SVD (Algo 3) ----------------------------------
+  result.timing.Start("rsvd");
+  RandomizedSvdOptions ropt;
+  ropt.rank = opt.dim;
+  ropt.oversample = opt.svd_oversample;
+  ropt.power_iters = opt.svd_power_iters;
+  ropt.symmetric = true;  // sparsifier is symmetric by construction
+  ropt.seed = opt.seed + 7;
+  RandomizedSvdResult svd = RandomizedSvd(matrix, ropt);
+  result.embedding = EmbeddingFromSvd(svd);
+
+  // ---- Stage 3: spectral propagation (ProNE enhancement) -----------------
+  if (opt.spectral_propagation) {
+    result.timing.Start("propagation");
+    result.embedding = SpectralPropagate(g, result.embedding, opt.propagation);
+  }
+  result.timing.Stop();
+  return result;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_CORE_LIGHTNE_H_

@@ -1,0 +1,108 @@
+// The NetMF matrix (Qiu et al., WSDM'18): both the entrywise rescaling of a
+// sparsifier into trunc_log form (what LightNE factorizes) and the exact
+// dense construction used for correctness tests and the NetMF baseline.
+//
+//   M = trunc_log( vol(G)/(bT) * sum_{r=1..T} (D^{-1}A)^r D^{-1} )
+#ifndef LIGHTNE_CORE_NETMF_H_
+#define LIGHTNE_CORE_NETMF_H_
+
+#include <cmath>
+
+#include "graph/csr.h"
+#include "graph/graph_view.h"
+#include "graph/weights.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace lightne {
+
+/// trunc_log(x) = max(0, log(x)); applied entrywise in NetMF/NetSMF.
+inline float TruncLog(double x) {
+  if (x <= 1.0) return 0.0f;
+  return static_cast<float>(std::log(x));
+}
+
+/// Rescales a sparsifier S (built by BuildSparsifier with `num_samples`
+/// target samples) into the NetMF matrix estimate and applies trunc_log,
+/// pruning entries that the log truncates to zero:
+///
+///   M_ab = trunc_log( vol^2 / (2 b num_samples) * S_ab / (d_a d_b) ),
+///
+/// with weighted degrees and vol(G) = sum of weights (for unweighted graphs
+/// vol = 2m, giving the familiar (2m^2)/(b M) factor).
+///
+/// Derivation: E[S_ab] = (2 num_samples / (T vol)) d_a sum_r (D^{-1}A)^r_{ab}
+/// (see core/sparsifier.h), and the NetMF target is
+/// (vol / (bT)) sum_r (D^{-1}A)^r_{ab} / d_b.
+template <GraphView G>
+void ApplyNetmfTransform(const G& g, uint64_t num_samples,
+                         double negative_samples, SparseMatrix* s) {
+  const double vol = g.Volume();
+  const double scale =
+      vol * vol /
+      (2.0 * negative_samples * static_cast<double>(num_samples));
+  s->TransformEntries([&](uint64_t row, uint32_t col, float value) {
+    const double d_a = VertexWeightedDegree(g, static_cast<NodeId>(row));
+    const double d_b = VertexWeightedDegree(g, col);
+    return TruncLog(scale * static_cast<double>(value) / (d_a * d_b));
+  });
+  s->Prune(0.0f);
+}
+
+/// Exact dense pre-log NetMF matrix: vol/(bT) sum_r (D^{-1}A)^r D^{-1}
+/// (O(n^2) memory — tests and tiny graphs only). Exposed separately so tests
+/// can check the sparsifier's unbiasedness before truncation. Handles
+/// weighted graphs through the weight traits.
+template <GraphView G>
+Matrix ComputeDenseNetmfPreLog(const G& g, uint32_t window,
+                               double negative_samples) {
+  const NodeId n = g.NumVertices();
+  LIGHTNE_CHECK_LE(n, 5000u);  // dense n^2 — guard against misuse
+  LIGHTNE_CHECK_GE(window, 1u);
+
+  // P = D^{-1} A as a dense matrix.
+  Matrix p(n, n);
+  g.MapVertices([&](NodeId u) {
+    const double du = VertexWeightedDegree(g, u);
+    MapNeighborsWeighted(g, u, [&](NodeId v, float w) {
+      p.At(u, v) = static_cast<float>(w / du);
+    });
+  });
+
+  // sum_{r=1..T} P^r via repeated multiplication.
+  Matrix power = p;
+  Matrix sum = p;
+  for (uint32_t r = 2; r <= window; ++r) {
+    power = Gemm(power, p);
+    ParallelFor(0, static_cast<uint64_t>(n) * n, [&](uint64_t k) {
+      sum.data()[k] += power.data()[k];
+    });
+  }
+
+  // vol/(bT) * sum * D^{-1}.
+  const double scale =
+      g.Volume() / (negative_samples * static_cast<double>(window));
+  ParallelFor(0, n, [&](uint64_t i) {
+    float* row = sum.Row(i);
+    for (NodeId j = 0; j < n; ++j) {
+      const double dj = VertexWeightedDegree(g, j);
+      row[j] = dj > 0 ? static_cast<float>(scale * row[j] / dj) : 0.0f;
+    }
+  });
+  return sum;
+}
+
+/// Exact dense NetMF matrix (trunc_log applied entrywise).
+template <GraphView G>
+Matrix ComputeDenseNetmf(const G& g, uint32_t window,
+                         double negative_samples) {
+  Matrix m = ComputeDenseNetmfPreLog(g, window, negative_samples);
+  ParallelFor(0, m.rows() * m.cols(), [&](uint64_t k) {
+    m.data()[k] = TruncLog(m.data()[k]);
+  });
+  return m;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_CORE_NETMF_H_

@@ -1,0 +1,30 @@
+#include "core/spectral_propagation.h"
+
+#include <cmath>
+
+#include "la/svd.h"
+
+namespace lightne {
+
+Matrix DenseSvdSmoothing(const Matrix& mm) {
+  const uint64_t d = mm.cols();
+  // Gram trick: mm = U S V^T  =>  mm^T mm = V S^2 V^T, and JacobiSvd of the
+  // symmetric PSD Gram matrix is its eigen-decomposition (sigma_j = S_j^2).
+  Matrix gram = GemmTN(mm, mm);
+  SvdResult eig = JacobiSvd(gram);
+  // ProNE's smoothing returns row-normalized U sqrt(S). Since
+  //   U sqrt(S) = mm V S^{-1} S^{1/2} = mm V S^{-1/2},
+  // scale the columns of mm*V by S_j^{-1/2} = sigma_j^{-1/4}.
+  std::vector<float> scale(d);
+  for (uint64_t j = 0; j < d; ++j) {
+    const double s2 = std::max(0.0, static_cast<double>(eig.sigma[j]));
+    scale[j] =
+        s2 > 1e-12 ? static_cast<float>(1.0 / std::sqrt(std::sqrt(s2))) : 0.0f;
+  }
+  Matrix mv = Gemm(mm, eig.v);
+  mv.ScaleColumns(scale);
+  mv.NormalizeRows();
+  return mv;
+}
+
+}  // namespace lightne

@@ -1,0 +1,112 @@
+#include "data/datasets.h"
+
+#include "data/generators.h"
+
+namespace lightne {
+
+namespace {
+
+DatasetSpec Sbm(std::string name, std::string paper, NodeId n, EdgeId edges,
+                NodeId communities, uint64_t seed, uint64_t paper_v,
+                uint64_t paper_e) {
+  DatasetSpec s;
+  s.name = std::move(name);
+  s.paper_name = std::move(paper);
+  s.kind = DatasetSpec::Kind::kSbm;
+  s.task = DatasetSpec::Task::kClassification;
+  s.n = n;
+  s.sampled_edges = edges;
+  s.communities = communities;
+  s.seed = seed;
+  s.paper_vertices = paper_v;
+  s.paper_edges = paper_e;
+  return s;
+}
+
+// Link-prediction stand-ins are clustered SBMs with many small communities:
+// real social networks and web crawls are strongly clustered, which is what
+// makes held-out-edge ranking tractable at the paper's reported levels.
+DatasetSpec LinkSbm(std::string name, std::string paper, NodeId n,
+                    EdgeId edges, NodeId communities, uint64_t seed,
+                    uint64_t paper_v, uint64_t paper_e) {
+  DatasetSpec s;
+  s.name = std::move(name);
+  s.paper_name = std::move(paper);
+  s.kind = DatasetSpec::Kind::kSbm;
+  s.task = DatasetSpec::Task::kLinkPrediction;
+  s.n = n;
+  s.sampled_edges = edges;
+  s.communities = communities;
+  s.intra_fraction = 0.9;
+  s.seed = seed;
+  s.paper_vertices = paper_v;
+  s.paper_edges = paper_e;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& DatasetRegistry() {
+  static const std::vector<DatasetSpec>* registry = [] {
+    auto* r = new std::vector<DatasetSpec>;
+    // --- small graphs (|E| <= 10M in the paper) --------------------------
+    // BlogCatalog is small enough to reproduce at full scale. The real graph
+    // is a hard task (paper Micro-F1 ~30-45%), so the stand-in plants weak,
+    // heavily overlapping communities.
+    r->push_back(Sbm("BlogCatalog-sim", "BlogCatalog", 10312, 120000, 39,
+                     101, 10312, 333983));
+    r->back().intra_fraction = 0.5;
+    r->back().extra_label_prob = 0.35;
+    r->push_back(Sbm("YouTube-sim", "YouTube", 50000, 160000, 47, 102,
+                     1138499, 2990443));
+    // --- large graphs (10M < |E| <= 10B in the paper) --------------------
+    r->push_back(LinkSbm("LiveJournal-sim", "LiveJournal", 60000, 900000,
+                         1200, 103, 4847571, 68993773));
+    r->push_back(Sbm("Friendster-small-sim", "Friendster-small", 100000,
+                     1200000, 64, 104, 7944949, 447219610));
+    r->push_back(LinkSbm("Hyperlink-PLD-sim", "Hyperlink-PLD", 100000,
+                         1500000, 2000, 105, 39497204, 623056313));
+    r->push_back(Sbm("Friendster-sim", "Friendster", 200000, 2500000, 100,
+                     106, 65608376, 1806067142));
+    r->push_back(Sbm("OAG-sim", "OAG", 150000, 1500000, 16, 107, 67768244,
+                     895368962));
+    // --- very large graphs (|E| > 10B in the paper) -----------------------
+    r->push_back(LinkSbm("ClueWeb-sim", "ClueWeb-Sym", 250000, 3000000, 5000,
+                         108, 978408098, 74744358622ull));
+    r->push_back(LinkSbm("Hyperlink2014-sim", "Hyperlink2014-Sym", 400000,
+                         5000000, 8000, 109, 1724573718, 124141874032ull));
+    return r;
+  }();
+  return *registry;
+}
+
+Result<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : DatasetRegistry()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no dataset named '" + name + "' in the registry");
+}
+
+Dataset BuildDataset(const DatasetSpec& spec) {
+  Dataset ds;
+  ds.spec = spec;
+  EdgeList list;
+  if (spec.kind == DatasetSpec::Kind::kSbm) {
+    list = GenerateSbm(spec.n, spec.communities, spec.sampled_edges,
+                       spec.intra_fraction, spec.seed, &ds.community);
+    ds.labels = LabelsFromCommunities(ds.community, spec.communities,
+                                      spec.extra_label_prob, spec.seed);
+  } else {
+    list = GenerateRmat(spec.rmat_scale, spec.sampled_edges, spec.seed);
+  }
+  ds.graph = CsrGraph::FromEdges(std::move(list));
+  return ds;
+}
+
+Result<Dataset> BuildDatasetByName(const std::string& name) {
+  auto spec = FindDataset(name);
+  if (!spec.ok()) return spec.status();
+  return BuildDataset(*spec);
+}
+
+}  // namespace lightne

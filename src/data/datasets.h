@@ -1,0 +1,60 @@
+// Dataset registry mirroring Table 3 of the paper at tractable scale.
+//
+// Each spec names the paper dataset it stands in for and records the paper's
+// |V| / |E| so the Table-3 bench can print both. Generators are deterministic
+// in the spec's seed, so every bench and test sees the same graphs.
+#ifndef LIGHTNE_DATA_DATASETS_H_
+#define LIGHTNE_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/labels.h"
+#include "graph/csr.h"
+#include "util/status.h"
+
+namespace lightne {
+
+struct DatasetSpec {
+  enum class Kind { kSbm, kRmat };
+  enum class Task { kClassification, kLinkPrediction };
+
+  std::string name;        // e.g. "BlogCatalog-sim"
+  std::string paper_name;  // e.g. "BlogCatalog"
+  Kind kind = Kind::kRmat;
+  Task task = Task::kLinkPrediction;
+  // Generator parameters.
+  NodeId n = 0;               // SBM vertex count (kSbm)
+  int rmat_scale = 0;         // log2 vertex count (kRmat)
+  EdgeId sampled_edges = 0;   // raw pairs drawn before symmetrize+dedup
+  NodeId communities = 0;     // kSbm: #blocks (= #labels)
+  double intra_fraction = 0.7;
+  double extra_label_prob = 0.15;
+  uint64_t seed = 1;
+  // Paper-scale reference statistics (Table 3).
+  uint64_t paper_vertices = 0;
+  uint64_t paper_edges = 0;
+};
+
+struct Dataset {
+  DatasetSpec spec;
+  CsrGraph graph;
+  MultiLabels labels;              // empty unless spec.kind == kSbm
+  std::vector<NodeId> community;   // empty unless spec.kind == kSbm
+};
+
+/// All nine Table-3 stand-ins, small to very large.
+const std::vector<DatasetSpec>& DatasetRegistry();
+
+/// Looks a spec up by name ("BlogCatalog-sim", ...).
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Generates the graph (and labels for SBM datasets) for a spec.
+Dataset BuildDataset(const DatasetSpec& spec);
+
+/// Convenience: FindDataset + BuildDataset.
+Result<Dataset> BuildDatasetByName(const std::string& name);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_DATA_DATASETS_H_

@@ -1,0 +1,144 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/parallel_for.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+EdgeList GenerateRmat(int scale, EdgeId num_edges, uint64_t seed,
+                      const RmatOptions& opt) {
+  LIGHTNE_CHECK_GT(scale, 0);
+  LIGHTNE_CHECK_LE(scale, 31);
+  EdgeList list;
+  list.num_vertices = static_cast<NodeId>(1u) << scale;
+  list.edges.resize(num_edges);
+  const double d = 1.0 - opt.a - opt.b - opt.c;
+  LIGHTNE_CHECK_GE(d, 0.0);
+  ParallelFor(
+      0, num_edges,
+      [&](uint64_t i) {
+        Rng rng = ItemRng(seed, i);
+        NodeId u = 0, v = 0;
+        for (int level = 0; level < scale; ++level) {
+          // Perturb quadrant probabilities per level (standard RMAT noise).
+          auto jitter = [&](double p) {
+            return p * (1.0 + opt.noise * (rng.Uniform() - 0.5));
+          };
+          double pa = jitter(opt.a), pb = jitter(opt.b), pc = jitter(opt.c),
+                 pd = jitter(d);
+          const double total = pa + pb + pc + pd;
+          const double roll = rng.Uniform() * total;
+          u <<= 1;
+          v <<= 1;
+          if (roll < pa) {
+            // top-left quadrant: no bits set
+          } else if (roll < pa + pb) {
+            v |= 1;
+          } else if (roll < pa + pb + pc) {
+            u |= 1;
+          } else {
+            u |= 1;
+            v |= 1;
+          }
+        }
+        list.edges[i] = {u, v};
+      },
+      /*grain=*/2048);
+  return list;
+}
+
+EdgeList GenerateErdosRenyi(NodeId n, EdgeId num_edges, uint64_t seed) {
+  LIGHTNE_CHECK_GT(n, 0u);
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.resize(num_edges);
+  ParallelFor(
+      0, num_edges,
+      [&](uint64_t i) {
+        Rng rng = ItemRng(seed ^ 0xE2D05ull, i);
+        list.edges[i] = {static_cast<NodeId>(rng.UniformInt(n)),
+                         static_cast<NodeId>(rng.UniformInt(n))};
+      },
+      /*grain=*/4096);
+  return list;
+}
+
+EdgeList GenerateBarabasiAlbert(NodeId n, uint32_t edges_per_vertex,
+                                uint64_t seed) {
+  LIGHTNE_CHECK_GT(edges_per_vertex, 0u);
+  LIGHTNE_CHECK_GT(n, edges_per_vertex);
+  EdgeList list;
+  list.num_vertices = n;
+  Rng rng(seed);
+  // Batagelj–Brandes: targets drawn uniformly from the flat endpoint array
+  // reproduce preferential attachment.
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * n * edges_per_vertex);
+  // Seed: a path over the first edges_per_vertex + 1 vertices.
+  for (NodeId v = 1; v <= edges_per_vertex; ++v) {
+    list.Add(v - 1, v);
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+  for (NodeId v = edges_per_vertex + 1; v < n; ++v) {
+    for (uint32_t j = 0; j < edges_per_vertex; ++j) {
+      NodeId target = endpoints[rng.UniformInt(endpoints.size())];
+      list.Add(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return list;
+}
+
+EdgeList GenerateSbm(NodeId n, NodeId num_communities, EdgeId num_edges,
+                     double intra_fraction, uint64_t seed,
+                     std::vector<NodeId>* community) {
+  LIGHTNE_CHECK_GT(n, 0u);
+  LIGHTNE_CHECK_GT(num_communities, 0u);
+  LIGHTNE_CHECK(community != nullptr);
+  // Power-law community sizes: P(community c) ∝ (c + 1)^{-0.5}.
+  std::vector<double> cumulative(num_communities);
+  double total = 0;
+  for (NodeId c = 0; c < num_communities; ++c) {
+    total += 1.0 / std::sqrt(static_cast<double>(c) + 1.0);
+    cumulative[c] = total;
+  }
+  community->assign(n, 0);
+  ParallelFor(0, n, [&](uint64_t v) {
+    Rng rng = ItemRng(seed ^ 0x5B31ull, v);
+    const double roll = rng.Uniform() * total;
+    (*community)[v] = static_cast<NodeId>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), roll) -
+        cumulative.begin());
+  });
+  // Member lists for intra-community partner sampling.
+  std::vector<std::vector<NodeId>> members(num_communities);
+  for (NodeId v = 0; v < n; ++v) members[(*community)[v]].push_back(v);
+
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.resize(num_edges);
+  ParallelFor(
+      0, num_edges,
+      [&](uint64_t i) {
+        Rng rng = ItemRng(seed ^ 0x5B32ull, i);
+        NodeId u = static_cast<NodeId>(rng.UniformInt(n));
+        NodeId v;
+        const auto& block = members[(*community)[u]];
+        if (rng.Bernoulli(intra_fraction) && block.size() > 1) {
+          v = block[rng.UniformInt(block.size())];
+        } else {
+          v = static_cast<NodeId>(rng.UniformInt(n));
+        }
+        list.edges[i] = {u, v};
+      },
+      /*grain=*/2048);
+  return list;
+}
+
+}  // namespace lightne

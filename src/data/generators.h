@@ -1,0 +1,53 @@
+// Synthetic graph generators. These stand in for the paper's datasets
+// (LiveJournal, Friendster, OAG, the WDC hyperlink crawls): RMAT reproduces
+// the heavy-tailed degree distributions of web/social graphs that drive the
+// sampler and hash-table behaviour; the SBM plants community structure that
+// yields ground-truth labels for node classification.
+#ifndef LIGHTNE_DATA_GENERATORS_H_
+#define LIGHTNE_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace lightne {
+
+/// R-MAT / Kronecker parameters. Defaults are the Graph500 quadrant
+/// probabilities, which produce a power-law-ish degree distribution.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  // d = 1 - a - b - c
+  /// Per-level probability perturbation, so the degree sequence is not
+  /// perfectly self-similar.
+  double noise = 0.1;
+};
+
+/// Generates ~`num_edges` undirected RMAT edges over 2^scale vertices
+/// (before dedup; the returned list is raw and directed one-way).
+/// Deterministic in `seed`, parallel over edges.
+EdgeList GenerateRmat(int scale, EdgeId num_edges, uint64_t seed,
+                      const RmatOptions& opt = {});
+
+/// Erdős–Rényi G(n, m): m uniform random pairs (before dedup).
+EdgeList GenerateErdosRenyi(NodeId n, EdgeId num_edges, uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportional to degree.
+/// Sequential (the process is inherently so).
+EdgeList GenerateBarabasiAlbert(NodeId n, uint32_t edges_per_vertex,
+                                uint64_t seed);
+
+/// Stochastic block model with `num_communities` power-law-sized blocks.
+/// `num_edges` total sampled pairs of which fraction `intra_fraction` are
+/// intra-community. Returns the (raw) edge list and writes each vertex's
+/// community to *community.
+EdgeList GenerateSbm(NodeId n, NodeId num_communities, EdgeId num_edges,
+                     double intra_fraction, uint64_t seed,
+                     std::vector<NodeId>* community);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_DATA_GENERATORS_H_

@@ -1,0 +1,53 @@
+#include "data/labels.h"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+MultiLabels MultiLabels::FromLists(
+    const std::vector<std::vector<uint32_t>>& lists, uint32_t num_labels) {
+  MultiLabels out;
+  out.num_labels = num_labels;
+  const size_t n = lists.size();
+  out.offsets.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    out.offsets[v + 1] = out.offsets[v] + lists[v].size();
+  }
+  out.labels.resize(out.offsets[n]);
+  ParallelFor(0, n, [&](uint64_t v) {
+    std::vector<uint32_t> sorted = lists[v];
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    LIGHTNE_CHECK_EQ(sorted.size(), lists[v].size());
+    std::copy(sorted.begin(), sorted.end(), out.labels.begin() + out.offsets[v]);
+  });
+  return out;
+}
+
+MultiLabels LabelsFromCommunities(const std::vector<NodeId>& community,
+                                  NodeId num_communities, double extra_prob,
+                                  uint64_t seed) {
+  const size_t n = community.size();
+  std::vector<std::vector<uint32_t>> lists(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    Rng rng = ItemRng(seed ^ 0x1AB31ull, v);
+    lists[v].push_back(community[v]);
+    for (int round = 0; round < 2; ++round) {
+      if (rng.Bernoulli(extra_prob)) {
+        uint32_t extra = static_cast<uint32_t>(rng.UniformInt(num_communities));
+        if (std::find(lists[v].begin(), lists[v].end(), extra) ==
+            lists[v].end()) {
+          lists[v].push_back(extra);
+        }
+      }
+    }
+  });
+  return MultiLabels::FromLists(lists, num_communities);
+}
+
+}  // namespace lightne

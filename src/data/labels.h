@@ -1,0 +1,44 @@
+// Multi-label ground truth for node classification, CSR-packed. The paper's
+// classification datasets (BlogCatalog, YouTube, Friendster, OAG) are all
+// multi-label; we plant labels from SBM communities with controlled overlap.
+#ifndef LIGHTNE_DATA_LABELS_H_
+#define LIGHTNE_DATA_LABELS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace lightne {
+
+/// Per-node multi-label assignment (each node has >= 0 sorted label ids).
+struct MultiLabels {
+  uint32_t num_labels = 0;
+  std::vector<uint64_t> offsets;  // size num_nodes + 1
+  std::vector<uint32_t> labels;   // concatenated sorted label lists
+
+  NodeId NumNodes() const {
+    return offsets.empty() ? 0 : static_cast<NodeId>(offsets.size() - 1);
+  }
+
+  std::span<const uint32_t> LabelsOf(NodeId v) const {
+    return {labels.data() + offsets[v],
+            static_cast<size_t>(offsets[v + 1] - offsets[v])};
+  }
+
+  /// Builds from per-node label lists.
+  static MultiLabels FromLists(const std::vector<std::vector<uint32_t>>& lists,
+                               uint32_t num_labels);
+};
+
+/// Plants multi-label ground truth from a community assignment: every node is
+/// labeled with its community; with probability `extra_prob` (applied twice)
+/// it also receives a uniformly random extra label. Deterministic in seed.
+MultiLabels LabelsFromCommunities(const std::vector<NodeId>& community,
+                                  NodeId num_communities, double extra_prob,
+                                  uint64_t seed);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_DATA_LABELS_H_

@@ -1,0 +1,70 @@
+// Multi-label node classification following the standard protocol of the
+// network-embedding literature (DeepWalk/NetMF/NetSMF): train one-vs-rest
+// logistic regression on a labeled fraction of nodes, predict by taking each
+// test node's top-k scores where k is its true label count, report
+// Micro-F1 and Macro-F1.
+#ifndef LIGHTNE_EVAL_CLASSIFICATION_H_
+#define LIGHTNE_EVAL_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/labels.h"
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace lightne {
+
+struct LogRegOptions {
+  uint32_t epochs = 12;
+  double learning_rate = 0.25;
+  double l2 = 1e-5;
+  bool normalize_rows = true;  // L2-normalize features first
+  uint64_t seed = 1;
+};
+
+struct F1Scores {
+  double micro = 0;
+  double macro = 0;
+};
+
+/// One-vs-rest logistic regression, trained with Hogwild-style parallel SGD.
+class OneVsRestLogReg {
+ public:
+  /// Trains on the given node subset. features: n x d; labels: n nodes.
+  static OneVsRestLogReg Train(const Matrix& features,
+                               const MultiLabels& labels,
+                               const std::vector<NodeId>& train_nodes,
+                               const LogRegOptions& opt);
+
+  /// Per-label decision scores for one node (size num_labels).
+  std::vector<double> Scores(const Matrix& features, NodeId v) const;
+
+  /// Top-k label prediction (k = true label count), the standard protocol.
+  std::vector<uint32_t> PredictTopK(const Matrix& features, NodeId v,
+                                    uint32_t k) const;
+
+  uint32_t num_labels() const { return num_labels_; }
+
+ private:
+  uint32_t num_labels_ = 0;
+  uint64_t dim_ = 0;           // feature dim + 1 (bias)
+  std::vector<float> weights_;  // num_labels x (dim_)
+  bool normalize_ = true;
+};
+
+/// Computes Micro/Macro F1 of top-k predictions over `test_nodes`.
+F1Scores EvaluateF1(const OneVsRestLogReg& model, const Matrix& features,
+                    const MultiLabels& labels,
+                    const std::vector<NodeId>& test_nodes);
+
+/// Full protocol: split nodes at `train_ratio`, train, evaluate.
+/// Nodes with zero labels are excluded from both sides.
+F1Scores EvaluateNodeClassification(const Matrix& features,
+                                    const MultiLabels& labels,
+                                    double train_ratio, uint64_t seed,
+                                    const LogRegOptions& opt = {});
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_EVAL_CLASSIFICATION_H_

@@ -1,0 +1,45 @@
+#include "eval/cost_model.h"
+
+namespace lightne {
+
+const std::vector<AzureInstance>& AzureCatalog() {
+  static const std::vector<AzureInstance>* catalog =
+      new std::vector<AzureInstance>{
+          {"NC24s v2", 24, 448, 4, 8.28},
+          {"E48 v3", 48, 384, 0, 3.024},
+          {"M64", 64, 1024, 0, 6.669},
+          {"M128s", 128, 2048, 0, 13.338},
+      };
+  return *catalog;
+}
+
+const std::vector<SystemHardware>& SystemCatalog() {
+  static const std::vector<SystemHardware>* catalog =
+      new std::vector<SystemHardware>{
+          {"GraphVite", "NC24s v2", 0, 256, "4X P100"},
+          {"PBG", "E48 v3", 48, 256, "0"},
+          {"NetSMF", "M128s", 64, 1740, "0"},
+          {"LightNE", "M128s", 88, 1536, "0"},
+      };
+  return *catalog;
+}
+
+Result<AzureInstance> FindInstance(const std::string& name) {
+  for (const auto& inst : AzureCatalog()) {
+    if (inst.name == name) return inst;
+  }
+  return Status::NotFound("no Azure instance named '" + name + "'");
+}
+
+Result<AzureInstance> InstanceForSystem(const std::string& system) {
+  for (const auto& sys : SystemCatalog()) {
+    if (sys.system == system) return FindInstance(sys.instance);
+  }
+  return Status::NotFound("no system named '" + system + "' in Table 2");
+}
+
+double EstimateCostUsd(const AzureInstance& instance, double seconds) {
+  return seconds / 3600.0 * instance.price_per_hour;
+}
+
+}  // namespace lightne

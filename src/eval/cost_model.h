@@ -1,0 +1,47 @@
+// Table 2 of the paper: hardware configurations of the compared systems and
+// their closest Azure instances, used to convert wall-clock time into a
+// dollar cost estimate (cost = hours * price_per_hour).
+#ifndef LIGHTNE_EVAL_COST_MODEL_H_
+#define LIGHTNE_EVAL_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lightne {
+
+struct AzureInstance {
+  std::string name;
+  int vcores = 0;
+  int ram_gib = 0;
+  int gpus = 0;
+  double price_per_hour = 0;  // USD
+};
+
+struct SystemHardware {
+  std::string system;      // "GraphVite", "PBG", "NetSMF", "LightNE"
+  std::string instance;    // matching Azure instance name
+  int vcores = 0;          // as reported in the paper (0 = N/A)
+  int ram_gb = 0;
+  std::string gpu;         // "4X P100" or "0"
+};
+
+/// The four Azure rows of Table 2.
+const std::vector<AzureInstance>& AzureCatalog();
+
+/// The four system rows of Table 2 with their assumed instances.
+const std::vector<SystemHardware>& SystemCatalog();
+
+Result<AzureInstance> FindInstance(const std::string& name);
+
+/// Instance assumed for a system ("GraphVite" -> NC24s v2, "PBG" -> E48 v3,
+/// "NetSMF"/"LightNE" -> M128s), per §5.1.
+Result<AzureInstance> InstanceForSystem(const std::string& system);
+
+/// cost($) = seconds / 3600 * price.
+double EstimateCostUsd(const AzureInstance& instance, double seconds);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_EVAL_COST_MODEL_H_

@@ -1,0 +1,65 @@
+#include "eval/embedding_quality.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+namespace {
+
+double CosineOfNormalizedRows(const Matrix& x, NodeId a, NodeId b) {
+  const float* ra = x.Row(a);
+  const float* rb = x.Row(b);
+  double dot = 0;
+  for (uint64_t j = 0; j < x.cols(); ++j) {
+    dot += static_cast<double>(ra[j]) * rb[j];
+  }
+  return dot;
+}
+
+}  // namespace
+
+double CommunitySeparation(const Matrix& embedding,
+                           const std::vector<NodeId>& community,
+                           uint64_t pair_samples, uint64_t seed) {
+  LIGHTNE_CHECK_EQ(embedding.rows(), community.size());
+  Matrix x = embedding;
+  x.NormalizeRows();
+  const NodeId n = static_cast<NodeId>(x.rows());
+  Rng rng(seed);
+  double intra = 0, inter = 0;
+  uint64_t intra_count = 0, inter_count = 0;
+  for (uint64_t t = 0; t < pair_samples; ++t) {
+    const NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+    const NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+    if (a == b) continue;
+    const double dot = CosineOfNormalizedRows(x, a, b);
+    if (community[a] == community[b]) {
+      intra += dot;
+      ++intra_count;
+    } else {
+      inter += dot;
+      ++inter_count;
+    }
+  }
+  if (intra_count == 0 || inter_count == 0) return 0.0;
+  return intra / static_cast<double>(intra_count) -
+         inter / static_cast<double>(inter_count);
+}
+
+double MeanPairSimilarity(
+    const Matrix& embedding,
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  if (pairs.empty()) return 0.0;
+  Matrix x = embedding;
+  x.NormalizeRows();
+  double total = 0;
+  for (const auto& [a, b] : pairs) {
+    total += CosineOfNormalizedRows(x, a, b);
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+}  // namespace lightne

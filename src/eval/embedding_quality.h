@@ -1,0 +1,28 @@
+// Intrinsic embedding-quality diagnostics that don't need a downstream
+// classifier: community-separation score (used across tests and benches) and
+// neighborhood-similarity statistics.
+#ifndef LIGHTNE_EVAL_EMBEDDING_QUALITY_H_
+#define LIGHTNE_EVAL_EMBEDDING_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "la/matrix.h"
+
+namespace lightne {
+
+/// Mean cosine similarity of same-community vertex pairs minus that of
+/// cross-community pairs, over `pair_samples` random pairs. Positive values
+/// mean the embedding separates the communities; ~0 means no signal.
+double CommunitySeparation(const Matrix& embedding,
+                           const std::vector<NodeId>& community,
+                           uint64_t pair_samples = 30000, uint64_t seed = 123);
+
+/// Mean cosine similarity over the given vertex pairs.
+double MeanPairSimilarity(const Matrix& embedding,
+                          const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_EVAL_EMBEDDING_QUALITY_H_

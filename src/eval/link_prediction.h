@@ -1,0 +1,56 @@
+// Link-prediction evaluation following the protocols of the systems the
+// paper compares against: PBG-style ranking metrics (MR, MRR, HITS@K over
+// corrupted edges) and GraphVite-style AUC.
+#ifndef LIGHTNE_EVAL_LINK_PREDICTION_H_
+#define LIGHTNE_EVAL_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "la/matrix.h"
+
+namespace lightne {
+
+/// Randomly moves `test_fraction` of the undirected edges of a *clean*
+/// symmetric edge list into a held-out positive set. Returns the training
+/// edge list (still symmetric); test pairs are stored as (u, v) with u < v.
+struct EdgeSplit {
+  EdgeList train;
+  std::vector<std::pair<NodeId, NodeId>> test_positives;
+};
+EdgeSplit SplitEdges(const EdgeList& clean_symmetric, double test_fraction,
+                     uint64_t seed);
+
+struct RankingMetrics {
+  double mean_rank = 0;             // MR
+  double mean_reciprocal_rank = 0;  // MRR
+  std::vector<double> hits_at;      // aligned with the `ks` argument
+};
+
+/// PBG protocol: each positive (u, v) is ranked by dot-product score among
+/// `num_negatives` corrupted targets (u, w) with w uniform. Rank counts
+/// strictly-better negatives plus one (optimistic ties, like PBG).
+///
+/// If `filter_graph` is non-null, corrupted targets that are true edges of
+/// that graph (or w == u) are excluded from the ranking — PBG's "filtered"
+/// metrics, which avoid penalizing a model for ranking other true edges
+/// above the test edge.
+RankingMetrics EvaluateRanking(const Matrix& embedding,
+                               const std::vector<std::pair<NodeId, NodeId>>&
+                                   positives,
+                               uint32_t num_negatives,
+                               const std::vector<uint32_t>& ks, uint64_t seed,
+                               const CsrGraph* filter_graph = nullptr);
+
+/// AUC of dot-product scores: positives vs an equal number of uniformly
+/// sampled corrupted pairs.
+double EvaluateAuc(const Matrix& embedding,
+                   const std::vector<std::pair<NodeId, NodeId>>& positives,
+                   uint64_t seed);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_EVAL_LINK_PREDICTION_H_

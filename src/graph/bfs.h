@@ -1,0 +1,70 @@
+// Frontier-based parallel BFS on top of EdgeMap — the canonical Ligra/GBBS
+// algorithm, used both as a substrate self-test and for graph diagnostics
+// (eccentricity estimates, reachability).
+#ifndef LIGHTNE_GRAPH_BFS_H_
+#define LIGHTNE_GRAPH_BFS_H_
+
+#include <atomic>
+#include <limits>
+#include <vector>
+
+#include "graph/edge_map.h"
+#include "graph/graph_view.h"
+
+namespace lightne {
+
+constexpr uint32_t kUnreached = std::numeric_limits<uint32_t>::max();
+
+struct BfsResult {
+  std::vector<uint32_t> distance;  // kUnreached if not reachable
+  std::vector<NodeId> parent;      // self for source, undefined if unreached
+  uint32_t num_rounds = 0;
+  uint64_t num_reached = 0;
+};
+
+/// Parallel BFS from `source`.
+template <GraphView G>
+BfsResult Bfs(const G& g, NodeId source, const EdgeMapOptions& opt = {}) {
+  const NodeId n = g.NumVertices();
+  LIGHTNE_CHECK_LT(source, n);
+  BfsResult result;
+  result.distance.assign(n, kUnreached);
+  result.parent.assign(n, source);
+  std::vector<std::atomic<NodeId>> parent(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    parent[v].store(static_cast<NodeId>(~0u), std::memory_order_relaxed);
+  });
+  parent[source].store(source, std::memory_order_relaxed);
+  result.distance[source] = 0;
+
+  VertexSubset frontier = VertexSubset::Single(n, source);
+  uint32_t level = 0;
+  result.num_reached = 1;
+  while (!frontier.Empty()) {
+    ++level;
+    VertexSubset next = EdgeMap(
+        g, frontier,
+        [&](NodeId u, NodeId v) {
+          NodeId expected = static_cast<NodeId>(~0u);
+          return parent[v].compare_exchange_strong(
+              expected, u, std::memory_order_relaxed);
+        },
+        [&](NodeId v) {
+          return parent[v].load(std::memory_order_relaxed) ==
+                 static_cast<NodeId>(~0u);
+        },
+        opt);
+    next.Map([&](NodeId v) { result.distance[v] = level; });
+    result.num_reached += next.Size();
+    frontier = std::move(next);
+  }
+  result.num_rounds = level > 0 ? level - 1 : 0;
+  ParallelFor(0, n, [&](uint64_t v) {
+    result.parent[v] = parent[v].load(std::memory_order_relaxed);
+  });
+  return result;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_BFS_H_

@@ -1,0 +1,103 @@
+#include "graph/compressed.h"
+
+#include "parallel/scan.h"
+
+namespace lightne {
+
+CompressedGraph CompressedGraph::FromCsr(const CsrGraph& g,
+                                         uint32_t block_size) {
+  LIGHTNE_CHECK_GE(block_size, 1u);
+  CompressedGraph cg;
+  cg.num_vertices_ = g.NumVertices();
+  cg.num_directed_edges_ = g.NumDirectedEdges();
+  cg.block_size_ = block_size;
+  const NodeId n = cg.num_vertices_;
+
+  cg.degrees_.resize(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    cg.degrees_[v] = static_cast<NodeId>(g.Degree(static_cast<NodeId>(v)));
+  });
+
+  // Pass 1: per-vertex encoded sizes.
+  cg.vertex_offset_.assign(static_cast<size_t>(n) + 1, 0);
+  ParallelFor(
+      0, n,
+      [&](uint64_t vi) {
+        const NodeId v = static_cast<NodeId>(vi);
+        const uint64_t d = g.Degree(v);
+        if (d == 0) return;
+        const uint64_t nblocks = cg.NumBlocks(d);
+        uint64_t bytes = 4 * (nblocks - 1);  // block offset table
+        auto nbrs = g.Neighbors(v);
+        for (uint64_t b = 0; b < nblocks; ++b) {
+          const uint64_t lo = b * block_size;
+          const uint64_t hi = std::min<uint64_t>(lo + block_size, d);
+          bytes += VarintSize(Zigzag(static_cast<int64_t>(nbrs[lo]) -
+                                     static_cast<int64_t>(v)));
+          for (uint64_t i = lo + 1; i < hi; ++i) {
+            bytes += VarintSize(nbrs[i] - nbrs[i - 1]);
+          }
+        }
+        LIGHTNE_CHECK_MSG(bytes < (1ull << 32),
+                          "per-vertex encoded region exceeds 4 GiB");
+        cg.vertex_offset_[vi + 1] = bytes;
+      },
+      /*grain=*/256);
+
+  // Scan to vertex offsets.
+  std::vector<uint64_t> sizes(n);
+  ParallelFor(0, n, [&](uint64_t v) { sizes[v] = cg.vertex_offset_[v + 1]; });
+  ParallelScanExclusive(cg.vertex_offset_.data() + 1, n);
+  ParallelFor(0, n,
+              [&](uint64_t v) { cg.vertex_offset_[v + 1] += sizes[v]; });
+  const uint64_t total_bytes = cg.vertex_offset_[n];
+  cg.bytes_.resize(total_bytes);
+
+  // Pass 2: encode in place.
+  ParallelFor(
+      0, n,
+      [&](uint64_t vi) {
+        const NodeId v = static_cast<NodeId>(vi);
+        const uint64_t d = g.Degree(v);
+        if (d == 0) return;
+        const uint64_t nblocks = cg.NumBlocks(d);
+        uint8_t* region = cg.bytes_.data() + cg.vertex_offset_[vi];
+        uint8_t* p = region + 4 * (nblocks - 1);
+        auto nbrs = g.Neighbors(v);
+        for (uint64_t b = 0; b < nblocks; ++b) {
+          if (b > 0) {
+            const uint32_t off = static_cast<uint32_t>(p - region);
+            std::memcpy(region + 4 * (b - 1), &off, 4);
+          }
+          const uint64_t lo = b * block_size;
+          const uint64_t hi = std::min<uint64_t>(lo + block_size, d);
+          EncodeVarint(
+              Zigzag(static_cast<int64_t>(nbrs[lo]) - static_cast<int64_t>(v)),
+              &p);
+          for (uint64_t i = lo + 1; i < hi; ++i) {
+            EncodeVarint(nbrs[i] - nbrs[i - 1], &p);
+          }
+        }
+        LIGHTNE_CHECK_EQ(static_cast<uint64_t>(p - region),
+                         cg.vertex_offset_[vi + 1] - cg.vertex_offset_[vi]);
+      },
+      /*grain=*/256);
+  return cg;
+}
+
+NodeId CompressedGraph::Neighbor(NodeId v, uint64_t i) const {
+  const uint64_t d = degrees_[v];
+  LIGHTNE_CHECK_LT(i, d);
+  const uint8_t* region = bytes_.data() + vertex_offset_[v];
+  const uint64_t nblocks = NumBlocks(d);
+  const uint64_t b = i / block_size_;
+  const uint8_t* p = region + BlockStart(region, nblocks, b);
+  int64_t running = static_cast<int64_t>(v) + DecodeZigzag(&p);
+  const uint64_t within = i - b * block_size_;
+  for (uint64_t k = 0; k < within; ++k) {
+    running += static_cast<int64_t>(DecodeVarint(&p));
+  }
+  return static_cast<NodeId>(running);
+}
+
+}  // namespace lightne

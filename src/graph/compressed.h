@@ -1,0 +1,161 @@
+// Parallel-byte compressed graph in the Ligra+ format (Shun, Dhulipala,
+// Blelloch, DCC'15), as adopted by the paper (§4.1):
+//
+//  - neighbor lists are difference encoded with byte varints;
+//  - a high-degree vertex's list is broken into blocks of `block_size`
+//    neighbors, each internally difference-encoded with respect to the
+//    source, so blocks decode independently (parallel decoding, and O(block)
+//    random access to the i-th incident edge needed by random walks);
+//  - per-vertex data stores a small table of byte offsets to each block.
+//
+// The paper chose block size 64 as the sweet spot between compressed size
+// and the latency of fetching arbitrary incident edges; that is the default
+// here and bench_compression reproduces the trade-off.
+#ifndef LIGHTNE_GRAPH_COMPRESSED_H_
+#define LIGHTNE_GRAPH_COMPRESSED_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+#include "parallel/parallel_for.h"
+#include "util/check.h"
+
+namespace lightne {
+
+class CompressedGraph {
+ public:
+  CompressedGraph() = default;
+
+  /// Encodes an existing CSR graph. Neighbor lists must be sorted (CSR
+  /// builder guarantees this). Runs in parallel: a size pass, a scan, and an
+  /// encode pass.
+  static CompressedGraph FromCsr(const CsrGraph& g, uint32_t block_size = 64);
+
+  NodeId NumVertices() const { return num_vertices_; }
+  EdgeId NumDirectedEdges() const { return num_directed_edges_; }
+  EdgeId NumUndirectedEdges() const { return num_directed_edges_ / 2; }
+  double Volume() const { return static_cast<double>(num_directed_edges_); }
+  uint32_t block_size() const { return block_size_; }
+
+  uint64_t Degree(NodeId v) const { return degrees_[v]; }
+
+  /// Decodes the i-th neighbor of v: locates the containing block via the
+  /// offset table, then decodes at most block_size varints.
+  NodeId Neighbor(NodeId v, uint64_t i) const;
+
+  /// Applies fn(neighbor) over v's full (sorted) neighbor list.
+  template <typename F>
+  void MapNeighbors(NodeId v, F&& fn) const {
+    const uint64_t d = degrees_[v];
+    if (d == 0) return;
+    const uint8_t* region = bytes_.data() + vertex_offset_[v];
+    const uint64_t nblocks = NumBlocks(d);
+    for (uint64_t b = 0; b < nblocks; ++b) {
+      const uint8_t* p = region + BlockStart(region, nblocks, b);
+      const uint64_t in_block =
+          (b + 1 < nblocks) ? block_size_ : d - b * block_size_;
+      int64_t running =
+          static_cast<int64_t>(v) + DecodeZigzag(&p);
+      fn(static_cast<NodeId>(running));
+      for (uint64_t k = 1; k < in_block; ++k) {
+        running += static_cast<int64_t>(DecodeVarint(&p));
+        fn(static_cast<NodeId>(running));
+      }
+    }
+  }
+
+  /// Applies fn(u, v) over every directed edge, parallel over vertices.
+  template <typename F>
+  void MapEdges(F&& fn) const {
+    ParallelFor(
+        0, num_vertices_,
+        [&](uint64_t u) {
+          MapNeighbors(static_cast<NodeId>(u),
+                       [&](NodeId v) { fn(static_cast<NodeId>(u), v); });
+        },
+        /*grain=*/64);
+  }
+
+  template <typename F>
+  void MapVertices(F&& fn) const {
+    ParallelFor(0, num_vertices_,
+                [&](uint64_t v) { fn(static_cast<NodeId>(v)); });
+  }
+
+  /// Total footprint: byte stream + offsets + degree array.
+  uint64_t SizeBytes() const {
+    return bytes_.size() + vertex_offset_.size() * sizeof(uint64_t) +
+           degrees_.size() * sizeof(NodeId);
+  }
+
+  /// Bytes of the encoded neighbor stream alone.
+  uint64_t EncodedBytes() const { return bytes_.size(); }
+
+ private:
+  uint64_t NumBlocks(uint64_t degree) const {
+    return (degree + block_size_ - 1) / block_size_;
+  }
+
+  // Byte offset (relative to `region`) where block b starts. Block 0 begins
+  // right after the (nblocks-1)-entry uint32 offset table.
+  static uint64_t BlockStart(const uint8_t* region, uint64_t nblocks,
+                             uint64_t b) {
+    if (b == 0) return 4 * (nblocks - 1);
+    uint32_t off;
+    std::memcpy(&off, region + 4 * (b - 1), 4);
+    return off;
+  }
+
+  static uint64_t DecodeVarint(const uint8_t** p) {
+    uint64_t out = 0;
+    int shift = 0;
+    for (;;) {
+      uint8_t byte = *(*p)++;
+      out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return out;
+  }
+
+  static int64_t DecodeZigzag(const uint8_t** p) {
+    uint64_t u = DecodeVarint(p);
+    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+  }
+
+  static int VarintSize(uint64_t v) {
+    int size = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++size;
+    }
+    return size;
+  }
+
+  static void EncodeVarint(uint64_t v, uint8_t** p) {
+    while (v >= 0x80) {
+      *(*p)++ = static_cast<uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    *(*p)++ = static_cast<uint8_t>(v);
+  }
+
+  static uint64_t Zigzag(int64_t v) {
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+  }
+
+  NodeId num_vertices_ = 0;
+  EdgeId num_directed_edges_ = 0;
+  uint32_t block_size_ = 64;
+  std::vector<NodeId> degrees_;
+  std::vector<uint64_t> vertex_offset_;  // size n+1, into bytes_
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_COMPRESSED_H_

@@ -1,0 +1,67 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "parallel/scan.h"
+
+namespace lightne {
+
+CsrGraph CsrGraph::FromCleanEdgeList(const EdgeList& list) {
+  CsrGraph g;
+  g.num_vertices_ = list.num_vertices;
+  const uint64_t e = list.edges.size();
+  g.offsets_.assign(static_cast<size_t>(g.num_vertices_) + 1, 0);
+  // The list is sorted by src, so degrees can be counted then scanned, and
+  // the scatter is a straight parallel copy.
+  std::vector<uint64_t> degree(g.num_vertices_, 0);
+  {
+    std::vector<std::atomic<uint64_t>> deg(g.num_vertices_);
+    ParallelFor(0, e, [&](uint64_t i) {
+      const auto [u, v] = list.edges[i];
+      LIGHTNE_CHECK_LT(u, g.num_vertices_);
+      LIGHTNE_CHECK_LT(v, g.num_vertices_);
+      deg[u].fetch_add(1, std::memory_order_relaxed);
+    });
+    ParallelFor(0, g.num_vertices_, [&](uint64_t v) {
+      degree[v] = deg[v].load(std::memory_order_relaxed);
+    });
+  }
+  ParallelFor(0, g.num_vertices_,
+              [&](uint64_t v) { g.offsets_[v + 1] = degree[v]; });
+  // offsets_[0] stays 0; inclusive scan over the remainder.
+  ParallelScanExclusive(g.offsets_.data() + 1, g.num_vertices_);
+  ParallelFor(0, g.num_vertices_, [&](uint64_t v) {
+    g.offsets_[v + 1] += degree[v];
+  });
+  LIGHTNE_CHECK_EQ(g.offsets_[g.num_vertices_], e);
+
+  g.neighbors_.resize(e);
+  ParallelFor(0, e, [&](uint64_t i) { g.neighbors_[i] = list.edges[i].second; });
+#ifndef NDEBUG
+  // Clean input implies sorted rows; verify in debug builds.
+  g.MapVertices([&](NodeId v) {
+    auto nbrs = g.Neighbors(v);
+    LIGHTNE_CHECK(std::is_sorted(nbrs.begin(), nbrs.end()));
+  });
+#endif
+  return g;
+}
+
+CsrGraph CsrGraph::FromEdges(EdgeList list) {
+  SymmetrizeAndClean(&list);
+  return FromCleanEdgeList(list);
+}
+
+EdgeList CsrGraph::ToEdgeList() const {
+  EdgeList list;
+  list.num_vertices = num_vertices_;
+  list.edges.resize(neighbors_.size());
+  ParallelFor(0, num_vertices_, [&](uint64_t u) {
+    for (uint64_t k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+      list.edges[k] = {static_cast<NodeId>(u), neighbors_[k]};
+    }
+  });
+  return list;
+}
+
+}  // namespace lightne

@@ -1,0 +1,103 @@
+// Uncompressed CSR graph: the baseline representation. Symmetric (every edge
+// stored in both directions), unweighted, neighbor lists sorted ascending.
+#ifndef LIGHTNE_GRAPH_CSR_H_
+#define LIGHTNE_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "graph/types.h"
+#include "parallel/parallel_for.h"
+#include "util/check.h"
+
+namespace lightne {
+
+/// Compressed-sparse-row adjacency structure with O(1) i-th neighbor access.
+/// Satisfies the GraphView interface used by all algorithms (see
+/// graph/graph_view.h).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from a *clean* edge list: symmetric, sorted, no duplicates, no
+  /// self loops (see SymmetrizeAndClean). CHECK-fails on out-of-range ids.
+  static CsrGraph FromCleanEdgeList(const EdgeList& list);
+
+  /// Convenience: symmetrizes/cleans a copy of `list`, then builds.
+  static CsrGraph FromEdges(EdgeList list);
+
+  NodeId NumVertices() const { return num_vertices_; }
+
+  /// Number of directed edges stored (= 2m for an undirected graph with m
+  /// undirected edges).
+  EdgeId NumDirectedEdges() const { return neighbors_.size(); }
+
+  /// Number of undirected edges m.
+  EdgeId NumUndirectedEdges() const { return neighbors_.size() / 2; }
+
+  /// vol(G) = sum of degrees = 2m.
+  double Volume() const { return static_cast<double>(NumDirectedEdges()); }
+
+  uint64_t Degree(NodeId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// The i-th neighbor of v (0-based, sorted ascending). O(1).
+  NodeId Neighbor(NodeId v, uint64_t i) const {
+    return neighbors_[offsets_[v] + i];
+  }
+
+  /// Neighbor list of v as a contiguous span.
+  std::span<const NodeId> Neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v], Degree(v)};
+  }
+
+  /// Applies fn(neighbor) over v's neighbors, sequentially.
+  template <typename F>
+  void MapNeighbors(NodeId v, F&& fn) const {
+    for (NodeId u : Neighbors(v)) fn(u);
+  }
+
+  /// Applies fn(u, v) over every directed edge, in parallel over vertices.
+  template <typename F>
+  void MapEdges(F&& fn) const {
+    ParallelFor(
+        0, num_vertices_,
+        [&](uint64_t u) {
+          for (NodeId v : Neighbors(static_cast<NodeId>(u))) {
+            fn(static_cast<NodeId>(u), v);
+          }
+        },
+        /*grain=*/64);
+  }
+
+  /// Applies fn(v) over every vertex in parallel.
+  template <typename F>
+  void MapVertices(F&& fn) const {
+    ParallelFor(0, num_vertices_,
+                [&](uint64_t v) { fn(static_cast<NodeId>(v)); });
+  }
+
+  /// Bytes used by the offsets + neighbor arrays.
+  uint64_t SizeBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           neighbors_.size() * sizeof(NodeId);
+  }
+
+  /// Exports the graph back to a (clean, symmetric, sorted) edge list.
+  EdgeList ToEdgeList() const;
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<NodeId>& neighbors() const { return neighbors_; }
+
+ private:
+  NodeId num_vertices_ = 0;
+  std::vector<uint64_t> offsets_;   // size num_vertices_ + 1
+  std::vector<NodeId> neighbors_;   // size = #directed edges
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_CSR_H_

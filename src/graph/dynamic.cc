@@ -1,0 +1,36 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+
+#include "parallel/sort.h"
+
+namespace lightne {
+
+const CsrGraph& DynamicGraph::Snapshot() {
+  if (has_snapshot_ && buffer_.empty()) return snapshot_;
+
+  // Clean the delta: symmetrize, sort, dedup, drop self loops.
+  EdgeList delta;
+  delta.num_vertices = num_vertices_;
+  delta.edges = std::move(buffer_);
+  buffer_.clear();
+  SymmetrizeAndClean(&delta);
+
+  // Merge the sorted old snapshot edges with the sorted delta (both clean).
+  EdgeList merged;
+  merged.num_vertices = num_vertices_;
+  merged.edges.reserve(materialized_.edges.size() + delta.edges.size());
+  std::merge(materialized_.edges.begin(), materialized_.edges.end(),
+             delta.edges.begin(), delta.edges.end(),
+             std::back_inserter(merged.edges));
+  merged.edges.erase(std::unique(merged.edges.begin(), merged.edges.end()),
+                     merged.edges.end());
+
+  materialized_ = std::move(merged);
+  snapshot_ = CsrGraph::FromCleanEdgeList(materialized_);
+  has_snapshot_ = true;
+  ++version_;
+  return snapshot_;
+}
+
+}  // namespace lightne

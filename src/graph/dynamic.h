@@ -1,0 +1,62 @@
+// Streaming graph support — the paper's §6 future-work direction and the
+// industry loop its introduction motivates (graphs that receive edges
+// continuously and are re-embedded every few hours).
+//
+// DynamicGraph absorbs edge batches into a buffer and materializes a clean
+// symmetric CSR snapshot on demand. Materialization merges the previous
+// (sorted) snapshot with the sorted batch instead of re-sorting everything,
+// so the amortized cost per update cycle is O(delta log delta + n + m).
+#ifndef LIGHTNE_GRAPH_DYNAMIC_H_
+#define LIGHTNE_GRAPH_DYNAMIC_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace lightne {
+
+class DynamicGraph {
+ public:
+  explicit DynamicGraph(NodeId num_vertices = 0)
+      : num_vertices_(num_vertices) {}
+
+  NodeId NumVertices() const { return num_vertices_; }
+
+  /// Undirected edges currently waiting in the buffer (before dedup).
+  uint64_t BufferedEdges() const { return buffer_.size(); }
+
+  /// Monotone snapshot counter; bumps every time Snapshot() rebuilds.
+  uint64_t version() const { return version_; }
+
+  /// Queues an undirected edge. Vertex ids beyond the current universe grow
+  /// it. Self loops are accepted here and dropped at materialization.
+  void AddEdge(NodeId u, NodeId v) {
+    buffer_.emplace_back(u, v);
+    if (u >= num_vertices_) num_vertices_ = u + 1;
+    if (v >= num_vertices_) num_vertices_ = v + 1;
+  }
+
+  /// Queues a batch.
+  void AddEdges(const std::vector<std::pair<NodeId, NodeId>>& batch) {
+    for (const auto& [u, v] : batch) AddEdge(u, v);
+  }
+
+  /// Current clean symmetric CSR snapshot. Rebuilds only if edges were added
+  /// since the last call; otherwise returns the cached snapshot.
+  const CsrGraph& Snapshot();
+
+ private:
+  NodeId num_vertices_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> buffer_;
+  EdgeList materialized_;  // clean symmetric sorted edges of the snapshot
+  CsrGraph snapshot_;
+  uint64_t version_ = 0;
+  bool has_snapshot_ = false;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_DYNAMIC_H_

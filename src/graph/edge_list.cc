@@ -1,0 +1,39 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "parallel/sort.h"
+
+namespace lightne {
+
+void Symmetrize(EdgeList* list) {
+  const size_t n = list->edges.size();
+  list->edges.resize(2 * n);
+  ParallelFor(0, n, [&](uint64_t i) {
+    const auto [u, v] = list->edges[i];
+    list->edges[n + i] = {v, u};
+  });
+}
+
+void SortDedup(EdgeList* list, bool drop_self_loops) {
+  auto& edges = list->edges;
+  ParallelSort(edges.data(), edges.size());
+  const uint64_t n = edges.size();
+  auto kept = ParallelPack<std::pair<NodeId, NodeId>>(
+      n,
+      [&](uint64_t i) {
+        if (drop_self_loops && edges[i].first == edges[i].second) return false;
+        return i == 0 || edges[i] != edges[i - 1];
+      },
+      [&](uint64_t i) { return edges[i]; });
+  edges = std::move(kept);
+}
+
+void SymmetrizeAndClean(EdgeList* list) {
+  Symmetrize(list);
+  SortDedup(list);
+}
+
+}  // namespace lightne

@@ -1,0 +1,35 @@
+// Edge-list staging format: the interchange representation produced by
+// generators and file loaders and consumed by the CSR builder.
+#ifndef LIGHTNE_GRAPH_EDGE_LIST_H_
+#define LIGHTNE_GRAPH_EDGE_LIST_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace lightne {
+
+/// A list of directed (src, dst) pairs plus a vertex-count bound. All graphs
+/// in this system are unweighted and, once built, symmetric.
+struct EdgeList {
+  NodeId num_vertices = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  void Add(NodeId u, NodeId v) { edges.emplace_back(u, v); }
+};
+
+/// Adds the reverse of every edge (u,v) -> (v,u). Self loops are added once.
+void Symmetrize(EdgeList* list);
+
+/// Sorts edges by (src, dst) and removes duplicates and self loops, in
+/// parallel. After SymmetrizeAndClean the list describes a simple undirected
+/// graph with both directions present.
+void SortDedup(EdgeList* list, bool drop_self_loops = true);
+
+/// Symmetrize + SortDedup in one call.
+void SymmetrizeAndClean(EdgeList* list);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_EDGE_LIST_H_

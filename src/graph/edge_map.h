@@ -1,0 +1,116 @@
+// Ligra's EdgeMap with direction optimization (Shun & Blelloch, PPoPP'13),
+// generic over raw-CSR and compressed graphs — the traversal primitive of
+// the parallel graph-processing substrate.
+//
+// EdgeMap(g, frontier, update, cond) applies update(u, v) over edges (u, v)
+// with u in the frontier and cond(v) true, and returns the subset of targets
+// for which update returned true. When the frontier (plus its out-degrees)
+// is large, traversal switches from sparse push to dense pull, where each
+// candidate target scans its in-neighbors and stops at the first hit
+// (update_once semantics). `update` must be safe under concurrent invocation
+// (use CAS, as in BFS parent-setting).
+#ifndef LIGHTNE_GRAPH_EDGE_MAP_H_
+#define LIGHTNE_GRAPH_EDGE_MAP_H_
+
+#include <atomic>
+#include <memory>
+
+#include "graph/graph_view.h"
+#include "graph/vertex_subset.h"
+
+namespace lightne {
+
+struct EdgeMapOptions {
+  /// Switch to dense traversal when frontier size + frontier out-degrees
+  /// exceeds directed-edge-count / denominator (Ligra's default is 20).
+  uint64_t dense_denominator = 20;
+  /// Force one direction (for testing): 0 auto, 1 sparse, 2 dense.
+  int force_direction = 0;
+};
+
+template <GraphView G, typename Update, typename Cond>
+VertexSubset EdgeMap(const G& g, VertexSubset& frontier, Update&& update,
+                     Cond&& cond, const EdgeMapOptions& opt = {}) {
+  const NodeId n = g.NumVertices();
+  LIGHTNE_CHECK_EQ(frontier.universe(), n);
+
+  bool dense = opt.force_direction == 2;
+  if (opt.force_direction == 0) {
+    frontier.is_sparse() ? void() : frontier.Sparsify();
+    uint64_t work = frontier.Size();
+    for (NodeId u : frontier.sparse_ids()) work += g.Degree(u);
+    dense = work > g.NumDirectedEdges() / opt.dense_denominator;
+  }
+
+  std::vector<std::atomic<uint8_t>> out(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    out[v].store(0, std::memory_order_relaxed);
+  });
+
+  if (dense) {
+    frontier.Densify();
+    const auto& in_frontier = frontier.dense_flags();
+    // Pull: each candidate target scans in-neighbors (graphs here are
+    // symmetric, so in-neighbors == out-neighbors) and stops at the first
+    // successful update.
+    ParallelFor(
+        0, n,
+        [&](uint64_t vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          if (!cond(v)) return;
+          bool done = false;
+          g.MapNeighbors(v, [&](NodeId u) {
+            if (done || !in_frontier[u]) return;
+            if (update(u, v)) {
+              out[v].store(1, std::memory_order_relaxed);
+              done = true;
+            }
+          });
+        },
+        /*grain=*/64);
+  } else {
+    frontier.Sparsify();
+    const auto& ids = frontier.sparse_ids();
+    // Push: map over frontier vertices' out-edges.
+    ParallelFor(
+        0, ids.size(),
+        [&](uint64_t i) {
+          const NodeId u = ids[i];
+          g.MapNeighbors(u, [&](NodeId v) {
+            if (cond(v) && update(u, v)) {
+              out[v].store(1, std::memory_order_relaxed);
+            }
+          });
+        },
+        /*grain=*/8);
+  }
+
+  std::vector<uint8_t> flags(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    flags[v] = out[v].load(std::memory_order_relaxed);
+  });
+  return VertexSubset(n, std::move(flags));
+}
+
+/// Applies fn(v) to every member of the subset and returns the members for
+/// which fn returned true.
+template <typename F>
+VertexSubset VertexFilter(const VertexSubset& subset, F&& fn) {
+  const NodeId n = subset.universe();
+  std::vector<std::atomic<uint8_t>> keep(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    keep[v].store(0, std::memory_order_relaxed);
+  });
+  subset.Map([&](NodeId v) {
+    if (fn(v)) keep[v].store(1, std::memory_order_relaxed);
+  });
+  std::vector<uint8_t> flags(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    flags[v] = keep[v].load(std::memory_order_relaxed);
+  });
+  return VertexSubset(n, std::move(flags));
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_EDGE_MAP_H_

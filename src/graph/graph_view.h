@@ -1,0 +1,29 @@
+// The GraphView concept: the structural interface shared by CsrGraph and
+// CompressedGraph. Algorithms (path sampling, Laplacian ops, baselines) are
+// templates over any GraphView, exactly as GBBS algorithms are generic over
+// compressed and uncompressed representations.
+#ifndef LIGHTNE_GRAPH_GRAPH_VIEW_H_
+#define LIGHTNE_GRAPH_GRAPH_VIEW_H_
+
+#include <concepts>
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace lightne {
+
+template <typename G>
+concept GraphView = requires(const G& g, NodeId v, uint64_t i) {
+  { g.NumVertices() } -> std::convertible_to<NodeId>;
+  { g.NumDirectedEdges() } -> std::convertible_to<EdgeId>;
+  { g.Volume() } -> std::convertible_to<double>;
+  { g.Degree(v) } -> std::convertible_to<uint64_t>;
+  { g.Neighbor(v, i) } -> std::convertible_to<NodeId>;
+  g.MapNeighbors(v, [](NodeId) {});
+  g.MapEdges([](NodeId, NodeId) {});
+  g.MapVertices([](NodeId) {});
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_GRAPH_VIEW_H_

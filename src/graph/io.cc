@@ -1,0 +1,148 @@
+#include "graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace lightne {
+
+namespace {
+constexpr uint64_t kBinaryMagic = 0x4c4e4547524e31ull;  // "LNEGRN1"
+}  // namespace
+
+Result<EdgeList> LoadEdgeListText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  EdgeList list;
+  char line[512];
+  NodeId max_id = 0;
+  bool declared_nodes = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '%') {
+      unsigned long long n = 0;
+      if (std::sscanf(line, "# nodes: %llu", &n) == 1 ||
+          std::sscanf(line, "# Nodes: %llu", &n) == 1) {
+        list.num_vertices = static_cast<NodeId>(n);
+        declared_nodes = true;
+      }
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    if (std::sscanf(line, "%llu %llu", &u, &v) != 2) continue;
+    if (u > 0xffffffffull || v > 0xffffffffull) {
+      std::fclose(f);
+      return Status::OutOfRange("vertex id exceeds 32 bits in " + path);
+    }
+    list.Add(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (u > max_id) max_id = static_cast<NodeId>(u);
+    if (v > max_id) max_id = static_cast<NodeId>(v);
+  }
+  std::fclose(f);
+  if (!declared_nodes) {
+    list.num_vertices = list.edges.empty() ? 0 : max_id + 1;
+  }
+  return list;
+}
+
+Status SaveEdgeListText(const EdgeList& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "# nodes: %" PRIu64 "\n",
+               static_cast<uint64_t>(list.num_vertices));
+  for (const auto& [u, v] : list.edges) {
+    std::fprintf(f, "%u %u\n", u, v);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<EdgeList> LoadEdgeListBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t header[3];
+  if (std::fread(header, sizeof(uint64_t), 3, f) != 3 ||
+      header[0] != kBinaryMagic) {
+    std::fclose(f);
+    return Status::IOError("bad header in " + path);
+  }
+  EdgeList list;
+  list.num_vertices = static_cast<NodeId>(header[1]);
+  const uint64_t m = header[2];
+  list.edges.resize(m);
+  static_assert(sizeof(list.edges[0]) == 8);
+  if (m > 0 && std::fread(list.edges.data(), 8, m, f) != m) {
+    std::fclose(f);
+    return Status::IOError("truncated edge data in " + path);
+  }
+  std::fclose(f);
+  return list;
+}
+
+Result<WeightedEdgeList> LoadWeightedEdgeListText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  WeightedEdgeList list;
+  char line[512];
+  NodeId max_id = 0;
+  bool declared_nodes = false;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '#' || line[0] == '%') {
+      unsigned long long n = 0;
+      if (std::sscanf(line, "# nodes: %llu", &n) == 1) {
+        list.num_vertices = static_cast<NodeId>(n);
+        declared_nodes = true;
+      }
+      continue;
+    }
+    unsigned long long u = 0, v = 0;
+    float w = 1.0f;
+    const int fields = std::sscanf(line, "%llu %llu %f", &u, &v, &w);
+    if (fields < 2) continue;
+    if (fields == 2) w = 1.0f;
+    if (u > 0xffffffffull || v > 0xffffffffull) {
+      std::fclose(f);
+      return Status::OutOfRange("vertex id exceeds 32 bits in " + path);
+    }
+    if (w <= 0) {
+      std::fclose(f);
+      return Status::InvalidArgument("non-positive edge weight in " + path);
+    }
+    list.Add(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
+    if (u > max_id) max_id = static_cast<NodeId>(u);
+    if (v > max_id) max_id = static_cast<NodeId>(v);
+  }
+  std::fclose(f);
+  if (!declared_nodes) {
+    list.num_vertices = list.edges.empty() ? 0 : max_id + 1;
+  }
+  return list;
+}
+
+Status SaveWeightedEdgeListText(const WeightedEdgeList& list,
+                                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "# nodes: %" PRIu64 "\n",
+               static_cast<uint64_t>(list.num_vertices));
+  for (const auto& [u, v, w] : list.edges) {
+    std::fprintf(f, "%u %u %.6g\n", u, v, w);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint64_t header[3] = {kBinaryMagic, list.num_vertices,
+                              list.edges.size()};
+  bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
+  if (ok && !list.edges.empty()) {
+    ok = std::fwrite(list.edges.data(), 8, list.edges.size(), f) ==
+         list.edges.size();
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+}
+
+}  // namespace lightne

@@ -1,0 +1,34 @@
+// Graph persistence: whitespace-separated edge-list text files (the format
+// used by SNAP/WDC dumps the paper loads) and a compact binary format.
+#ifndef LIGHTNE_GRAPH_IO_H_
+#define LIGHTNE_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "graph/weighted_csr.h"
+#include "util/status.h"
+
+namespace lightne {
+
+/// Reads "u v" pairs, one per line; '#' or '%' lines are comments. Vertex
+/// count is max id + 1 unless the file declares "# nodes: N".
+Result<EdgeList> LoadEdgeListText(const std::string& path);
+
+/// Writes one "u v" line per edge.
+Status SaveEdgeListText(const EdgeList& list, const std::string& path);
+
+/// Binary format: magic, num_vertices, num_edges, raw (u,v) pairs.
+Result<EdgeList> LoadEdgeListBinary(const std::string& path);
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path);
+
+/// Reads "u v w" triples (weight optional per line; defaults to 1.0).
+Result<WeightedEdgeList> LoadWeightedEdgeListText(const std::string& path);
+
+/// Writes one "u v w" line per edge.
+Status SaveWeightedEdgeListText(const WeightedEdgeList& list,
+                                const std::string& path);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_IO_H_

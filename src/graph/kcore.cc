@@ -1,0 +1,60 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+namespace lightne {
+
+KCoreResult KCoreDecomposition(const CsrGraph& g) {
+  const NodeId n = g.NumVertices();
+  KCoreResult result;
+  result.coreness.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket sort vertices by degree.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(g.Degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  std::vector<uint64_t> bucket_start(max_degree + 2, 0);
+  for (NodeId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    bucket_start[d + 1] += bucket_start[d];
+  }
+  std::vector<NodeId> order(n);      // vertices sorted by current degree
+  std::vector<uint64_t> position(n); // index of each vertex inside `order`
+  {
+    std::vector<uint64_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+  // bucket_start[d] = first index in `order` of a vertex with degree >= d.
+  // Peel in degree order; decrementing a neighbor's degree swaps it one
+  // bucket down in O(1).
+  for (uint64_t i = 0; i < n; ++i) {
+    const NodeId v = order[i];
+    const uint32_t dv = degree[v];
+    result.coreness[v] = dv;
+    result.max_core = std::max(result.max_core, dv);
+    for (NodeId u : g.Neighbors(v)) {
+      if (degree[u] <= dv) continue;  // already peeled or same bucket floor
+      const uint32_t du = degree[u];
+      // Swap u with the first element of its bucket, then shrink the bucket.
+      const uint64_t first = bucket_start[du];
+      const NodeId w = order[first];
+      if (w != u) {
+        std::swap(order[first], order[position[u]]);
+        std::swap(position[w], position[u]);
+      }
+      ++bucket_start[du];
+      --degree[u];
+    }
+  }
+  return result;
+}
+
+}  // namespace lightne

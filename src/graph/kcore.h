@@ -1,0 +1,26 @@
+// k-core decomposition (coreness of every vertex) by bucket peeling — one
+// of the canonical GBBS workloads, useful here for dataset diagnostics
+// (community stand-ins should show the core structure of their real
+// counterparts).
+#ifndef LIGHTNE_GRAPH_KCORE_H_
+#define LIGHTNE_GRAPH_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace lightne {
+
+struct KCoreResult {
+  std::vector<uint32_t> coreness;  // per vertex
+  uint32_t max_core = 0;
+};
+
+/// O(m) peeling (Batagelj–Zaveršnik bucket algorithm).
+KCoreResult KCoreDecomposition(const CsrGraph& g);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_KCORE_H_

@@ -1,0 +1,33 @@
+// Random-walk primitives over any GraphView. A step samples a uniformly
+// random incident edge of the current vertex via Neighbor(v, i) — O(1) on
+// raw CSR, O(block) on the parallel-byte compressed format (§4.2). We use an
+// unbiased bounded draw rather than the paper's `rand32 % degree` (which has
+// negligible modulo bias at graph scale but is avoidable for free here).
+#ifndef LIGHTNE_GRAPH_RANDOM_WALK_H_
+#define LIGHTNE_GRAPH_RANDOM_WALK_H_
+
+#include "graph/graph_view.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+/// One uniform step from v. v must have degree >= 1 (always true for
+/// endpoints of edges in a symmetric graph).
+template <GraphView G>
+NodeId RandomNeighbor(const G& g, NodeId v, Rng& rng) {
+  const uint64_t d = g.Degree(v);
+  LIGHTNE_CHECK_GT(d, 0u);
+  return g.Neighbor(v, rng.UniformInt(d));
+}
+
+/// Walks `steps` uniform steps from v and returns the endpoint.
+template <GraphView G>
+NodeId RandomWalk(const G& g, NodeId v, uint64_t steps, Rng& rng) {
+  for (uint64_t s = 0; s < steps; ++s) v = RandomNeighbor(g, v, rng);
+  return v;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_RANDOM_WALK_H_

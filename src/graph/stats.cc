@@ -1,0 +1,123 @@
+#include "graph/stats.h"
+
+#include <atomic>
+
+#include "parallel/atomics.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+
+namespace lightne {
+
+namespace {
+
+// Lock-free union-find over atomic parents (standard concurrent CRCW
+// union-by-CAS with path halving; linearizable enough for CC since unions
+// are retried until the roots agree).
+NodeId Find(std::vector<std::atomic<NodeId>>& parent, NodeId x) {
+  while (true) {
+    NodeId p = parent[x].load(std::memory_order_relaxed);
+    if (p == x) return x;
+    NodeId gp = parent[p].load(std::memory_order_relaxed);
+    if (p == gp) return p;
+    parent[x].compare_exchange_weak(p, gp, std::memory_order_relaxed);
+    x = gp;
+  }
+}
+
+void Union(std::vector<std::atomic<NodeId>>& parent, NodeId a, NodeId b) {
+  while (true) {
+    a = Find(parent, a);
+    b = Find(parent, b);
+    if (a == b) return;
+    if (a < b) std::swap(a, b);  // root toward smaller id for determinism
+    NodeId expected = a;
+    if (parent[a].compare_exchange_strong(expected, b,
+                                          std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> ConnectedComponents(const CsrGraph& g,
+                                        NodeId* num_components) {
+  const NodeId n = g.NumVertices();
+  std::vector<std::atomic<NodeId>> parent(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    parent[v].store(static_cast<NodeId>(v), std::memory_order_relaxed);
+  });
+  g.MapEdges([&](NodeId u, NodeId v) {
+    if (u < v) Union(parent, u, v);
+  });
+  std::vector<NodeId> root(n);
+  ParallelFor(0, n, [&](uint64_t v) {
+    root[v] = Find(parent, static_cast<NodeId>(v));
+  });
+  // Relabel roots to dense component ids.
+  std::vector<NodeId> label(n, 0);
+  std::atomic<NodeId> next{0};
+  ParallelFor(0, n, [&](uint64_t v) {
+    if (root[v] == v) {
+      label[v] = next.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::vector<NodeId> out(n);
+  ParallelFor(0, n, [&](uint64_t v) { out[v] = label[root[v]]; });
+  if (num_components != nullptr) {
+    *num_components = next.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+GraphStats ComputeStats(const CsrGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.NumVertices();
+  s.num_undirected_edges = g.NumUndirectedEdges();
+  const NodeId n = g.NumVertices();
+  s.max_degree =
+      ParallelMax<uint64_t>(0, n, 0, [&](uint64_t v) {
+        return g.Degree(static_cast<NodeId>(v));
+      });
+  s.avg_degree = n == 0 ? 0 : g.Volume() / static_cast<double>(n);
+  s.num_isolated = static_cast<NodeId>(ParallelSum<uint64_t>(
+      0, n,
+      [&](uint64_t v) { return g.Degree(static_cast<NodeId>(v)) == 0 ? 1 : 0; }));
+
+  NodeId num_components = 0;
+  std::vector<NodeId> comp = ConnectedComponents(g, &num_components);
+  s.num_components = num_components;
+  std::vector<std::atomic<NodeId>> size(num_components);
+  ParallelFor(0, num_components, [&](uint64_t c) {
+    size[c].store(0, std::memory_order_relaxed);
+  });
+  ParallelFor(0, n, [&](uint64_t v) {
+    size[comp[v]].fetch_add(1, std::memory_order_relaxed);
+  });
+  s.largest_component = ParallelMax<NodeId>(0, num_components, 0, [&](uint64_t c) {
+    return size[c].load(std::memory_order_relaxed);
+  });
+  return s;
+}
+
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g) {
+  const NodeId n = g.NumVertices();
+  uint64_t max_degree = ParallelMax<uint64_t>(0, n, 0, [&](uint64_t v) {
+    return g.Degree(static_cast<NodeId>(v));
+  });
+  std::vector<std::atomic<uint64_t>> hist(max_degree + 1);
+  ParallelFor(0, max_degree + 1, [&](uint64_t d) {
+    hist[d].store(0, std::memory_order_relaxed);
+  });
+  ParallelFor(0, n, [&](uint64_t v) {
+    hist[g.Degree(static_cast<NodeId>(v))].fetch_add(
+        1, std::memory_order_relaxed);
+  });
+  std::vector<uint64_t> out(max_degree + 1);
+  ParallelFor(0, max_degree + 1, [&](uint64_t d) {
+    out[d] = hist[d].load(std::memory_order_relaxed);
+  });
+  return out;
+}
+
+}  // namespace lightne

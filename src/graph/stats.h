@@ -1,0 +1,37 @@
+// Structural statistics used by the dataset-inventory bench (Table 3) and by
+// sanity checks in the generators' tests.
+#ifndef LIGHTNE_GRAPH_STATS_H_
+#define LIGHTNE_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace lightne {
+
+struct GraphStats {
+  NodeId num_vertices = 0;
+  EdgeId num_undirected_edges = 0;
+  uint64_t max_degree = 0;
+  double avg_degree = 0;
+  NodeId num_isolated = 0;
+  NodeId num_components = 0;
+  NodeId largest_component = 0;
+};
+
+/// Computes degree statistics and connected components (union-find).
+GraphStats ComputeStats(const CsrGraph& g);
+
+/// Component id per vertex (union-find with path halving, processed over all
+/// edges in parallel; ids are canonical roots relabelled to 0..k-1).
+std::vector<NodeId> ConnectedComponents(const CsrGraph& g,
+                                        NodeId* num_components = nullptr);
+
+/// Degree histogram: hist[d] = #vertices of degree d (capped at max_degree).
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_STATS_H_

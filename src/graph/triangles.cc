@@ -1,0 +1,55 @@
+#include "graph/triangles.h"
+
+#include <algorithm>
+
+#include "parallel/reduce.h"
+
+namespace lightne {
+
+TriangleResult CountTriangles(const CsrGraph& g) {
+  const NodeId n = g.NumVertices();
+  TriangleResult result;
+  // Count each triangle {u < v < w} once: for each edge (u, v) with u < v,
+  // intersect the tails of u's and v's sorted adjacency above v.
+  result.triangles = ParallelSum<uint64_t>(
+      0, n,
+      [&](uint64_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        auto nu = g.Neighbors(u);
+        uint64_t count = 0;
+        for (size_t k = 0; k < nu.size(); ++k) {
+          const NodeId v = nu[k];
+          if (v <= u) continue;
+          auto nv = g.Neighbors(v);
+          // Two-pointer intersection of {w in N(u) : w > v} and
+          // {w in N(v) : w > v}.
+          auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+          auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+          while (iu != nu.end() && iv != nv.end()) {
+            if (*iu < *iv) {
+              ++iu;
+            } else if (*iv < *iu) {
+              ++iv;
+            } else {
+              ++count;
+              ++iu;
+              ++iv;
+            }
+          }
+        }
+        return count;
+      },
+      /*grain=*/16);
+  result.wedges = ParallelSum<uint64_t>(0, n, [&](uint64_t v) {
+    const uint64_t d = g.Degree(static_cast<NodeId>(v));
+    return d * (d - 1) / 2;
+  });
+  result.global_clustering =
+      result.wedges > 0
+          ? 3.0 * static_cast<double>(result.triangles) /
+                static_cast<double>(result.wedges)
+          : 0.0;
+  return result;
+}
+
+}  // namespace lightne

@@ -1,0 +1,26 @@
+// Parallel triangle counting by oriented adjacency intersection — the other
+// canonical GBBS workload; also yields the global clustering coefficient
+// used to sanity-check that the link-prediction dataset stand-ins are
+// genuinely clustered (DESIGN.md §1).
+#ifndef LIGHTNE_GRAPH_TRIANGLES_H_
+#define LIGHTNE_GRAPH_TRIANGLES_H_
+
+#include <cstdint>
+
+#include "graph/csr.h"
+
+namespace lightne {
+
+struct TriangleResult {
+  uint64_t triangles = 0;
+  uint64_t wedges = 0;  // paths of length 2 (ordered centers)
+  /// 3 * triangles / wedges, in [0, 1]; 0 when there are no wedges.
+  double global_clustering = 0;
+};
+
+/// Counts triangles once each (by ascending-id orientation) in parallel.
+TriangleResult CountTriangles(const CsrGraph& g);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_TRIANGLES_H_

@@ -1,0 +1,29 @@
+// Fundamental graph types. Vertex ids are 32-bit (the paper's largest graph
+// has 1.7B vertices; ours fit comfortably), edge counts are 64-bit.
+#ifndef LIGHTNE_GRAPH_TYPES_H_
+#define LIGHTNE_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace lightne {
+
+using NodeId = uint32_t;
+using EdgeId = uint64_t;
+
+/// An (ordered) vertex pair packed into one 64-bit key — the key type of the
+/// sparsifier hash table.
+inline uint64_t PackEdge(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | static_cast<uint64_t>(v);
+}
+
+inline NodeId PackedSrc(uint64_t key) {
+  return static_cast<NodeId>(key >> 32);
+}
+
+inline NodeId PackedDst(uint64_t key) {
+  return static_cast<NodeId>(key & 0xffffffffull);
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_TYPES_H_

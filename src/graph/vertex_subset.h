@@ -1,0 +1,125 @@
+// Ligra-style vertex subsets (Shun & Blelloch, PPoPP'13): the frontier
+// abstraction GBBS builds on. A subset is held either sparse (a list of
+// vertex ids) or dense (a byte per vertex) and converts lazily; EdgeMap
+// (graph/edge_map.h) picks the traversal direction from the representation
+// heuristic.
+#ifndef LIGHTNE_GRAPH_VERTEX_SUBSET_H_
+#define LIGHTNE_GRAPH_VERTEX_SUBSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "parallel/scan.h"
+#include "parallel/sort.h"
+#include "util/check.h"
+
+namespace lightne {
+
+class VertexSubset {
+ public:
+  /// Empty subset over a universe of n vertices.
+  explicit VertexSubset(NodeId universe) : universe_(universe) {}
+
+  /// Sparse subset from explicit ids (need not be sorted; no duplicates).
+  VertexSubset(NodeId universe, std::vector<NodeId> ids)
+      : universe_(universe), sparse_(std::move(ids)), is_sparse_(true) {}
+
+  /// Dense subset from a flag array of size n.
+  VertexSubset(NodeId universe, std::vector<uint8_t> flags)
+      : universe_(universe), dense_(std::move(flags)), is_sparse_(false) {
+    LIGHTNE_CHECK_EQ(dense_.size(), universe_);
+  }
+
+  /// Singleton subset.
+  static VertexSubset Single(NodeId universe, NodeId v) {
+    return VertexSubset(universe, std::vector<NodeId>{v});
+  }
+
+  NodeId universe() const { return universe_; }
+  bool is_sparse() const { return is_sparse_; }
+
+  /// Number of member vertices.
+  uint64_t Size() const {
+    if (is_sparse_) return sparse_.size();
+    return ParallelSum<uint64_t>(0, universe_,
+                                 [&](uint64_t v) { return dense_[v] ? 1 : 0; });
+  }
+
+  bool Empty() const { return Size() == 0; }
+
+  /// Membership test (O(1) dense, O(size) sparse — callers on hot paths
+  /// should densify first).
+  bool Contains(NodeId v) const {
+    if (!is_sparse_) return dense_[v] != 0;
+    for (NodeId u : sparse_) {
+      if (u == v) return true;
+    }
+    return false;
+  }
+
+  /// Converts to the dense representation (idempotent).
+  void Densify() {
+    if (!is_sparse_) return;
+    dense_.assign(universe_, 0);
+    ParallelFor(0, sparse_.size(),
+                [&](uint64_t i) { dense_[sparse_[i]] = 1; });
+    sparse_.clear();
+    is_sparse_ = false;
+  }
+
+  /// Converts to the sparse representation, ids ascending (idempotent).
+  void Sparsify() {
+    if (is_sparse_) return;
+    sparse_ = ParallelPack<NodeId>(
+        universe_, [&](uint64_t v) { return dense_[v] != 0; },
+        [](uint64_t v) { return static_cast<NodeId>(v); });
+    dense_.clear();
+    is_sparse_ = true;
+  }
+
+  /// Member ids, ascending (sparsifies a copy if needed).
+  std::vector<NodeId> ToIds() const {
+    if (is_sparse_) {
+      std::vector<NodeId> ids = sparse_;
+      ParallelSort(ids);
+      return ids;
+    }
+    return ParallelPack<NodeId>(
+        universe_, [&](uint64_t v) { return dense_[v] != 0; },
+        [](uint64_t v) { return static_cast<NodeId>(v); });
+  }
+
+  const std::vector<NodeId>& sparse_ids() const {
+    LIGHTNE_CHECK(is_sparse_);
+    return sparse_;
+  }
+  const std::vector<uint8_t>& dense_flags() const {
+    LIGHTNE_CHECK(!is_sparse_);
+    return dense_;
+  }
+
+  /// Applies fn(v) to every member, in parallel.
+  template <typename F>
+  void Map(F&& fn) const {
+    if (is_sparse_) {
+      ParallelFor(0, sparse_.size(), [&](uint64_t i) { fn(sparse_[i]); });
+    } else {
+      ParallelFor(0, universe_, [&](uint64_t v) {
+        if (dense_[v]) fn(static_cast<NodeId>(v));
+      });
+    }
+  }
+
+ private:
+  NodeId universe_ = 0;
+  std::vector<NodeId> sparse_;
+  std::vector<uint8_t> dense_;
+  bool is_sparse_ = true;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_VERTEX_SUBSET_H_

@@ -1,0 +1,58 @@
+// Weight traits: free functions that let one template implementation of the
+// pipeline serve unweighted (CSR / compressed) and weighted graphs. For an
+// unweighted GraphView every edge has weight 1, the weighted degree is the
+// plain degree, and neighbor sampling is uniform; WeightedCsrGraph overrides
+// all three. Crucially, the unweighted specializations consume the RNG
+// identically to the pre-weighted code, so results on unweighted graphs are
+// unchanged.
+#ifndef LIGHTNE_GRAPH_WEIGHTS_H_
+#define LIGHTNE_GRAPH_WEIGHTS_H_
+
+#include "graph/graph_view.h"
+#include "graph/weighted_csr.h"
+#include "util/random.h"
+
+namespace lightne {
+
+/// d_v = sum_u A_vu (== Degree for unweighted graphs).
+template <GraphView G>
+double VertexWeightedDegree(const G& g, NodeId v) {
+  return static_cast<double>(g.Degree(v));
+}
+inline double VertexWeightedDegree(const WeightedCsrGraph& g, NodeId v) {
+  return g.WeightedDegree(v);
+}
+
+/// Applies fn(neighbor, weight) over v's adjacency.
+template <GraphView G, typename F>
+void MapNeighborsWeighted(const G& g, NodeId v, F&& fn) {
+  g.MapNeighbors(v, [&](NodeId u) { fn(u, 1.0f); });
+}
+template <typename F>
+void MapNeighborsWeighted(const WeightedCsrGraph& g, NodeId v, F&& fn) {
+  g.MapNeighborsWeighted(v, fn);
+}
+
+/// Samples a neighbor of v with probability proportional to edge weight.
+template <GraphView G>
+NodeId SampleNeighborProportional(const G& g, NodeId v, Rng& rng) {
+  return g.Neighbor(v, rng.UniformInt(g.Degree(v)));
+}
+inline NodeId SampleNeighborProportional(const WeightedCsrGraph& g, NodeId v,
+                                         Rng& rng) {
+  return g.SampleNeighbor(v, rng);
+}
+
+/// A weighted random-walk step / walk (degenerates to the uniform walk on
+/// unweighted graphs).
+template <typename G>
+NodeId WeightedRandomWalk(const G& g, NodeId v, uint64_t steps, Rng& rng) {
+  for (uint64_t s = 0; s < steps; ++s) {
+    v = SampleNeighborProportional(g, v, rng);
+  }
+  return v;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_WEIGHTS_H_

@@ -1,0 +1,97 @@
+#include "la/embedding_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace lightne {
+
+namespace {
+constexpr uint64_t kEmbeddingMagic = 0x4c4e45454d4231ull;  // "LNEEMB1"
+}  // namespace
+
+Status SaveEmbeddingText(const Matrix& embedding, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "%" PRIu64 " %" PRIu64 "\n", embedding.rows(),
+               embedding.cols());
+  for (uint64_t i = 0; i < embedding.rows(); ++i) {
+    std::fprintf(f, "%" PRIu64, i);
+    const float* row = embedding.Row(i);
+    for (uint64_t j = 0; j < embedding.cols(); ++j) {
+      std::fprintf(f, " %.6g", row[j]);
+    }
+    std::fputc('\n', f);
+  }
+  const bool ok = std::fflush(f) == 0;
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+}
+
+Result<Matrix> LoadEmbeddingText(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  unsigned long long rows = 0, cols = 0;
+  if (std::fscanf(f, "%llu %llu", &rows, &cols) != 2) {
+    std::fclose(f);
+    return Status::IOError("bad header in " + path);
+  }
+  Matrix m(rows, cols);
+  std::vector<uint8_t> seen(rows, 0);
+  for (uint64_t line = 0; line < rows; ++line) {
+    unsigned long long id = 0;
+    if (std::fscanf(f, "%llu", &id) != 1 || id >= rows) {
+      std::fclose(f);
+      return Status::IOError("bad node id in " + path);
+    }
+    if (seen[id]) {
+      std::fclose(f);
+      return Status::IOError("duplicate node id in " + path);
+    }
+    seen[id] = 1;
+    float* row = m.Row(id);
+    for (uint64_t j = 0; j < cols; ++j) {
+      if (std::fscanf(f, "%f", &row[j]) != 1) {
+        std::fclose(f);
+        return Status::IOError("truncated row in " + path);
+      }
+    }
+  }
+  std::fclose(f);
+  return m;
+}
+
+Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const uint64_t header[3] = {kEmbeddingMagic, embedding.rows(),
+                              embedding.cols()};
+  bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
+  const uint64_t count = embedding.rows() * embedding.cols();
+  if (ok && count > 0) {
+    ok = std::fwrite(embedding.data(), sizeof(float), count, f) == count;
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+}
+
+Result<Matrix> LoadEmbeddingBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t header[3];
+  if (std::fread(header, sizeof(uint64_t), 3, f) != 3 ||
+      header[0] != kEmbeddingMagic) {
+    std::fclose(f);
+    return Status::IOError("bad header in " + path);
+  }
+  Matrix m(header[1], header[2]);
+  const uint64_t count = header[1] * header[2];
+  if (count > 0 && std::fread(m.data(), sizeof(float), count, f) != count) {
+    std::fclose(f);
+    return Status::IOError("truncated data in " + path);
+  }
+  std::fclose(f);
+  return m;
+}
+
+}  // namespace lightne

@@ -1,0 +1,28 @@
+// Embedding persistence in the two formats downstream tooling expects:
+// word2vec-style text ("n d" header then "<id> v1 v2 ..." rows) and a
+// compact binary format.
+#ifndef LIGHTNE_LA_EMBEDDING_IO_H_
+#define LIGHTNE_LA_EMBEDDING_IO_H_
+
+#include <string>
+
+#include "la/matrix.h"
+#include "util/status.h"
+
+namespace lightne {
+
+/// Writes the word2vec text format: header "rows cols", then one line per
+/// node: "<node-id> <v0> <v1> ...".
+Status SaveEmbeddingText(const Matrix& embedding, const std::string& path);
+
+/// Reads the word2vec text format. Node ids may appear in any order; they
+/// must cover exactly [0, rows).
+Result<Matrix> LoadEmbeddingText(const std::string& path);
+
+/// Binary: magic, rows, cols, then rows*cols floats.
+Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path);
+Result<Matrix> LoadEmbeddingBinary(const std::string& path);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_LA_EMBEDDING_IO_H_

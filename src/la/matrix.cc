@@ -1,0 +1,180 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+#include "parallel/parallel_for.h"
+#include "parallel/reduce.h"
+#include "util/random.h"
+
+namespace lightne {
+
+Matrix Matrix::Gaussian(uint64_t rows, uint64_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  ParallelFor(
+      0, rows,
+      [&](uint64_t i) {
+        Rng rng = ItemRng(seed ^ 0x6a55ull, i);
+        float* row = m.Row(i);
+        for (uint64_t j = 0; j < cols; ++j) {
+          row[j] = static_cast<float>(rng.Gaussian());
+        }
+      },
+      /*grain=*/64);
+  return m;
+}
+
+Matrix Matrix::Identity(uint64_t n) {
+  Matrix m(n, n);
+  ParallelFor(0, n, [&](uint64_t i) { m.At(i, i) = 1.0f; });
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sq = ParallelSum<double>(0, rows_, [&](uint64_t i) {
+    const float* row = Row(i);
+    double acc = 0;
+    for (uint64_t j = 0; j < cols_; ++j) {
+      acc += static_cast<double>(row[j]) * row[j];
+    }
+    return acc;
+  });
+  return std::sqrt(sq);
+}
+
+double Matrix::RowNorm(uint64_t i) const {
+  const float* row = Row(i);
+  double acc = 0;
+  for (uint64_t j = 0; j < cols_; ++j) {
+    acc += static_cast<double>(row[j]) * row[j];
+  }
+  return std::sqrt(acc);
+}
+
+void Matrix::Scale(float factor) {
+  ParallelFor(0, data_.size(),
+              [&](uint64_t k) { data_[k] *= factor; },
+              /*grain=*/1 << 16);
+}
+
+void Matrix::ScaleColumns(const std::vector<float>& factor) {
+  LIGHTNE_CHECK_EQ(factor.size(), cols_);
+  ParallelFor(
+      0, rows_,
+      [&](uint64_t i) {
+        float* row = Row(i);
+        for (uint64_t j = 0; j < cols_; ++j) row[j] *= factor[j];
+      },
+      /*grain=*/256);
+}
+
+void Matrix::NormalizeRows() {
+  ParallelFor(
+      0, rows_,
+      [&](uint64_t i) {
+        double norm = RowNorm(i);
+        if (norm <= 0) return;
+        float inv = static_cast<float>(1.0 / norm);
+        float* row = Row(i);
+        for (uint64_t j = 0; j < cols_; ++j) row[j] *= inv;
+      },
+      /*grain=*/256);
+}
+
+Matrix Matrix::FirstColumns(uint64_t k) const {
+  LIGHTNE_CHECK_LE(k, cols_);
+  Matrix out(rows_, k);
+  ParallelFor(
+      0, rows_,
+      [&](uint64_t i) {
+        const float* src = Row(i);
+        float* dst = out.Row(i);
+        for (uint64_t j = 0; j < k; ++j) dst[j] = src[j];
+      },
+      /*grain=*/512);
+  return out;
+}
+
+Matrix Gemm(const Matrix& a, const Matrix& b) {
+  LIGHTNE_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const uint64_t n = b.cols();
+  const uint64_t k = a.cols();
+  ParallelFor(
+      0, a.rows(),
+      [&](uint64_t i) {
+        float* ci = c.Row(i);
+        const float* ai = a.Row(i);
+        for (uint64_t p = 0; p < k; ++p) {
+          const float aip = ai[p];
+          if (aip == 0.0f) continue;
+          const float* bp = b.Row(p);
+          for (uint64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+        }
+      },
+      /*grain=*/16);
+  return c;
+}
+
+Matrix GemmTN(const Matrix& a, const Matrix& b) {
+  LIGHTNE_CHECK_EQ(a.rows(), b.rows());
+  const uint64_t m = a.cols();
+  const uint64_t n = b.cols();
+  const uint64_t rows = a.rows();
+  const int workers = NumWorkers();
+  // Per-worker double accumulators of the full m x n product, merged at the
+  // end. m and n are small (embedding-dimension scale) so this is cheap.
+  std::vector<std::vector<double>> partial(
+      static_cast<size_t>(workers), std::vector<double>(m * n, 0.0));
+  ParallelForWorkers([&](int worker, int total) {
+    std::vector<double>& acc = partial[static_cast<size_t>(worker)];
+    const uint64_t lo = rows * static_cast<uint64_t>(worker) /
+                        static_cast<uint64_t>(total);
+    const uint64_t hi = rows * (static_cast<uint64_t>(worker) + 1) /
+                        static_cast<uint64_t>(total);
+    for (uint64_t r = lo; r < hi; ++r) {
+      const float* ar = a.Row(r);
+      const float* br = b.Row(r);
+      for (uint64_t i = 0; i < m; ++i) {
+        const double ari = ar[i];
+        if (ari == 0.0) continue;
+        double* acc_row = acc.data() + i * n;
+        for (uint64_t j = 0; j < n; ++j) acc_row[j] += ari * br[j];
+      }
+    }
+  });
+  Matrix c(m, n);
+  ParallelFor(0, m * n, [&](uint64_t k) {
+    double sum = 0;
+    for (int w = 0; w < workers; ++w) sum += partial[w][k];
+    c.data()[k] = static_cast<float>(sum);
+  });
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  ParallelFor(
+      0, a.rows(),
+      [&](uint64_t i) {
+        for (uint64_t j = 0; j < a.cols(); ++j) t.At(j, i) = a.At(i, j);
+      },
+      /*grain=*/64);
+  return t;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  LIGHTNE_CHECK_EQ(a.rows(), b.rows());
+  LIGHTNE_CHECK_EQ(a.cols(), b.cols());
+  return ParallelMax<double>(0, a.rows(), 0.0, [&](uint64_t i) {
+    const float* ra = a.Row(i);
+    const float* rb = b.Row(i);
+    double mx = 0;
+    for (uint64_t j = 0; j < a.cols(); ++j) {
+      double d = std::fabs(static_cast<double>(ra[j]) - rb[j]);
+      if (d > mx) mx = d;
+    }
+    return mx;
+  });
+}
+
+}  // namespace lightne

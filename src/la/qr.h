@@ -1,0 +1,28 @@
+// QR factorization / orthonormalization — the LAPACKE_sgeqrf +
+// LAPACKE_sorgqr counterpart used by Algo 3 (lines 4 and 7).
+//
+// Tall-skinny inputs (the only shape the pipeline produces) go through TSQR:
+// independent Householder QRs on row blocks in parallel, a small QR on the
+// stacked R factors, then per-block GEMMs to recover the thin Q.
+#ifndef LIGHTNE_LA_QR_H_
+#define LIGHTNE_LA_QR_H_
+
+#include "la/matrix.h"
+
+namespace lightne {
+
+/// Sequential Householder thin QR of an n x q matrix with n >= q.
+/// On return *a holds the orthonormal Q (n x q); the returned matrix is the
+/// upper-triangular R (q x q). Rank-deficient columns yield zero rows in R
+/// and identity-like columns in Q; Q is always orthonormal.
+Matrix HouseholderQr(Matrix* a);
+
+/// Parallel tall-skinny QR. Same contract as HouseholderQr.
+Matrix TsqrFactorize(Matrix* a);
+
+/// Replaces *a by an orthonormal basis of its column span (discards R).
+void Orthonormalize(Matrix* a);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_LA_QR_H_

@@ -1,0 +1,76 @@
+#include "la/rsvd.h"
+
+#include <cmath>
+
+#include "la/qr.h"
+#include "la/svd.h"
+#include "parallel/parallel_for.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace lightne {
+
+RandomizedSvdResult RandomizedSvd(const SparseMatrix& a,
+                                  const RandomizedSvdOptions& opt) {
+  LIGHTNE_CHECK_EQ(a.rows(), a.cols());
+  const uint64_t n = a.rows();
+  uint64_t q = opt.rank + opt.oversample;
+  if (q > n) q = n;
+  LIGHTNE_CHECK_GE(q, opt.rank);
+
+  const SparseMatrix* at = &a;
+  SparseMatrix at_storage;
+  if (!opt.symmetric) {
+    at_storage = a.Transposed();
+    at = &at_storage;
+  }
+
+  // Line 2: sample Gaussian random matrices O and P.   // vsRngGaussian
+  Matrix o = Matrix::Gaussian(n, q, opt.seed);
+  Matrix p = Matrix::Gaussian(q, q, opt.seed + 1);
+
+  // Line 3: Y = A^T O.                                  // mkl_sparse_s_mm
+  Matrix y = at->Multiply(o);
+  // Line 4: orthonormalize Y.         // LAPACKE_sgeqrf, LAPACKE_sorgqr
+  Orthonormalize(&y);
+
+  // Optional subspace (power) iterations for tougher spectra.
+  for (uint64_t it = 0; it < opt.power_iters; ++it) {
+    Matrix z = a.Multiply(y);
+    Orthonormalize(&z);
+    y = at->Multiply(z);
+    Orthonormalize(&y);
+  }
+
+  // Line 5: B = A Y.                                    // mkl_sparse_s_mm
+  Matrix b = a.Multiply(y);
+  // Line 6: Z = B P.                                    // cblas_sgemm
+  Matrix z = Gemm(b, p);
+  // Line 7: orthonormalize Z.         // LAPACKE_sgeqrf, LAPACKE_sorgqr
+  Orthonormalize(&z);
+  // Line 8: C = Z^T B.                                  // cblas_sgemm
+  Matrix c = GemmTN(z, b);
+  // Line 9: SVD of the small matrix C = U S V^T.        // LAPACKE_sgesvd
+  SvdResult small = JacobiSvd(c);
+  // Line 10: return (Z U, S, Y V).                      // cblas_sgemm
+  Matrix zu = Gemm(z, small.u);
+  Matrix yv = Gemm(y, small.v);
+
+  RandomizedSvdResult out;
+  out.u = zu.FirstColumns(opt.rank);
+  out.v = yv.FirstColumns(opt.rank);
+  out.sigma.assign(small.sigma.begin(), small.sigma.begin() + opt.rank);
+  return out;
+}
+
+Matrix EmbeddingFromSvd(const RandomizedSvdResult& svd) {
+  Matrix x = svd.u;
+  std::vector<float> scale(svd.sigma.size());
+  for (size_t j = 0; j < scale.size(); ++j) {
+    scale[j] = svd.sigma[j] > 0 ? std::sqrt(svd.sigma[j]) : 0.0f;
+  }
+  x.ScaleColumns(scale);
+  return x;
+}
+
+}  // namespace lightne

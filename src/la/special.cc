@@ -1,0 +1,22 @@
+#include "la/special.h"
+
+#include <cmath>
+
+namespace lightne {
+
+double BesselI(uint32_t k, double x) {
+  const double half = x / 2.0;
+  // term_0 = (x/2)^k / k!
+  double term = 1.0;
+  for (uint32_t i = 1; i <= k; ++i) term *= half / static_cast<double>(i);
+  double sum = term;
+  const double half2 = half * half;
+  for (uint32_t m = 1; m < 200; ++m) {
+    term *= half2 / (static_cast<double>(m) * static_cast<double>(m + k));
+    sum += term;
+    if (std::fabs(term) < 1e-18 * std::fabs(sum)) break;
+  }
+  return sum;
+}
+
+}  // namespace lightne

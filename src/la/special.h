@@ -1,0 +1,18 @@
+// Special functions needed by ProNE-style spectral propagation: the modified
+// Bessel functions of the first kind I_k(x), which weight the Chebyshev
+// expansion of the Gaussian band-pass filter.
+#ifndef LIGHTNE_LA_SPECIAL_H_
+#define LIGHTNE_LA_SPECIAL_H_
+
+#include <cstdint>
+
+namespace lightne {
+
+/// Modified Bessel function of the first kind, I_k(x), via the ascending
+/// series  I_k(x) = sum_m (x/2)^{2m+k} / (m! (m+k)!).  Converges rapidly for
+/// the small |x| (~theta = 0.5) used by spectral propagation.
+double BesselI(uint32_t k, double x);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_LA_SPECIAL_H_

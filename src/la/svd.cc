@@ -1,0 +1,96 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lightne {
+
+SvdResult JacobiSvd(const Matrix& a) {
+  const uint64_t l = a.rows();
+  const uint64_t q = a.cols();
+  LIGHTNE_CHECK_GE(l, q);
+
+  // Column-major double working copies: G starts as A, V as identity.
+  std::vector<double> g(l * q), v(q * q, 0.0);
+  for (uint64_t i = 0; i < l; ++i) {
+    for (uint64_t j = 0; j < q; ++j) g[j * l + i] = a.At(i, j);
+  }
+  for (uint64_t j = 0; j < q; ++j) v[j * q + j] = 1.0;
+
+  const double kTol = 1e-14;
+  const int kMaxSweeps = 60;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (uint64_t p = 0; p + 1 < q; ++p) {
+      for (uint64_t r = p + 1; r < q; ++r) {
+        double* gp = g.data() + p * l;
+        double* gr = g.data() + r * l;
+        double alpha = 0, beta = 0, gamma = 0;
+        for (uint64_t i = 0; i < l; ++i) {
+          alpha += gp[i] * gp[i];
+          beta += gr[i] * gr[i];
+          gamma += gp[i] * gr[i];
+        }
+        if (std::fabs(gamma) <= kTol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0 ? 1.0 : -1.0) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (uint64_t i = 0; i < l; ++i) {
+          const double gpi = gp[i];
+          gp[i] = c * gpi - s * gr[i];
+          gr[i] = s * gpi + c * gr[i];
+        }
+        double* vp = v.data() + p * q;
+        double* vr = v.data() + r * q;
+        for (uint64_t i = 0; i < q; ++i) {
+          const double vpi = vp[i];
+          vp[i] = c * vpi - s * vr[i];
+          vr[i] = s * vpi + c * vr[i];
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Singular values = column norms; sort descending.
+  std::vector<double> sigma(q);
+  for (uint64_t j = 0; j < q; ++j) {
+    double norm2 = 0;
+    for (uint64_t i = 0; i < l; ++i) norm2 += g[j * l + i] * g[j * l + i];
+    sigma[j] = std::sqrt(norm2);
+  }
+  std::vector<uint64_t> order(q);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint64_t x, uint64_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.u = Matrix(l, q);
+  out.v = Matrix(q, q);
+  out.sigma.resize(q);
+  for (uint64_t jj = 0; jj < q; ++jj) {
+    const uint64_t j = order[jj];
+    out.sigma[jj] = static_cast<float>(sigma[j]);
+    const double inv = sigma[j] > 1e-300 ? 1.0 / sigma[j] : 0.0;
+    for (uint64_t i = 0; i < l; ++i) {
+      out.u.At(i, jj) = static_cast<float>(g[j * l + i] * inv);
+    }
+    for (uint64_t i = 0; i < q; ++i) {
+      out.v.At(i, jj) = static_cast<float>(v[j * q + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace lightne

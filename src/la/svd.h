@@ -1,0 +1,26 @@
+// Dense SVD of small matrices via one-sided Jacobi — the LAPACKE_sgesvd
+// counterpart applied to the projected matrix C in Algo 3 (line 9). C is
+// (d + oversample)^2-sized, so a simple high-accuracy method is the right
+// tool.
+#ifndef LIGHTNE_LA_SVD_H_
+#define LIGHTNE_LA_SVD_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace lightne {
+
+struct SvdResult {
+  Matrix u;                  // l x q, orthonormal columns (zero where sigma=0)
+  std::vector<float> sigma;  // q singular values, descending
+  Matrix v;                  // q x q, orthogonal
+};
+
+/// Full thin SVD A = U diag(sigma) V^T for an l x q matrix with l >= q.
+/// One-sided Jacobi in double precision; singular values sorted descending.
+SvdResult JacobiSvd(const Matrix& a);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_LA_SVD_H_

@@ -1,0 +1,64 @@
+// Atomic helpers. The paper's sparsifier aggregation relies on the x86 xadd
+// instruction (std::atomic::fetch_add on integers); we also provide an
+// explicit CAS-loop fetch-add so the bench suite can reproduce the paper's
+// xadd-vs-CAS contention comparison (§4.2, citing Shun et al. 2013).
+#ifndef LIGHTNE_PARALLEL_ATOMICS_H_
+#define LIGHTNE_PARALLEL_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace lightne {
+
+/// fetch_add with relaxed ordering. For integral types this compiles to a
+/// single lock xadd on x86; for floating-point types C++20 provides
+/// fetch_add (implemented by the compiler as a CAS loop on current x86).
+template <typename T>
+inline T AtomicFetchAdd(std::atomic<T>& target, T delta) {
+  return target.fetch_add(delta, std::memory_order_relaxed);
+}
+
+/// The naive fetch-and-add built from compare_exchange in a while loop, kept
+/// for the contention benchmark.
+template <typename T>
+inline T CasLoopFetchAdd(std::atomic<T>& target, T delta) {
+  T observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+  return observed;
+}
+
+/// Atomically sets target = min(target, value). Returns true if it wrote.
+template <typename T>
+inline bool AtomicMin(std::atomic<T>& target, T value) {
+  T observed = target.load(std::memory_order_relaxed);
+  while (value < observed) {
+    if (target.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Atomically sets target = max(target, value). Returns true if it wrote.
+template <typename T>
+inline bool AtomicMax(std::atomic<T>& target, T value) {
+  T observed = target.load(std::memory_order_relaxed);
+  while (observed < value) {
+    if (target.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_ATOMICS_H_

@@ -1,0 +1,169 @@
+// Sparse parallel hash table (§4.2 of the paper): a lock-free open-addressing
+// table with linear probing that aggregates weighted samples. Keys are
+// inserted with a CAS on the key slot; values are accumulated with atomic
+// fetch-add (xadd for integral values). No deletions. Counts are exact: every
+// accepted sample is accounted for by an atomic instruction.
+//
+// The table has fixed capacity. Callers size it from the expected number of
+// accepted samples (an upper bound on distinct keys); if the fill factor
+// exceeds the load limit, Upsert returns false and the caller retries with a
+// larger table (see SparsifierBuilder).
+#ifndef LIGHTNE_PARALLEL_CONCURRENT_HASH_TABLE_H_
+#define LIGHTNE_PARALLEL_CONCURRENT_HASH_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "parallel/atomics.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scan.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+template <typename V>
+class ConcurrentHashTable {
+ public:
+  /// Sentinel for an unoccupied slot; user keys must differ from it.
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
+  /// Capacity is rounded up to a power of two >= capacity_hint / max_load.
+  explicit ConcurrentHashTable(uint64_t capacity_hint, double max_load = 0.8)
+      : max_load_(max_load) {
+    LIGHTNE_CHECK_GT(max_load, 0.0);
+    LIGHTNE_CHECK_LT(max_load, 1.0);
+    uint64_t want = static_cast<uint64_t>(
+        static_cast<double>(capacity_hint < 16 ? 16 : capacity_hint) /
+        max_load);
+    capacity_ = 1;
+    while (capacity_ < want) capacity_ <<= 1;
+    mask_ = capacity_ - 1;
+    slots_ = std::make_unique<Slot[]>(capacity_);
+    Clear();
+  }
+
+  /// Adds `delta` to the value stored under `key`, inserting the key if new.
+  /// Thread-safe and lock-free. Returns false (and drops the update) only
+  /// when the table is past its load limit; the overflow flag is then set.
+  bool Upsert(uint64_t key, V delta) {
+    LIGHTNE_CHECK_NE(key, kEmptyKey);
+    if (overflow_.load(std::memory_order_relaxed)) return false;
+    uint64_t idx = Hash(key) & mask_;
+    for (uint64_t probes = 0; probes <= mask_; ++probes) {
+      Slot& slot = slots_[idx];
+      uint64_t k = slot.key.load(std::memory_order_acquire);
+      if (k == key) {
+        AtomicFetchAdd(slot.value, delta);
+        return true;
+      }
+      if (k == kEmptyKey) {
+        uint64_t expected = kEmptyKey;
+        if (slot.key.compare_exchange_strong(expected, key,
+                                             std::memory_order_acq_rel)) {
+          uint64_t filled = 1 + fill_.fetch_add(1, std::memory_order_relaxed);
+          if (static_cast<double>(filled) >
+              max_load_ * static_cast<double>(capacity_)) {
+            overflow_.store(true, std::memory_order_relaxed);
+          }
+          AtomicFetchAdd(slot.value, delta);
+          return true;
+        }
+        if (expected == key) {  // lost the race to the same key
+          AtomicFetchAdd(slot.value, delta);
+          return true;
+        }
+        // lost to a different key: fall through and keep probing this slot's
+        // successor (the slot now holds `expected`).
+      }
+      idx = (idx + 1) & mask_;
+    }
+    overflow_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Value stored under key, or V{} if absent. Safe concurrently with
+  /// Upsert, but the read is a snapshot.
+  V Get(uint64_t key) const {
+    uint64_t idx = Hash(key) & mask_;
+    for (uint64_t probes = 0; probes <= mask_; ++probes) {
+      const Slot& slot = slots_[idx];
+      uint64_t k = slot.key.load(std::memory_order_acquire);
+      if (k == key) return slot.value.load(std::memory_order_relaxed);
+      if (k == kEmptyKey) return V{};
+      idx = (idx + 1) & mask_;
+    }
+    return V{};
+  }
+
+  /// Number of distinct keys inserted so far.
+  uint64_t NumEntries() const { return fill_.load(std::memory_order_relaxed); }
+
+  uint64_t capacity() const { return capacity_; }
+
+  /// True once any Upsert was rejected (or the load limit was crossed).
+  bool overflowed() const { return overflow_.load(std::memory_order_relaxed); }
+
+  /// Bytes held by the slot array (the dominant footprint).
+  uint64_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+
+  /// Applies fn(key, value) to every occupied slot, in parallel. Must not
+  /// run concurrently with Upsert.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    ParallelFor(0, capacity_, [&](uint64_t i) {
+      uint64_t k = slots_[i].key.load(std::memory_order_relaxed);
+      if (k != kEmptyKey) {
+        fn(k, slots_[i].value.load(std::memory_order_relaxed));
+      }
+    });
+  }
+
+  /// Extracts all (key, value) pairs (unordered), in parallel.
+  std::vector<std::pair<uint64_t, V>> Extract() const {
+    return ParallelPack<std::pair<uint64_t, V>>(
+        capacity_,
+        [&](uint64_t i) {
+          return slots_[i].key.load(std::memory_order_relaxed) != kEmptyKey;
+        },
+        [&](uint64_t i) {
+          return std::make_pair(slots_[i].key.load(std::memory_order_relaxed),
+                                slots_[i].value.load(std::memory_order_relaxed));
+        });
+  }
+
+  /// Resets the table to empty. Not thread-safe.
+  void Clear() {
+    ParallelFor(0, capacity_, [&](uint64_t i) {
+      slots_[i].key.store(kEmptyKey, std::memory_order_relaxed);
+      slots_[i].value.store(V{}, std::memory_order_relaxed);
+    });
+    fill_.store(0, std::memory_order_relaxed);
+    overflow_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> key;
+    std::atomic<V> value;
+  };
+
+  static uint64_t Hash(uint64_t key) {
+    uint64_t s = key;
+    return SplitMix64(s);
+  }
+
+  double max_load_;
+  uint64_t capacity_ = 0;
+  uint64_t mask_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> fill_{0};
+  std::atomic<bool> overflow_{false};
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_CONCURRENT_HASH_TABLE_H_

@@ -1,0 +1,79 @@
+// Bulk-parallel loop primitives in the GBBS/Ligra style.
+//
+// parallel_for dynamically hands out chunks of the index space to the global
+// thread pool. Nested parallel_for calls run sequentially (detected via a
+// thread-local flag), which keeps the implementation simple and is the right
+// policy for the flat data-parallel loops this system uses.
+#ifndef LIGHTNE_PARALLEL_PARALLEL_FOR_H_
+#define LIGHTNE_PARALLEL_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "parallel/thread_pool.h"
+
+namespace lightne {
+
+namespace internal {
+// True while the current thread is executing inside a parallel region.
+inline thread_local bool tl_in_parallel = false;
+}  // namespace internal
+
+/// Number of workers the parallel primitives will use.
+inline int NumWorkers() { return ThreadPool::Global().num_workers(); }
+
+/// True when called from inside a parallel_for body (nested region).
+inline bool InParallelRegion() { return internal::tl_in_parallel; }
+
+/// Applies fn(i) for every i in [begin, end). `grain` is the minimum chunk
+/// handed to a worker; loops shorter than one grain run inline.
+template <typename F>
+void ParallelFor(uint64_t begin, uint64_t end, F&& fn, uint64_t grain = 1024) {
+  if (begin >= end) return;
+  const uint64_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  if (internal::tl_in_parallel || pool.num_workers() == 1 || n <= grain) {
+    for (uint64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Aim for several chunks per worker for load balance, but never below the
+  // requested grain.
+  uint64_t chunk = n / (static_cast<uint64_t>(pool.num_workers()) * 8);
+  if (chunk < grain) chunk = grain;
+  const uint64_t num_chunks = (n + chunk - 1) / chunk;
+  std::atomic<uint64_t> next{0};
+  pool.RunOnAll([&](int /*worker*/) {
+    internal::tl_in_parallel = true;
+    for (;;) {
+      uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const uint64_t lo = begin + c * chunk;
+      uint64_t hi = lo + chunk;
+      if (hi > end) hi = end;
+      for (uint64_t i = lo; i < hi; ++i) fn(i);
+    }
+    internal::tl_in_parallel = false;
+  });
+}
+
+/// Runs fn(worker_id, worker_count) once per worker. Useful for algorithms
+/// that keep per-worker state (e.g. per-thread sparsifier buffers in the
+/// NetSMF-original baseline).
+template <typename F>
+void ParallelForWorkers(F&& fn) {
+  ThreadPool& pool = ThreadPool::Global();
+  if (internal::tl_in_parallel || pool.num_workers() == 1) {
+    fn(0, 1);
+    return;
+  }
+  const int workers = pool.num_workers();
+  pool.RunOnAll([&](int worker) {
+    internal::tl_in_parallel = true;
+    fn(worker, workers);
+    internal::tl_in_parallel = false;
+  });
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,69 @@
+// Parallel reductions built on ParallelFor's chunking.
+#ifndef LIGHTNE_PARALLEL_REDUCE_H_
+#define LIGHTNE_PARALLEL_REDUCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.h"
+
+namespace lightne {
+
+/// Reduces map(i) over i in [begin, end) with the associative, commutative
+/// combine(a, b), starting from identity. Deterministic for exact types;
+/// floating-point results may differ across worker counts by rounding only.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(uint64_t begin, uint64_t end, T identity, Map&& map,
+                 Combine&& combine, uint64_t grain = 2048) {
+  if (begin >= end) return identity;
+  const uint64_t n = end - begin;
+  const int workers = NumWorkers();
+  if (InParallelRegion() || workers == 1 || n <= grain) {
+    T acc = identity;
+    for (uint64_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  std::vector<T> partial(static_cast<size_t>(workers), identity);
+  ThreadPool& pool = ThreadPool::Global();
+  uint64_t chunk = n / (static_cast<uint64_t>(workers) * 8);
+  if (chunk < grain) chunk = grain;
+  const uint64_t num_chunks = (n + chunk - 1) / chunk;
+  std::atomic<uint64_t> next{0};
+  pool.RunOnAll([&](int worker) {
+    internal::tl_in_parallel = true;
+    T acc = identity;
+    for (;;) {
+      uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const uint64_t lo = begin + c * chunk;
+      uint64_t hi = lo + chunk;
+      if (hi > end) hi = end;
+      for (uint64_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
+    }
+    partial[static_cast<size_t>(worker)] = acc;
+    internal::tl_in_parallel = false;
+  });
+  T acc = identity;
+  for (const T& p : partial) acc = combine(acc, p);
+  return acc;
+}
+
+/// Sum of map(i) over [begin, end).
+template <typename T, typename Map>
+T ParallelSum(uint64_t begin, uint64_t end, Map&& map, uint64_t grain = 2048) {
+  return ParallelReduce<T>(
+      begin, end, T{}, map, [](T a, T b) { return a + b; }, grain);
+}
+
+/// Maximum of map(i) over [begin, end); returns `identity` on empty range.
+template <typename T, typename Map>
+T ParallelMax(uint64_t begin, uint64_t end, T identity, Map&& map,
+              uint64_t grain = 2048) {
+  return ParallelReduce<T>(
+      begin, end, identity, map, [](T a, T b) { return a < b ? b : a; },
+      grain);
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_REDUCE_H_

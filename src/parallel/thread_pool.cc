@@ -1,0 +1,83 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace lightne {
+
+namespace {
+
+int DetermineWorkerCount() {
+  if (const char* env = std::getenv("LIGHTNE_NUM_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DetermineWorkerCount());
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
+  LIGHTNE_CHECK_GE(num_workers_, 1);
+  threads_.reserve(num_workers_ - 1);
+  for (int id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int id) {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  if (num_workers_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    pending_ = num_workers_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  fn(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace lightne

@@ -1,0 +1,56 @@
+// Global worker pool underlying all parallel primitives.
+//
+// The pool owns num_workers()-1 threads; the caller of RunOnAll participates
+// as worker 0, so a machine with one hardware thread runs everything inline
+// with no synchronization overhead. Worker count comes from
+// LIGHTNE_NUM_THREADS if set, else std::thread::hardware_concurrency().
+#ifndef LIGHTNE_PARALLEL_THREAD_POOL_H_
+#define LIGHTNE_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lightne {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use.
+  static ThreadPool& Global();
+
+  /// Number of workers including the caller.
+  int num_workers() const { return num_workers_; }
+
+  /// Runs fn(worker_id) on every worker (ids 0..num_workers-1); the calling
+  /// thread acts as worker 0. Blocks until all workers finish. Not
+  /// re-entrant: callers must not invoke RunOnAll from inside fn (the
+  /// parallel_for layer enforces this by running nested loops sequentially).
+  void RunOnAll(const std::function<void(int)>& fn);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+ private:
+  explicit ThreadPool(int num_workers);
+
+  void WorkerLoop(int id);
+
+  int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_THREAD_POOL_H_

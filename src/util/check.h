@@ -1,0 +1,46 @@
+// Assertion macros for programming errors (not recoverable conditions).
+//
+// Recoverable/fallible conditions (bad input files, overflowing tables, ...)
+// are reported through lightne::Status instead; see util/status.h.
+#ifndef LIGHTNE_UTIL_CHECK_H_
+#define LIGHTNE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lightne::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "[lightne] CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace lightne::internal
+
+/// Aborts with a diagnostic if `expr` is false. Enabled in all build modes:
+/// an invariant violation in a data system should never be silently ignored.
+#define LIGHTNE_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lightne::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                                    \
+  } while (0)
+
+/// LIGHTNE_CHECK with an extra human-readable message.
+#define LIGHTNE_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::lightne::internal::CheckFailed(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                    \
+  } while (0)
+
+#define LIGHTNE_CHECK_LT(a, b) LIGHTNE_CHECK((a) < (b))
+#define LIGHTNE_CHECK_LE(a, b) LIGHTNE_CHECK((a) <= (b))
+#define LIGHTNE_CHECK_GT(a, b) LIGHTNE_CHECK((a) > (b))
+#define LIGHTNE_CHECK_GE(a, b) LIGHTNE_CHECK((a) >= (b))
+#define LIGHTNE_CHECK_EQ(a, b) LIGHTNE_CHECK((a) == (b))
+#define LIGHTNE_CHECK_NE(a, b) LIGHTNE_CHECK((a) != (b))
+
+#endif  // LIGHTNE_UTIL_CHECK_H_

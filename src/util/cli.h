@@ -1,0 +1,43 @@
+// Tiny --flag=value / --flag value parser for the examples and bench
+// binaries. Not a general-purpose library; supports exactly the forms the
+// repo's executables need.
+#ifndef LIGHTNE_UTIL_CLI_H_
+#define LIGHTNE_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lightne {
+
+/// Parsed command line: named flags plus positional arguments.
+class CommandLine {
+ public:
+  /// Parses argv. Flags look like --name=value, --name value, or bare
+  /// --name (boolean true). Everything else is positional.
+  static Result<CommandLine> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// String flag with default.
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_CLI_H_

@@ -1,0 +1,69 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lightne {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("LIGHTNE_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 4) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}()};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void LogV(LogLevel level, const char* fmt, std::va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Format into one buffer so the write is a single call (thread-safe lines).
+  char body[2048];
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  double secs = std::chrono::duration<double>(now).count();
+  char line[2200];
+  std::snprintf(line, sizeof(line), "[lightne %s %.3f] %s\n", LevelTag(level),
+                secs, body);
+  std::fputs(line, stderr);
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  LogV(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace lightne

@@ -1,0 +1,41 @@
+// Minimal leveled logger writing to stderr. Thread-safe (each call emits one
+// write). Level is controlled programmatically or via LIGHTNE_LOG_LEVEL
+// (0=debug, 1=info, 2=warn, 3=error, 4=off).
+#ifndef LIGHTNE_UTIL_LOGGING_H_
+#define LIGHTNE_UTIL_LOGGING_H_
+
+#include <cstdarg>
+
+namespace lightne {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// printf-style log call. Prefer the LOG_* macros below.
+void LogV(LogLevel level, const char* fmt, std::va_list args);
+void Log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace lightne
+
+#define LIGHTNE_LOG_DEBUG(...) \
+  ::lightne::Log(::lightne::LogLevel::kDebug, __VA_ARGS__)
+#define LIGHTNE_LOG_INFO(...) \
+  ::lightne::Log(::lightne::LogLevel::kInfo, __VA_ARGS__)
+#define LIGHTNE_LOG_WARN(...) \
+  ::lightne::Log(::lightne::LogLevel::kWarn, __VA_ARGS__)
+#define LIGHTNE_LOG_ERROR(...) \
+  ::lightne::Log(::lightne::LogLevel::kError, __VA_ARGS__)
+
+#endif  // LIGHTNE_UTIL_LOGGING_H_

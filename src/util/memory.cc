@@ -1,0 +1,50 @@
+#include "util/memory.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace lightne {
+
+uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size = 0, resident = 0;
+  int n = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<uint64_t>(resident) *
+         static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+uint64_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1) kib = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f %s" : "%.2f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace lightne

@@ -1,0 +1,22 @@
+// Process memory introspection used by the memory-ablation benches
+// (sparsifier footprint with/without downsampling, compressed vs raw CSR).
+#ifndef LIGHTNE_UTIL_MEMORY_H_
+#define LIGHTNE_UTIL_MEMORY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lightne {
+
+/// Current resident set size in bytes (Linux /proc/self/statm). 0 on failure.
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM). 0 on failure.
+uint64_t PeakRssBytes();
+
+/// "1.50 GiB", "64.0 KiB", ...
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_MEMORY_H_

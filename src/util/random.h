@@ -1,0 +1,110 @@
+// Counter-seedable pseudo-random generators.
+//
+// Determinism policy: parallel samplers seed one Rng per *work item* (e.g.
+// per edge id) via SplitMix64 hashing, so results are reproducible regardless
+// of the number of worker threads.
+#ifndef LIGHTNE_UTIL_RANDOM_H_
+#define LIGHTNE_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lightne {
+
+/// One step of SplitMix64: a high-quality 64-bit mixing function. Used both
+/// as a standalone hash and to seed Xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values; used to derive per-item seeds.
+inline uint64_t HashCombine64(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+/// xoshiro256** generator (Blackman & Vigna). Small, fast, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds all four lanes through SplitMix64 so any seed (including 0) works.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bull) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& lane : s_) lane = SplitMix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). Lemire's multiply-shift (slightly biased
+  /// for astronomically large bounds; fine for graph work where bound < 2^32
+  /// ... but supports full 64-bit bounds via widening multiply).
+  uint64_t UniformInt(uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli(p) coin flip.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Standard normal via Box–Muller (caches the second deviate).
+  double Gaussian() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0;
+    do {
+      u1 = Uniform();
+    } while (u1 <= 1e-300);
+    double u2 = Uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double cached_ = 0;
+  bool has_cached_ = false;
+};
+
+/// Deterministic per-item generator: Rng(HashCombine64(seed, item)).
+inline Rng ItemRng(uint64_t seed, uint64_t item) {
+  return Rng(HashCombine64(seed, item));
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_RANDOM_H_

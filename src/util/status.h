@@ -1,0 +1,124 @@
+// RocksDB-style Status / Result types. Library code does not throw; every
+// fallible operation returns Status (or Result<T> when it produces a value).
+#ifndef LIGHTNE_UTIL_STATUS_H_
+#define LIGHTNE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace lightne {
+
+/// Error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,  // e.g. hash table filled past its load limit
+  kIOError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a human-readable name for a StatusCode ("Ok", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus an optional message.
+/// Cheap to copy when OK (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from a non-OK status.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    LIGHTNE_CHECK_MSG(!std::get<Status>(v_).ok(),
+                      "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Value access. CHECK-fails if not ok().
+  T& value() & {
+    LIGHTNE_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    LIGHTNE_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    LIGHTNE_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define LIGHTNE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::lightne::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_STATUS_H_

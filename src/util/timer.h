@@ -1,0 +1,82 @@
+// Wall-clock timers, including the named stage timer used to reproduce the
+// paper's running-time breakdown (Table 5).
+#ifndef LIGHTNE_UTIL_TIMER_H_
+#define LIGHTNE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lightne {
+
+/// Simple wall-clock stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named stage durations, in insertion order. Used by the
+/// LightNE pipeline to report the Table-5 style breakdown (sparsifier
+/// construction / randomized SVD / spectral propagation).
+class StageTimer {
+ public:
+  /// Ends the current stage (if any) and begins a new named stage.
+  void Start(std::string name) {
+    Stop();
+    current_ = std::move(name);
+    timer_.Restart();
+    running_ = true;
+  }
+
+  /// Ends the current stage, recording its duration.
+  void Stop() {
+    if (!running_) return;
+    stages_.emplace_back(std::move(current_), timer_.Seconds());
+    running_ = false;
+  }
+
+  /// (stage name, seconds) pairs in the order the stages ran.
+  const std::vector<std::pair<std::string, double>>& stages() const {
+    return stages_;
+  }
+
+  /// Sum of all recorded stage durations, in seconds.
+  double TotalSeconds() const {
+    double t = 0;
+    for (const auto& [name, secs] : stages_) t += secs;
+    return t;
+  }
+
+  /// Seconds recorded for `name`, summed across repeats; 0 if absent.
+  double SecondsFor(const std::string& name) const {
+    double t = 0;
+    for (const auto& [n, secs] : stages_) {
+      if (n == name) t += secs;
+    }
+    return t;
+  }
+
+ private:
+  Timer timer_;
+  std::string current_;
+  bool running_ = false;
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_TIMER_H_

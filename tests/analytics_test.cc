@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators.h"
+#include "graph/dynamic.h"
+#include "util/random.h"
+#include "graph/kcore.h"
+#include "graph/triangles.h"
+
+namespace lightne {
+namespace {
+
+// ----------------------------------------------------------------- k-core --
+
+// Reference: iterative peeling until fixpoint at each k.
+std::vector<uint32_t> ReferenceKCore(const CsrGraph& g) {
+  const NodeId n = g.NumVertices();
+  std::vector<uint32_t> coreness(n, 0);
+  std::vector<int64_t> degree(n);
+  std::vector<bool> removed(n, false);
+  for (NodeId v = 0; v < n; ++v) degree[v] = static_cast<int64_t>(g.Degree(v));
+  for (uint32_t k = 0;; ++k) {
+    bool any_left = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v = 0; v < n; ++v) {
+        if (removed[v] || degree[v] > static_cast<int64_t>(k)) continue;
+        removed[v] = true;
+        coreness[v] = k;
+        changed = true;
+        for (NodeId u : g.Neighbors(v)) {
+          if (!removed[u]) --degree[u];
+        }
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) any_left |= !removed[v];
+    if (!any_left) break;
+  }
+  return coreness;
+}
+
+TEST(KCoreTest, CliquePlusPath) {
+  // 5-clique (coreness 4) with a pendant path (coreness 1).
+  EdgeList list;
+  list.num_vertices = 8;
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = u + 1; v < 5; ++v) list.Add(u, v);
+  }
+  list.Add(4, 5);
+  list.Add(5, 6);
+  list.Add(6, 7);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  KCoreResult r = KCoreDecomposition(g);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.coreness[v], 4u) << v;
+  EXPECT_EQ(r.coreness[5], 1u);
+  EXPECT_EQ(r.coreness[7], 1u);
+  EXPECT_EQ(r.max_core, 4u);
+}
+
+class KCoreAgainstReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(KCoreAgainstReference, MatchesIterativePeeling) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(9, 4000, GetParam()));
+  KCoreResult got = KCoreDecomposition(g);
+  EXPECT_EQ(got.coreness, ReferenceKCore(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCoreAgainstReference,
+                         ::testing::Values(1, 4, 9));
+
+TEST(KCoreTest, IsolatedVerticesHaveCoreZero) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.Add(0, 1);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  KCoreResult r = KCoreDecomposition(g);
+  EXPECT_EQ(r.coreness[0], 1u);
+  EXPECT_EQ(r.coreness[2], 0u);
+}
+
+// -------------------------------------------------------------- triangles --
+
+TEST(TriangleTest, CountsKnownShapes) {
+  // Triangle + square sharing a vertex: exactly 1 triangle.
+  EdgeList list;
+  list.num_vertices = 7;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);  // triangle
+  list.Add(2, 3);
+  list.Add(3, 4);
+  list.Add(4, 5);
+  list.Add(5, 2);  // square, no triangle
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  TriangleResult r = CountTriangles(g);
+  EXPECT_EQ(r.triangles, 1u);
+  EXPECT_GT(r.global_clustering, 0.0);
+  EXPECT_LT(r.global_clustering, 1.0);
+}
+
+TEST(TriangleTest, CompleteGraphCounts) {
+  const NodeId k = 10;
+  EdgeList list;
+  list.num_vertices = k;
+  for (NodeId u = 0; u < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) list.Add(u, v);
+  }
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  TriangleResult r = CountTriangles(g);
+  EXPECT_EQ(r.triangles, 120u);  // C(10,3)
+  EXPECT_DOUBLE_EQ(r.global_clustering, 1.0);
+}
+
+TEST(TriangleTest, TreeHasNoTriangles) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateBarabasiAlbert(500, 1, 3));
+  TriangleResult r = CountTriangles(g);
+  EXPECT_EQ(r.triangles, 0u);
+  EXPECT_EQ(r.global_clustering, 0.0);
+}
+
+TEST(TriangleTest, ClusteredStandInsBeatRandomGraphs) {
+  // The DESIGN.md claim: link-prediction stand-ins are clustered.
+  std::vector<NodeId> community;
+  CsrGraph sbm = CsrGraph::FromEdges(
+      GenerateSbm(5000, 100, 60000, 0.9, 3, &community));
+  CsrGraph er = CsrGraph::FromEdges(GenerateErdosRenyi(5000, 60000, 3));
+  double sbm_cc = CountTriangles(sbm).global_clustering;
+  double er_cc = CountTriangles(er).global_clustering;
+  EXPECT_GT(sbm_cc, 5.0 * er_cc);
+}
+
+// ---------------------------------------------------------- dynamic graph --
+
+TEST(DynamicGraphTest, SnapshotMatchesBatchRebuild) {
+  Rng rng(5);
+  DynamicGraph dyn(100);
+  EdgeList all;
+  all.num_vertices = 100;
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::pair<NodeId, NodeId>> batch;
+    for (int e = 0; e < 200; ++e) {
+      NodeId u = static_cast<NodeId>(rng.UniformInt(100));
+      NodeId v = static_cast<NodeId>(rng.UniformInt(100));
+      batch.push_back({u, v});
+      all.Add(u, v);
+    }
+    dyn.AddEdges(batch);
+    const CsrGraph& snap = dyn.Snapshot();
+    EdgeList copy = all;
+    CsrGraph expect = CsrGraph::FromEdges(std::move(copy));
+    ASSERT_EQ(snap.NumDirectedEdges(), expect.NumDirectedEdges()) << round;
+    ASSERT_EQ(snap.neighbors(), expect.neighbors()) << round;
+    ASSERT_EQ(snap.offsets(), expect.offsets()) << round;
+  }
+}
+
+TEST(DynamicGraphTest, SnapshotIsCachedUntilNextBatch) {
+  DynamicGraph dyn(10);
+  dyn.AddEdge(0, 1);
+  dyn.Snapshot();
+  const uint64_t v1 = dyn.version();
+  dyn.Snapshot();
+  EXPECT_EQ(dyn.version(), v1);  // cached, no rebuild
+  dyn.AddEdge(1, 2);
+  dyn.Snapshot();
+  EXPECT_EQ(dyn.version(), v1 + 1);
+}
+
+TEST(DynamicGraphTest, UniverseGrowsWithIds) {
+  DynamicGraph dyn;
+  dyn.AddEdge(3, 10);
+  EXPECT_EQ(dyn.NumVertices(), 11u);
+  dyn.AddEdge(20, 1);
+  EXPECT_EQ(dyn.NumVertices(), 21u);
+  const CsrGraph& snap = dyn.Snapshot();
+  EXPECT_EQ(snap.NumVertices(), 21u);
+  EXPECT_EQ(snap.NumUndirectedEdges(), 2u);
+}
+
+TEST(DynamicGraphTest, DuplicatesAndSelfLoopsCleaned) {
+  DynamicGraph dyn(5);
+  dyn.AddEdge(0, 1);
+  dyn.AddEdge(1, 0);
+  dyn.AddEdge(0, 1);
+  dyn.AddEdge(2, 2);
+  const CsrGraph& snap = dyn.Snapshot();
+  EXPECT_EQ(snap.NumUndirectedEdges(), 1u);
+  // Re-adding an existing edge across snapshots stays deduped.
+  dyn.AddEdge(0, 1);
+  EXPECT_EQ(dyn.Snapshot().NumUndirectedEdges(), 1u);
+}
+
+}  // namespace
+}  // namespace lightne

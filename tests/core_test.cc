@@ -1,0 +1,583 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/batched_sampling.h"
+#include "core/lightne.h"
+#include "core/netmf.h"
+#include "core/path_sampling.h"
+#include "core/sparsifier.h"
+#include "core/spectral_propagation.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+
+namespace lightne {
+namespace {
+
+CsrGraph SmallTestGraph() {
+  // Connected, non-bipartite, degree-diverse: a triangle with pendant paths.
+  EdgeList list;
+  list.num_vertices = 7;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(2, 3);
+  list.Add(3, 4);
+  list.Add(4, 5);
+  list.Add(0, 6);
+  list.Add(6, 5);
+  return CsrGraph::FromEdges(std::move(list));
+}
+
+// Dense (D^{-1}A)^r for analytic checks.
+Matrix WalkMatrixPower(const CsrGraph& g, uint32_t r) {
+  const NodeId n = g.NumVertices();
+  Matrix p(n, n);
+  g.MapVertices([&](NodeId u) {
+    g.MapNeighbors(u, [&](NodeId v) {
+      p.At(u, v) = static_cast<float>(1.0 / g.Degree(u));
+    });
+  });
+  Matrix out = Matrix::Identity(n);
+  for (uint32_t i = 0; i < r; ++i) out = Gemm(out, p);
+  return out;
+}
+
+// ---------------------------------------------------------- PathSampling --
+
+TEST(PathSampleTest, EndpointDistributionMatchesTheory) {
+  // P[(a,b) | r] = d_a/(2m) (D^{-1}A)^r_{a,b}  for a uniformly random
+  // directed edge (see core/sparsifier.h derivation).
+  const CsrGraph g = SmallTestGraph();
+  const uint32_t r = 3;
+  Matrix pr = WalkMatrixPower(g, r);
+  const int trials = 400000;
+  Rng rng(2024);
+  std::map<std::pair<NodeId, NodeId>, int> hits;
+  // Draw a uniform directed edge each trial via the CSR arrays.
+  const EdgeId directed = g.NumDirectedEdges();
+  for (int t = 0; t < trials; ++t) {
+    EdgeId e = rng.UniformInt(directed);
+    // Locate source by linear scan (graph is tiny).
+    NodeId u = 0;
+    while (g.offsets()[u + 1] <= e) ++u;
+    NodeId v = g.neighbors()[e];
+    ++hits[PathSample(g, u, v, r, rng)];
+  }
+  for (NodeId a = 0; a < g.NumVertices(); ++a) {
+    for (NodeId b = 0; b < g.NumVertices(); ++b) {
+      const double expect =
+          static_cast<double>(g.Degree(a)) / g.Volume() * pr.At(a, b);
+      auto it = hits.find({a, b});
+      const double got =
+          it == hits.end() ? 0.0 : static_cast<double>(it->second) / trials;
+      EXPECT_NEAR(got, expect, 0.004) << "(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(PathSampleTest, LengthOneReturnsTheEdgeItself) {
+  const CsrGraph g = SmallTestGraph();
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    auto [a, b] = PathSample(g, 0, 1, 1, rng);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+  }
+}
+
+// -------------------------------------------------- downsampling property --
+
+TEST(DownsampleTest, ProbabilityBoundedAndMonotone) {
+  const CsrGraph g = SmallTestGraph();
+  const double c = std::log(static_cast<double>(g.NumVertices()));
+  g.MapEdges([&](NodeId u, NodeId v) {
+    const double p = internal::DownsampleProbability(g, u, v, c);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  });
+  // Larger C => larger (or equal) acceptance probability.
+  EXPECT_LE(internal::DownsampleProbability(g, 0, 1, 0.5),
+            internal::DownsampleProbability(g, 0, 1, 2.0));
+}
+
+// Theorem 3.1: E[L_H] = L_G under importance-weighted edge downsampling.
+TEST(DownsampleTest, LaplacianUnbiasedness) {
+  const CsrGraph g = SmallTestGraph();
+  const NodeId n = g.NumVertices();
+  const double c = 0.8;  // force p_e < 1 on some edges
+  const int trials = 200000;
+  // Accumulate the mean sampled adjacency (weight A_uv / p_e on heads).
+  Matrix mean(n, n);
+  Rng rng(7);
+  for (int t = 0; t < trials; ++t) {
+    g.MapEdges([&](NodeId u, NodeId v) {
+      if (u > v) return;  // each undirected edge once
+      const double pe = internal::DownsampleProbability(g, u, v, c);
+      if (rng.Bernoulli(pe)) {
+        const float w = static_cast<float>(1.0 / pe / trials);
+        mean.At(u, v) += w;
+        mean.At(v, u) += w;
+      }
+    });
+  }
+  // The expected adjacency equals the original (all weights 1).
+  g.MapEdges([&](NodeId u, NodeId v) {
+    EXPECT_NEAR(mean.At(u, v), 1.0, 0.05) << u << "," << v;
+  });
+}
+
+// ------------------------------------------------------------- sparsifier --
+
+TEST(SparsifierTest, SampleCountConcentratesAtM) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(300, 2000, 3));
+  SparsifierOptions opt;
+  opt.num_samples = 500000;
+  opt.window = 4;
+  opt.downsample = false;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const double got = static_cast<double>(r->samples_drawn);
+  EXPECT_NEAR(got / opt.num_samples, 1.0, 0.01);
+  EXPECT_EQ(r->samples_accepted, r->samples_drawn);  // no downsampling
+}
+
+TEST(SparsifierTest, DownsamplingReducesAcceptedAndNnz) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(12, 60000, 5));
+  SparsifierOptions opt;
+  opt.num_samples = 2000000;
+  opt.window = 10;
+  opt.downsample = false;
+  auto full = BuildSparsifier(g, opt);
+  ASSERT_TRUE(full.ok());
+  opt.downsample = true;
+  auto down = BuildSparsifier(g, opt);
+  ASSERT_TRUE(down.ok());
+  EXPECT_LT(down->samples_accepted, full->samples_accepted / 2);
+  EXPECT_LT(down->matrix.nnz(), full->matrix.nnz());
+  EXPECT_LT(down->distinct_entries, full->distinct_entries);
+  // Capacity rounds to a power of two, so bytes can only be compared weakly.
+  EXPECT_LE(down->table_bytes, full->table_bytes);
+}
+
+TEST(SparsifierTest, MatrixIsSymmetric) {
+  const CsrGraph g = SmallTestGraph();
+  SparsifierOptions opt;
+  opt.num_samples = 100000;
+  opt.window = 5;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  const SparseMatrix& s = r->matrix;
+  for (uint64_t i = 0; i < s.rows(); ++i) {
+    auto cols = s.RowCols(i);
+    auto vals = s.RowValues(i);
+    for (size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_FLOAT_EQ(s.At(cols[k], static_cast<uint32_t>(i)), vals[k]);
+    }
+  }
+}
+
+TEST(SparsifierTest, UnbiasedEstimateOfWalkSum) {
+  // (2m^2/(b M)) S_ab / (d_a d_b) must approximate the pre-log NetMF matrix.
+  const CsrGraph g = SmallTestGraph();
+  const uint32_t window = 3;
+  SparsifierOptions opt;
+  opt.num_samples = 3000000;
+  opt.window = window;
+  opt.downsample = true;  // exercise the full (downsampled) estimator
+  opt.seed = 3;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  Matrix prelog = ComputeDenseNetmfPreLog(g, window, /*b=*/1.0);
+  const double m = static_cast<double>(g.NumUndirectedEdges());
+  const double scale = 2.0 * m * m / static_cast<double>(opt.num_samples);
+  for (NodeId a = 0; a < g.NumVertices(); ++a) {
+    for (NodeId b = 0; b < g.NumVertices(); ++b) {
+      const double got = scale * r->matrix.At(a, b) /
+                         (static_cast<double>(g.Degree(a)) * g.Degree(b));
+      const double expect = prelog.At(a, b);
+      EXPECT_NEAR(got, expect, 0.12 * expect + 0.08)
+          << "(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(SparsifierTest, RejectsDegenerateInputs) {
+  EdgeList empty;
+  empty.num_vertices = 4;
+  const CsrGraph g = CsrGraph::FromEdges(std::move(empty));
+  SparsifierOptions opt;
+  opt.num_samples = 100;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+
+  const CsrGraph g2 = SmallTestGraph();
+  SparsifierOptions zero;
+  zero.num_samples = 0;
+  EXPECT_FALSE(BuildSparsifier(g2, zero).ok());
+}
+
+TEST(SparsifierTest, DeterministicInSeedAndAcrossRepresentations) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 21));
+  const CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  SparsifierOptions opt;
+  opt.num_samples = 200000;
+  opt.window = 6;
+  opt.seed = 77;
+  auto a = BuildSparsifier(g, opt);
+  auto b = BuildSparsifier(g, opt);
+  auto c = BuildSparsifier(cg, opt);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_EQ(a->matrix.nnz(), b->matrix.nnz());
+  EXPECT_EQ(a->matrix.values(), b->matrix.values());
+  // The compressed representation iterates identical sorted adjacencies, so
+  // per-edge RNG streams coincide exactly.
+  ASSERT_EQ(a->matrix.nnz(), c->matrix.nnz());
+  EXPECT_EQ(a->matrix.values(), c->matrix.values());
+  opt.seed = 78;
+  auto d = BuildSparsifier(g, opt);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(a->matrix.values(), d->matrix.values());
+}
+
+// ------------------------------------------------------------ aggregation --
+
+TEST(AggregationTest, SortHistogramCollapsesDuplicates) {
+  std::vector<std::pair<uint64_t, double>> records = {
+      {5, 1.0}, {3, 2.0}, {5, 0.5}, {9, 1.0}, {3, 1.0}, {5, 1.5}};
+  auto unique = SortHistogram(std::move(records));
+  ASSERT_EQ(unique.size(), 3u);
+  EXPECT_EQ(unique[0].first, 3u);
+  EXPECT_DOUBLE_EQ(unique[0].second, 3.0);
+  EXPECT_EQ(unique[1].first, 5u);
+  EXPECT_DOUBLE_EQ(unique[1].second, 3.0);
+  EXPECT_EQ(unique[2].first, 9u);
+  EXPECT_DOUBLE_EQ(unique[2].second, 1.0);
+}
+
+TEST(AggregationTest, SortHistogramEmptyAndSingleton) {
+  EXPECT_TRUE(SortHistogram({}).empty());
+  auto one = SortHistogram({{7, 2.5}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].first, 7u);
+}
+
+TEST(AggregationTest, SortHistogramMatchesMapOnRandomInput) {
+  std::vector<std::pair<uint64_t, double>> records;
+  Rng rng(3);
+  std::map<uint64_t, double> expect;
+  for (int i = 0; i < 200000; ++i) {
+    uint64_t key = rng.UniformInt(5000);
+    double w = 1.0 + rng.UniformInt(3);
+    records.push_back({key, w});
+    expect[key] += w;
+  }
+  auto unique = SortHistogram(std::move(records));
+  ASSERT_EQ(unique.size(), expect.size());
+  for (auto& [key, sum] : unique) {
+    ASSERT_DOUBLE_EQ(sum, expect[key]) << key;
+  }
+}
+
+TEST(AggregationTest, WorkerBuffersTrackMemoryAndRecords) {
+  WorkerBuffers buffers(2);
+  buffers.Add(0, 1, 1.0);
+  buffers.Add(1, 1, 2.0);
+  buffers.Add(1, 2, 3.0);
+  EXPECT_EQ(buffers.NumRecords(), 3u);
+  EXPECT_GT(buffers.MemoryBytes(), 0u);
+  auto unique = buffers.Collapse();
+  ASSERT_EQ(unique.size(), 2u);
+  EXPECT_DOUBLE_EQ(unique[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(unique[1].second, 3.0);
+  EXPECT_EQ(buffers.NumRecords(), 0u);
+}
+
+// The two aggregation strategies must produce bit-identical sparsifiers
+// (same per-edge RNG streams, exact aggregation on both sides).
+TEST(AggregationTest, StrategiesProduceIdenticalSparsifier) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(11, 20000, 13));
+  SparsifierOptions opt;
+  opt.num_samples = 400000;
+  opt.window = 6;
+  opt.seed = 5;
+  opt.aggregation = AggregationStrategy::kSharedHashTable;
+  auto hashed = BuildSparsifier(g, opt);
+  opt.aggregation = AggregationStrategy::kSortHistogram;
+  auto sorted = BuildSparsifier(g, opt);
+  ASSERT_TRUE(hashed.ok() && sorted.ok());
+  EXPECT_EQ(hashed->samples_drawn, sorted->samples_drawn);
+  EXPECT_EQ(hashed->samples_accepted, sorted->samples_accepted);
+  EXPECT_EQ(hashed->distinct_entries, sorted->distinct_entries);
+  ASSERT_EQ(hashed->matrix.nnz(), sorted->matrix.nnz());
+  EXPECT_EQ(hashed->matrix.col_indices(), sorted->matrix.col_indices());
+  EXPECT_EQ(hashed->matrix.values(), sorted->matrix.values());
+}
+
+// -------------------------------------------------------- batched sampling --
+
+TEST(BatchedSamplingTest, UnbiasedLikeDefaultSampler) {
+  const CsrGraph g = SmallTestGraph();
+  const uint32_t window = 3;
+  SparsifierOptions opt;
+  opt.num_samples = 2000000;
+  opt.window = window;
+  opt.seed = 7;
+  auto r = BuildSparsifierBatched(g, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Matrix prelog = ComputeDenseNetmfPreLog(g, window, 1.0);
+  const double m = static_cast<double>(g.NumUndirectedEdges());
+  const double scale = 2.0 * m * m / static_cast<double>(opt.num_samples);
+  for (NodeId a = 0; a < g.NumVertices(); ++a) {
+    for (NodeId b = 0; b < g.NumVertices(); ++b) {
+      const double got = scale * r->matrix.At(a, b) /
+                         (static_cast<double>(g.Degree(a)) * g.Degree(b));
+      EXPECT_NEAR(got, prelog.At(a, b), 0.12 * prelog.At(a, b) + 0.1)
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(BatchedSamplingTest, MatchesDefaultSamplerStatistics) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 10000, 5));
+  SparsifierOptions opt;
+  opt.num_samples = 300000;
+  opt.window = 6;
+  opt.seed = 3;
+  auto batched = BuildSparsifierBatched(g, opt);
+  auto direct = BuildSparsifier(g, opt);
+  ASSERT_TRUE(batched.ok() && direct.ok());
+  // Same expected draw counts (identical per-edge RNG streams in phase 1).
+  EXPECT_EQ(batched->samples_drawn, direct->samples_drawn);
+  // Walk endpoints use different RNG derivations, so the matrices agree
+  // statistically, not bitwise: nnz within a few percent.
+  const double ratio = static_cast<double>(batched->matrix.nnz()) /
+                       static_cast<double>(direct->matrix.nnz());
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(BatchedSamplingTest, WindowOneNeedsNoWalks) {
+  const CsrGraph g = SmallTestGraph();
+  SparsifierOptions opt;
+  opt.num_samples = 100000;
+  opt.window = 1;  // r = 1 always: endpoints are the edge itself
+  opt.downsample = false;
+  auto r = BuildSparsifierBatched(g, opt);
+  ASSERT_TRUE(r.ok());
+  // Support = exactly the edge set.
+  EXPECT_EQ(r->matrix.nnz(), g.NumDirectedEdges());
+}
+
+// ------------------------------------------------------------------ NetMF --
+
+TEST(NetmfTest, TruncLogBasics) {
+  EXPECT_FLOAT_EQ(TruncLog(0.5), 0.0f);
+  EXPECT_FLOAT_EQ(TruncLog(1.0), 0.0f);
+  EXPECT_NEAR(TruncLog(std::exp(1.0)), 1.0f, 1e-6);
+  EXPECT_FLOAT_EQ(TruncLog(0.0), 0.0f);
+  EXPECT_FLOAT_EQ(TruncLog(-3.0), 0.0f);
+}
+
+TEST(NetmfTest, DenseMatchesHandComputedLine) {
+  // T=1 reduces to the LINE matrix: trunc_log(vol/b * A_uv/(d_u d_v)).
+  const CsrGraph g = SmallTestGraph();
+  Matrix m = ComputeDenseNetmf(g, 1, 1.0);
+  for (NodeId u = 0; u < g.NumVertices(); ++u) {
+    for (NodeId v = 0; v < g.NumVertices(); ++v) {
+      bool edge = false;
+      g.MapNeighbors(u, [&](NodeId w) { edge |= (w == v); });
+      const double expect =
+          edge ? TruncLog(g.Volume() /
+                          (static_cast<double>(g.Degree(u)) * g.Degree(v)))
+               : 0.0;
+      EXPECT_NEAR(m.At(u, v), expect, 1e-5);
+    }
+  }
+}
+
+TEST(NetmfTest, SparsifierAfterTransformApproximatesDenseNetmf) {
+  const CsrGraph g = SmallTestGraph();
+  const uint32_t window = 3;
+  SparsifierOptions opt;
+  opt.num_samples = 3000000;
+  opt.window = window;
+  opt.seed = 11;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  SparseMatrix s = std::move(r->matrix);
+  ApplyNetmfTransform(g, opt.num_samples, 1.0, &s);
+  Matrix dense = ComputeDenseNetmf(g, window, 1.0);
+  for (NodeId a = 0; a < g.NumVertices(); ++a) {
+    for (NodeId b = 0; b < g.NumVertices(); ++b) {
+      EXPECT_NEAR(s.At(a, b), dense.At(a, b), 0.15 * dense.At(a, b) + 0.12)
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(NetmfTest, TransformPrunesTruncatedEntries) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 2));
+  SparsifierOptions opt;
+  opt.num_samples = 100000;
+  opt.window = 5;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  SparseMatrix s = std::move(r->matrix);
+  const uint64_t before = s.nnz();
+  ApplyNetmfTransform(g, opt.num_samples, 1.0, &s);
+  EXPECT_LT(s.nnz(), before);
+  for (float v : s.values()) EXPECT_GT(v, 0.0f);
+}
+
+// --------------------------------------------------- spectral propagation --
+
+TEST(PropagationTest, OrderOneIsIdentity) {
+  const CsrGraph g = SmallTestGraph();
+  Matrix x = Matrix::Gaussian(g.NumVertices(), 4, 3);
+  SpectralPropagationOptions opt;
+  opt.order = 1;
+  Matrix y = SpectralPropagate(g, x, opt);
+  EXPECT_EQ(MaxAbsDiff(x, y), 0.0);
+}
+
+TEST(PropagationTest, OutputRowsAreUnitNorm) {
+  std::vector<NodeId> community;
+  const CsrGraph g =
+      CsrGraph::FromEdges(GenerateSbm(1000, 4, 8000, 0.7, 2, &community));
+  Matrix x = Matrix::Gaussian(g.NumVertices(), 16, 5);
+  Matrix y = SpectralPropagate(g, x);
+  ASSERT_EQ(y.rows(), x.rows());
+  ASSERT_EQ(y.cols(), x.cols());
+  for (uint64_t i = 0; i < y.rows(); ++i) {
+    const double norm = y.RowNorm(i);
+    EXPECT_TRUE(norm < 1e-9 || std::fabs(norm - 1.0) < 1e-4) << i;
+  }
+}
+
+TEST(PropagationTest, DeterministicAndRepresentationIndependent) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(9, 4000, 31));
+  const CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  Matrix x = Matrix::Gaussian(g.NumVertices(), 8, 9);
+  Matrix a = SpectralPropagate(g, x);
+  Matrix b = SpectralPropagate(g, x);
+  Matrix c = SpectralPropagate(cg, x);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
+  EXPECT_LT(MaxAbsDiff(a, c), 1e-6);
+}
+
+TEST(PropagationTest, SmoothingRowsNormalizedAndSpanPreserved) {
+  Matrix mm = Matrix::Gaussian(50, 5, 2);
+  Matrix out = DenseSvdSmoothing(mm);
+  ASSERT_EQ(out.rows(), 50u);
+  ASSERT_EQ(out.cols(), 5u);
+  for (uint64_t i = 0; i < out.rows(); ++i) {
+    EXPECT_NEAR(out.RowNorm(i), 1.0, 1e-4);
+  }
+}
+
+// ---------------------------------------------------------------- LightNE --
+
+TEST(LightNeTest, RejectsBadInputs) {
+  EdgeList empty;
+  empty.num_vertices = 0;
+  const CsrGraph g = CsrGraph::FromEdges(std::move(empty));
+  LightNeOptions opt;
+  EXPECT_FALSE(RunLightNe(g, opt).ok());
+
+  const CsrGraph g2 = SmallTestGraph();
+  LightNeOptions big;
+  big.dim = 100;  // > n
+  EXPECT_FALSE(RunLightNe(g2, big).ok());
+}
+
+TEST(LightNeTest, EndToEndShapeTimingAndFiniteness) {
+  std::vector<NodeId> community;
+  const CsrGraph g = CsrGraph::FromEdges(
+      GenerateSbm(2000, 5, 16000, 0.8, 17, &community));
+  LightNeOptions opt;
+  opt.dim = 32;
+  opt.window = 5;
+  opt.samples_ratio = 2.0;
+  auto r = RunLightNe(g, opt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->embedding.rows(), g.NumVertices());
+  EXPECT_EQ(r->embedding.cols(), 32u);
+  for (uint64_t k = 0; k < r->embedding.rows() * r->embedding.cols(); ++k) {
+    ASSERT_TRUE(std::isfinite(r->embedding.data()[k]));
+  }
+  EXPECT_GT(r->timing.SecondsFor("sparsifier"), 0.0);
+  EXPECT_GT(r->timing.SecondsFor("rsvd"), 0.0);
+  EXPECT_GT(r->timing.SecondsFor("propagation"), 0.0);
+  EXPECT_GT(r->sparsifier_nnz, 0u);
+  EXPECT_LE(r->sparsifier_nnz, r->sparsifier_nnz_raw);
+}
+
+TEST(LightNeTest, EmbeddingSeparatesPlantedCommunities) {
+  std::vector<NodeId> community;
+  const CsrGraph g = CsrGraph::FromEdges(
+      GenerateSbm(3000, 4, 30000, 0.85, 23, &community));
+  LightNeOptions opt;
+  opt.dim = 16;
+  opt.window = 5;
+  opt.samples_ratio = 3.0;
+  auto r = RunLightNe(g, opt);
+  ASSERT_TRUE(r.ok());
+  Matrix x = r->embedding;
+  x.NormalizeRows();
+  // Average cosine similarity: same-community pairs vs different.
+  Rng rng(4);
+  double intra = 0, inter = 0;
+  int intra_count = 0, inter_count = 0;
+  for (int t = 0; t < 40000; ++t) {
+    NodeId a = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    NodeId b = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    if (a == b) continue;
+    double dot = 0;
+    for (uint64_t j = 0; j < x.cols(); ++j) {
+      dot += static_cast<double>(x.At(a, j)) * x.At(b, j);
+    }
+    if (community[a] == community[b]) {
+      intra += dot;
+      ++intra_count;
+    } else {
+      inter += dot;
+      ++inter_count;
+    }
+  }
+  ASSERT_GT(intra_count, 100);
+  ASSERT_GT(inter_count, 100);
+  EXPECT_GT(intra / intra_count, inter / inter_count + 0.1);
+}
+
+TEST(LightNeTest, CompressedGraphGivesIdenticalEmbedding) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 10000, 29));
+  const CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 4;
+  opt.samples_ratio = 1.0;
+  auto a = RunLightNe(g, opt);
+  auto b = RunLightNe(cg, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_LT(MaxAbsDiff(a->embedding, b->embedding), 1e-5);
+}
+
+TEST(LightNeTest, PropagationOffSkipsStage) {
+  const CsrGraph g = SmallTestGraph();
+  LightNeOptions opt;
+  opt.dim = 4;
+  opt.window = 3;
+  opt.samples_ratio = 20.0;
+  opt.spectral_propagation = false;
+  auto r = RunLightNe(g, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->timing.SecondsFor("propagation"), 0.0);
+  EXPECT_EQ(r->timing.stages().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lightne

@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "graph/types.h"
+#include "la/embedding_io.h"
+#include "la/matrix.h"
+#include "la/qr.h"
+#include "la/rsvd.h"
+#include "la/sparse.h"
+#include "la/special.h"
+#include "la/svd.h"
+#include "util/random.h"
+
+namespace lightne {
+namespace {
+
+Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (uint64_t i = 0; i < a.rows(); ++i) {
+    for (uint64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0;
+      for (uint64_t k = 0; k < a.cols(); ++k) {
+        acc += static_cast<double>(a.At(i, k)) * b.At(k, j);
+      }
+      c.At(i, j) = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+// ----------------------------------------------------------------- Matrix --
+
+TEST(MatrixTest, GaussianIsDeterministicAndStandardized) {
+  Matrix a = Matrix::Gaussian(2000, 8, 3);
+  Matrix b = Matrix::Gaussian(2000, 8, 3);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
+  double sum = 0, sq = 0;
+  for (uint64_t i = 0; i < a.rows(); ++i) {
+    for (uint64_t j = 0; j < a.cols(); ++j) {
+      sum += a.At(i, j);
+      sq += static_cast<double>(a.At(i, j)) * a.At(i, j);
+    }
+  }
+  const double n = static_cast<double>(a.rows() * a.cols());
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(MatrixTest, GemmMatchesNaive) {
+  Matrix a = Matrix::Gaussian(37, 23, 1);
+  Matrix b = Matrix::Gaussian(23, 41, 2);
+  EXPECT_LT(MaxAbsDiff(Gemm(a, b), NaiveGemm(a, b)), 1e-4);
+}
+
+TEST(MatrixTest, GemmTNMatchesTransposeThenGemm) {
+  Matrix a = Matrix::Gaussian(5000, 12, 4);
+  Matrix b = Matrix::Gaussian(5000, 9, 5);
+  Matrix expect = NaiveGemm(Transpose(a), b);
+  EXPECT_LT(MaxAbsDiff(GemmTN(a, b), expect), 2e-3);
+}
+
+TEST(MatrixTest, IdentityGemmIsNoop) {
+  Matrix a = Matrix::Gaussian(16, 16, 6);
+  EXPECT_LT(MaxAbsDiff(Gemm(a, Matrix::Identity(16)), a), 1e-6);
+  EXPECT_LT(MaxAbsDiff(Gemm(Matrix::Identity(16), a), a), 1e-6);
+}
+
+TEST(MatrixTest, ScaleAndColumnsAndNorms) {
+  Matrix a(2, 3);
+  a.At(0, 0) = 3;
+  a.At(0, 1) = 4;
+  a.At(1, 2) = 2;
+  EXPECT_DOUBLE_EQ(a.RowNorm(0), 5.0);
+  EXPECT_NEAR(a.FrobeniusNorm(), std::sqrt(29.0), 1e-6);
+  a.Scale(2.0f);
+  EXPECT_DOUBLE_EQ(a.RowNorm(0), 10.0);
+  a.ScaleColumns({1.0f, 0.5f, 1.0f});
+  EXPECT_FLOAT_EQ(a.At(0, 1), 4.0f);
+  a.NormalizeRows();
+  EXPECT_NEAR(a.RowNorm(0), 1.0, 1e-6);
+  EXPECT_NEAR(a.RowNorm(1), 1.0, 1e-6);
+}
+
+TEST(MatrixTest, FirstColumnsSelectsPrefix) {
+  Matrix a = Matrix::Gaussian(10, 7, 8);
+  Matrix b = a.FirstColumns(3);
+  ASSERT_EQ(b.cols(), 3u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    for (uint64_t j = 0; j < 3; ++j) EXPECT_EQ(b.At(i, j), a.At(i, j));
+  }
+}
+
+// --------------------------------------------------------------------- QR --
+
+void ExpectOrthonormal(const Matrix& q, double tol) {
+  Matrix gram = GemmTN(q, q);
+  EXPECT_LT(MaxAbsDiff(gram, Matrix::Identity(q.cols())), tol);
+}
+
+class QrShapes
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(QrShapes, QIsOrthonormalAndQRReconstructs) {
+  const auto [n, q] = GetParam();
+  Matrix a = Matrix::Gaussian(n, q, n + q);
+  Matrix original = a;
+  Matrix r = HouseholderQr(&a);
+  ExpectOrthonormal(a, 1e-4);
+  // R upper triangular.
+  for (uint64_t i = 0; i < q; ++i) {
+    for (uint64_t j = 0; j < i; ++j) EXPECT_EQ(r.At(i, j), 0.0f);
+  }
+  EXPECT_LT(MaxAbsDiff(Gemm(a, r), original), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(std::make_pair(4ull, 4ull),
+                                           std::make_pair(64ull, 8ull),
+                                           std::make_pair(1000ull, 1ull),
+                                           std::make_pair(5000ull, 40ull)));
+
+TEST(QrTest, TsqrMatchesContractOnTallMatrix) {
+  Matrix a = Matrix::Gaussian(20000, 24, 11);
+  Matrix original = a;
+  Matrix r = TsqrFactorize(&a);
+  ExpectOrthonormal(a, 1e-4);
+  EXPECT_LT(MaxAbsDiff(Gemm(a, r), original), 2e-3);
+}
+
+TEST(QrTest, RankDeficientInputStillGivesOrthonormalQ) {
+  // Two identical columns.
+  Matrix a = Matrix::Gaussian(200, 1, 13);
+  Matrix dup(200, 3);
+  for (uint64_t i = 0; i < 200; ++i) {
+    dup.At(i, 0) = a.At(i, 0);
+    dup.At(i, 1) = a.At(i, 0);
+    dup.At(i, 2) = 2.0f * a.At(i, 0);
+  }
+  Matrix r = HouseholderQr(&dup);
+  Matrix gram = GemmTN(dup, dup);
+  // Diagonal entries are 0 or 1; off-diagonals ~0.
+  for (uint64_t i = 0; i < 3; ++i) {
+    for (uint64_t j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(gram.At(i, j), 0.0, 1e-4);
+      }
+    }
+  }
+  // R reflects rank 1: second and third rows ~0.
+  EXPECT_NEAR(r.At(1, 1), 0.0, 1e-3);
+  EXPECT_NEAR(r.At(2, 2), 0.0, 1e-3);
+}
+
+// -------------------------------------------------------------------- SVD --
+
+TEST(SvdTest, ReconstructsRandomMatrix) {
+  Matrix a = Matrix::Gaussian(30, 12, 21);
+  SvdResult svd = JacobiSvd(a);
+  // U diag(sigma) V^T == A.
+  Matrix us = svd.u;
+  us.ScaleColumns(svd.sigma);
+  Matrix recon = Gemm(us, Transpose(svd.v));
+  EXPECT_LT(MaxAbsDiff(recon, a), 1e-4);
+  // Orthonormality and ordering.
+  ExpectOrthonormal(svd.u, 1e-4);
+  ExpectOrthonormal(svd.v, 1e-4);
+  for (size_t i = 1; i < svd.sigma.size(); ++i) {
+    EXPECT_GE(svd.sigma[i - 1], svd.sigma[i]);
+  }
+}
+
+TEST(SvdTest, DiagonalMatrixGivesExactSingularValues) {
+  Matrix a(5, 5);
+  const float diag[5] = {3.0f, 1.0f, 4.0f, 1.5f, 9.0f};
+  for (int i = 0; i < 5; ++i) a.At(i, i) = diag[i];
+  SvdResult svd = JacobiSvd(a);
+  std::vector<float> expect = {9.0f, 4.0f, 3.0f, 1.5f, 1.0f};
+  for (int i = 0; i < 5; ++i) EXPECT_NEAR(svd.sigma[i], expect[i], 1e-5);
+}
+
+TEST(SvdTest, RankDeficientSigmaHasZeros) {
+  Matrix a(10, 4);
+  Matrix g = Matrix::Gaussian(10, 2, 31);
+  for (uint64_t i = 0; i < 10; ++i) {
+    a.At(i, 0) = g.At(i, 0);
+    a.At(i, 1) = g.At(i, 1);
+    a.At(i, 2) = g.At(i, 0) + g.At(i, 1);
+    a.At(i, 3) = g.At(i, 0) - g.At(i, 1);
+  }
+  SvdResult svd = JacobiSvd(a);
+  EXPECT_GT(svd.sigma[1], 1e-3);
+  EXPECT_NEAR(svd.sigma[2], 0.0, 1e-3);
+  EXPECT_NEAR(svd.sigma[3], 0.0, 1e-3);
+}
+
+// ----------------------------------------------------------------- Sparse --
+
+TEST(SparseTest, FromEntriesSumsDuplicates) {
+  std::vector<std::pair<uint64_t, double>> entries = {
+      {PackEdge(0, 1), 1.0}, {PackEdge(1, 0), 2.0}, {PackEdge(0, 1), 3.0},
+      {PackEdge(2, 2), 5.0}};
+  SparseMatrix m = SparseMatrix::FromEntries(3, 3, std::move(entries));
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 2), 5.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 0.0f);
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  Rng rng(17);
+  std::vector<std::pair<uint64_t, double>> entries;
+  const uint64_t n = 200;
+  for (int k = 0; k < 2000; ++k) {
+    entries.push_back({PackEdge(static_cast<NodeId>(rng.UniformInt(n)),
+                                static_cast<NodeId>(rng.UniformInt(n))),
+                       rng.Uniform()});
+  }
+  SparseMatrix s = SparseMatrix::FromEntries(n, n, std::move(entries));
+  Matrix x = Matrix::Gaussian(n, 7, 3);
+  Matrix got = s.Multiply(x);
+  Matrix expect = NaiveGemm(s.ToDense(), x);
+  EXPECT_LT(MaxAbsDiff(got, expect), 1e-3);
+}
+
+TEST(SparseTest, TransposeTwiceIsIdentity) {
+  Rng rng(23);
+  std::vector<std::pair<uint64_t, double>> entries;
+  for (int k = 0; k < 1000; ++k) {
+    entries.push_back({PackEdge(static_cast<NodeId>(rng.UniformInt(100)),
+                                static_cast<NodeId>(rng.UniformInt(150))),
+                       rng.Uniform()});
+  }
+  SparseMatrix m = SparseMatrix::FromEntries(100, 150, std::move(entries));
+  SparseMatrix tt = m.Transposed().Transposed();
+  ASSERT_EQ(tt.nnz(), m.nnz());
+  EXPECT_LT(MaxAbsDiff(tt.ToDense(), m.ToDense()), 1e-7);
+  // Transpose really flips.
+  EXPECT_LT(MaxAbsDiff(m.Transposed().ToDense(), Transpose(m.ToDense())),
+            1e-7);
+}
+
+TEST(SparseTest, TransformAndPrune) {
+  std::vector<std::pair<uint64_t, double>> entries = {
+      {PackEdge(0, 0), 1.0}, {PackEdge(0, 1), -2.0}, {PackEdge(1, 1), 3.0}};
+  SparseMatrix m = SparseMatrix::FromEntries(2, 2, std::move(entries));
+  m.TransformEntries([](uint64_t, uint32_t, float v) { return v + 1.0f; });
+  EXPECT_FLOAT_EQ(m.At(0, 1), -1.0f);
+  m.Prune(0.0f);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 4.0f);
+}
+
+TEST(SparseTest, RowSums) {
+  std::vector<std::pair<uint64_t, double>> entries = {
+      {PackEdge(0, 0), 1.5}, {PackEdge(0, 2), 2.5}, {PackEdge(2, 1), -1.0}};
+  SparseMatrix m = SparseMatrix::FromEntries(3, 3, std::move(entries));
+  auto sums = m.RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 4.0);
+  EXPECT_DOUBLE_EQ(sums[1], 0.0);
+  EXPECT_DOUBLE_EQ(sums[2], -1.0);
+}
+
+// ------------------------------------------------------------------- rSVD --
+
+// Builds a sparse symmetric matrix with planted low-rank structure plus a
+// sparse pattern: block-diagonal cliques with strong weights.
+SparseMatrix PlantedBlockMatrix(uint64_t n, uint64_t blocks, double weight) {
+  std::vector<std::pair<uint64_t, double>> entries;
+  const uint64_t size = n / blocks;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    for (uint64_t i = b * size; i < (b + 1) * size; ++i) {
+      for (uint64_t j = b * size; j < (b + 1) * size; ++j) {
+        entries.push_back({PackEdge(static_cast<NodeId>(i),
+                                    static_cast<NodeId>(j)),
+                           weight});
+      }
+    }
+  }
+  return SparseMatrix::FromEntries(n, n, std::move(entries));
+}
+
+TEST(RsvdTest, RecoversPlantedSpectrum) {
+  // 4 blocks of 50 all-ones => eigenvalues {50, 50, 50, 50, 0, ...}.
+  SparseMatrix a = PlantedBlockMatrix(200, 4, 1.0);
+  RandomizedSvdOptions opt;
+  opt.rank = 6;
+  opt.oversample = 8;
+  opt.symmetric = true;
+  opt.seed = 5;
+  auto svd = RandomizedSvd(a, opt);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(svd.sigma[i], 50.0, 0.5) << i;
+  EXPECT_NEAR(svd.sigma[4], 0.0, 0.5);
+  EXPECT_NEAR(svd.sigma[5], 0.0, 0.5);
+}
+
+TEST(RsvdTest, ReconstructionErrorSmallForLowRank) {
+  SparseMatrix a = PlantedBlockMatrix(120, 3, 2.0);
+  RandomizedSvdOptions opt;
+  opt.rank = 3;
+  opt.oversample = 10;
+  opt.symmetric = true;
+  auto svd = RandomizedSvd(a, opt);
+  Matrix us = svd.u;
+  us.ScaleColumns(svd.sigma);
+  Matrix recon = Gemm(us, Transpose(svd.v));
+  EXPECT_LT(MaxAbsDiff(recon, a.ToDense()), 0.05);
+}
+
+TEST(RsvdTest, NonSymmetricPathMatchesSymmetricOnSymmetricInput) {
+  SparseMatrix a = PlantedBlockMatrix(100, 2, 1.5);
+  RandomizedSvdOptions opt;
+  opt.rank = 4;
+  opt.oversample = 6;
+  opt.seed = 9;
+  opt.symmetric = false;
+  auto svd_general = RandomizedSvd(a, opt);
+  opt.symmetric = true;
+  auto svd_symmetric = RandomizedSvd(a, opt);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(svd_general.sigma[i], svd_symmetric.sigma[i], 1.0) << i;
+  }
+}
+
+TEST(RsvdTest, PowerIterationsImproveSpectralDecay) {
+  // A matrix with slowly decaying tail; power iterations should sharpen the
+  // captured leading value (never worsen it materially).
+  Rng rng(3);
+  std::vector<std::pair<uint64_t, double>> entries;
+  const uint64_t n = 300;
+  for (uint64_t i = 0; i < n; ++i) {
+    for (int k = 0; k < 6; ++k) {
+      NodeId j = static_cast<NodeId>(rng.UniformInt(n));
+      double v = rng.Uniform();
+      entries.push_back({PackEdge(static_cast<NodeId>(i), j), v});
+      entries.push_back({PackEdge(j, static_cast<NodeId>(i)), v});
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromEntries(n, n, std::move(entries));
+  RandomizedSvdOptions base;
+  base.rank = 8;
+  base.oversample = 4;
+  base.symmetric = true;
+  auto plain = RandomizedSvd(a, base);
+  base.power_iters = 3;
+  auto powered = RandomizedSvd(a, base);
+  EXPECT_GE(powered.sigma[0], plain.sigma[0] - 0.05);
+}
+
+TEST(RsvdTest, EmbeddingScalesBySqrtSigma) {
+  RandomizedSvdResult svd;
+  svd.u = Matrix::Identity(3);
+  svd.sigma = {4.0f, 1.0f, 0.0f};
+  svd.v = Matrix::Identity(3);
+  Matrix x = EmbeddingFromSvd(svd);
+  EXPECT_FLOAT_EQ(x.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.At(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(x.At(2, 2), 0.0f);
+}
+
+// ----------------------------------------------------------- embedding IO --
+
+TEST(EmbeddingIoTest, TextRoundTrip) {
+  Matrix x = Matrix::Gaussian(50, 7, 3);
+  const std::string path = ::testing::TempDir() + "/emb.txt";
+  ASSERT_TRUE(SaveEmbeddingText(x, path).ok());
+  auto loaded = LoadEmbeddingText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows(), 50u);
+  ASSERT_EQ(loaded->cols(), 7u);
+  EXPECT_LT(MaxAbsDiff(*loaded, x), 1e-4);  // %.6g text precision
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, BinaryRoundTripIsExact) {
+  Matrix x = Matrix::Gaussian(128, 16, 9);
+  const std::string path = ::testing::TempDir() + "/emb.bin";
+  ASSERT_TRUE(SaveEmbeddingBinary(x, path).ok());
+  auto loaded = LoadEmbeddingBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(MaxAbsDiff(*loaded, x), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/emb_garbage";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "not an embedding\n");
+  std::fclose(f);
+  EXPECT_FALSE(LoadEmbeddingText(path).ok());
+  EXPECT_FALSE(LoadEmbeddingBinary(path).ok());
+  EXPECT_FALSE(LoadEmbeddingText("/nonexistent/x").ok());
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, TextRejectsDuplicateAndOutOfRangeIds) {
+  const std::string path = ::testing::TempDir() + "/emb_dup.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "2 2\n0 1.0 2.0\n0 3.0 4.0\n");
+  std::fclose(f);
+  EXPECT_FALSE(LoadEmbeddingText(path).ok());
+  f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "2 2\n0 1.0 2.0\n5 3.0 4.0\n");
+  std::fclose(f);
+  EXPECT_FALSE(LoadEmbeddingText(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingIoTest, EmptyMatrixRoundTrips) {
+  Matrix x(0, 0);
+  const std::string path = ::testing::TempDir() + "/emb_empty.bin";
+  ASSERT_TRUE(SaveEmbeddingBinary(x, path).ok());
+  auto loaded = LoadEmbeddingBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Bessel --
+
+TEST(SpecialTest, BesselIMatchesReferenceValues) {
+  // Reference values from standard tables.
+  EXPECT_NEAR(BesselI(0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(BesselI(1, 0.0), 0.0, 1e-12);
+  EXPECT_NEAR(BesselI(0, 0.5), 1.0634833707413236, 1e-10);
+  EXPECT_NEAR(BesselI(1, 0.5), 0.25789430539089632, 1e-10);
+  EXPECT_NEAR(BesselI(2, 0.5), 0.031906149177738255, 1e-10);
+  EXPECT_NEAR(BesselI(0, 1.0), 1.2660658777520084, 1e-10);
+  EXPECT_NEAR(BesselI(3, 2.0), 0.21273995923985267, 1e-10);
+}
+
+TEST(SpecialTest, BesselIDecaysInOrder) {
+  for (uint32_t k = 0; k < 10; ++k) {
+    EXPECT_GT(BesselI(k, 0.5), BesselI(k + 1, 0.5));
+  }
+}
+
+}  // namespace
+}  // namespace lightne

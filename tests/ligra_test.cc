@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "data/generators.h"
+#include "graph/bfs.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/edge_map.h"
+#include "graph/pagerank.h"
+#include "graph/vertex_subset.h"
+
+namespace lightne {
+namespace {
+
+// Sequential reference BFS.
+std::vector<uint32_t> ReferenceBfs(const CsrGraph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.NumVertices(), kUnreached);
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+// ----------------------------------------------------------- VertexSubset --
+
+TEST(VertexSubsetTest, SparseDenseRoundTrip) {
+  VertexSubset s(100, std::vector<NodeId>{3, 7, 42});
+  EXPECT_TRUE(s.is_sparse());
+  EXPECT_EQ(s.Size(), 3u);
+  EXPECT_TRUE(s.Contains(7));
+  EXPECT_FALSE(s.Contains(8));
+  s.Densify();
+  EXPECT_FALSE(s.is_sparse());
+  EXPECT_EQ(s.Size(), 3u);
+  EXPECT_TRUE(s.Contains(42));
+  s.Sparsify();
+  EXPECT_EQ(s.ToIds(), (std::vector<NodeId>{3, 7, 42}));
+}
+
+TEST(VertexSubsetTest, EmptyAndSingle) {
+  VertexSubset empty(10);
+  EXPECT_TRUE(empty.Empty());
+  VertexSubset one = VertexSubset::Single(10, 4);
+  EXPECT_EQ(one.Size(), 1u);
+  EXPECT_TRUE(one.Contains(4));
+}
+
+TEST(VertexSubsetTest, MapVisitsAllMembers) {
+  VertexSubset s(1000, std::vector<NodeId>{1, 500, 999});
+  std::atomic<uint64_t> sum{0};
+  s.Map([&](NodeId v) { sum.fetch_add(v); });
+  EXPECT_EQ(sum.load(), 1500u);
+  s.Densify();
+  sum = 0;
+  s.Map([&](NodeId v) { sum.fetch_add(v); });
+  EXPECT_EQ(sum.load(), 1500u);
+}
+
+// ---------------------------------------------------------------- EdgeMap --
+
+TEST(EdgeMapTest, SparseAndDenseAgree) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 3));
+  VertexSubset frontier(g.NumVertices(),
+                        std::vector<NodeId>{1, 2, 3, 10, 100});
+  auto always = [](NodeId, NodeId) { return true; };
+  auto any = [](NodeId) { return true; };
+  EdgeMapOptions sparse_opt;
+  sparse_opt.force_direction = 1;
+  EdgeMapOptions dense_opt;
+  dense_opt.force_direction = 2;
+  VertexSubset frontier2 = frontier;
+  VertexSubset out_sparse = EdgeMap(g, frontier, always, any, sparse_opt);
+  VertexSubset out_dense = EdgeMap(g, frontier2, always, any, dense_opt);
+  EXPECT_EQ(out_sparse.ToIds(), out_dense.ToIds());
+  EXPECT_GT(out_sparse.Size(), 0u);
+}
+
+TEST(EdgeMapTest, CondFiltersTargets) {
+  // Star graph: center 0.
+  EdgeList list;
+  list.num_vertices = 10;
+  for (NodeId v = 1; v < 10; ++v) list.Add(0, v);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  VertexSubset frontier = VertexSubset::Single(10, 0);
+  VertexSubset out = EdgeMap(
+      g, frontier, [](NodeId, NodeId) { return true; },
+      [](NodeId v) { return v % 2 == 0; });
+  EXPECT_EQ(out.ToIds(), (std::vector<NodeId>{2, 4, 6, 8}));
+}
+
+TEST(EdgeMapTest, UpdateReturnValueControlsOutput) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.Add(0, 1);
+  list.Add(0, 2);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  VertexSubset frontier = VertexSubset::Single(5, 0);
+  VertexSubset out = EdgeMap(
+      g, frontier, [](NodeId, NodeId v) { return v == 2; },
+      [](NodeId) { return true; });
+  EXPECT_EQ(out.ToIds(), (std::vector<NodeId>{2}));
+}
+
+TEST(VertexFilterTest, SelectsSubset) {
+  VertexSubset s(100, std::vector<NodeId>{1, 2, 3, 4, 5});
+  VertexSubset out = VertexFilter(s, [](NodeId v) { return v >= 3; });
+  EXPECT_EQ(out.ToIds(), (std::vector<NodeId>{3, 4, 5}));
+}
+
+// -------------------------------------------------------------------- BFS --
+
+class BfsAgainstReference : public ::testing::TestWithParam<int> {};
+
+TEST_P(BfsAgainstReference, DistancesMatch) {
+  const int seed = GetParam();
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(11, 12000, seed));
+  NodeId source = 0;
+  while (g.Degree(source) == 0) ++source;
+  BfsResult got = Bfs(g, source);
+  std::vector<uint32_t> expect = ReferenceBfs(g, source);
+  ASSERT_EQ(got.distance, expect);
+  // Parent pointers are consistent: parent is one level closer.
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (got.distance[v] == kUnreached || v == source) continue;
+    EXPECT_EQ(got.distance[got.parent[v]] + 1, got.distance[v]) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsAgainstReference, ::testing::Values(1, 2, 3, 7));
+
+TEST(BfsTest, CompressedGraphMatchesCsr) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(5000, 30000, 5));
+  CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  BfsResult a = Bfs(g, 17);
+  BfsResult b = Bfs(cg, 17);
+  EXPECT_EQ(a.distance, b.distance);
+  EXPECT_EQ(a.num_reached, b.num_reached);
+}
+
+TEST(BfsTest, DisconnectedPiecesUnreached) {
+  EdgeList list;
+  list.num_vertices = 6;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(3, 4);  // separate component; 5 isolated
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  BfsResult r = Bfs(g, 0);
+  EXPECT_EQ(r.distance[2], 2u);
+  EXPECT_EQ(r.distance[3], kUnreached);
+  EXPECT_EQ(r.distance[5], kUnreached);
+  EXPECT_EQ(r.num_reached, 3u);
+  EXPECT_EQ(r.num_rounds, 2u);
+}
+
+TEST(BfsTest, ForcedDirectionsAgree) {
+  std::vector<NodeId> community;
+  CsrGraph g =
+      CsrGraph::FromEdges(GenerateSbm(3000, 5, 20000, 0.7, 11, &community));
+  EdgeMapOptions sparse_opt;
+  sparse_opt.force_direction = 1;
+  EdgeMapOptions dense_opt;
+  dense_opt.force_direction = 2;
+  BfsResult a = Bfs(g, 3, sparse_opt);
+  BfsResult b = Bfs(g, 3, dense_opt);
+  EXPECT_EQ(a.distance, b.distance);
+}
+
+// --------------------------------------------------------------- PageRank --
+
+TEST(PageRankTest, SumsToOneAndConverges) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(12, 30000, 9));
+  PageRankResult r = PageRank(g);
+  double total = 0;
+  for (double p : r.rank) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  EXPECT_LT(r.final_delta, 1e-8);
+  EXPECT_LT(r.iterations, 100u);
+}
+
+TEST(PageRankTest, UniformOnRegularGraph) {
+  // Cycle graph: every vertex identical => uniform rank.
+  EdgeList list;
+  const NodeId n = 100;
+  list.num_vertices = n;
+  for (NodeId v = 0; v < n; ++v) list.Add(v, (v + 1) % n);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  PageRankResult r = PageRank(g);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(r.rank[v], 1.0 / n, 1e-9);
+  }
+}
+
+TEST(PageRankTest, HubOutranksLeaves) {
+  EdgeList list;
+  list.num_vertices = 11;
+  for (NodeId v = 1; v <= 10; ++v) list.Add(0, v);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  PageRankResult r = PageRank(g);
+  for (NodeId v = 1; v <= 10; ++v) EXPECT_GT(r.rank[0], r.rank[v]);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  EdgeList list;
+  list.num_vertices = 4;  // vertex 3 isolated (dangling)
+  list.Add(0, 1);
+  list.Add(1, 2);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  PageRankResult r = PageRank(g);
+  double total = 0;
+  for (double p : r.rank) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(r.rank[3], 0.0);
+}
+
+}  // namespace
+}  // namespace lightne

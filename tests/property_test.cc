@@ -1,0 +1,292 @@
+// Cross-module property tests: invariants checked over parameter sweeps
+// (TEST_P) rather than single examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/netmf.h"
+#include "core/sparsifier.h"
+#include "core/spectral_propagation.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/edge_map.h"
+#include "graph/pagerank.h"
+#include "la/qr.h"
+#include "la/rsvd.h"
+#include "util/random.h"
+
+namespace lightne {
+namespace {
+
+// ---------------------------------------------------------- compression ----
+
+enum class Family { kRmat, kErdosRenyi, kBarabasiAlbert, kSbm };
+
+EdgeList MakeFamily(Family family, uint64_t seed) {
+  switch (family) {
+    case Family::kRmat:
+      return GenerateRmat(11, 30000, seed);
+    case Family::kErdosRenyi:
+      return GenerateErdosRenyi(2000, 20000, seed);
+    case Family::kBarabasiAlbert:
+      return GenerateBarabasiAlbert(2000, 4, seed);
+    case Family::kSbm: {
+      std::vector<NodeId> community;
+      return GenerateSbm(2000, 8, 20000, 0.7, seed, &community);
+    }
+  }
+  return {};
+}
+
+class CompressionFamilies
+    : public ::testing::TestWithParam<std::tuple<Family, uint32_t>> {};
+
+TEST_P(CompressionFamilies, RoundTripAndRandomAccess) {
+  const auto [family, block] = GetParam();
+  CsrGraph g = CsrGraph::FromEdges(MakeFamily(family, 3));
+  CompressedGraph cg = CompressedGraph::FromCsr(g, block);
+  ASSERT_EQ(cg.NumDirectedEdges(), g.NumDirectedEdges());
+  Rng rng(7);
+  for (int trial = 0; trial < 5000; ++trial) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    ASSERT_EQ(cg.Degree(v), g.Degree(v));
+    if (g.Degree(v) == 0) continue;
+    uint64_t i = rng.UniformInt(g.Degree(v));
+    ASSERT_EQ(cg.Neighbor(v, i), g.Neighbor(v, i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressionFamilies,
+    ::testing::Combine(::testing::Values(Family::kRmat, Family::kErdosRenyi,
+                                         Family::kBarabasiAlbert,
+                                         Family::kSbm),
+                       ::testing::Values(4u, 64u, 1024u)));
+
+// ------------------------------------------------------------------ rSVD ----
+
+class RsvdPlantedRank
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(RsvdPlantedRank, RecoversBlockSpectrum) {
+  const auto [n, blocks] = GetParam();
+  // Block-diagonal all-ones: eigenvalues = block sizes, multiplicity 1 each,
+  // rest zero.
+  std::vector<std::pair<uint64_t, double>> entries;
+  const uint64_t size = n / blocks;
+  for (uint64_t b = 0; b < blocks; ++b) {
+    for (uint64_t i = b * size; i < (b + 1) * size; ++i) {
+      for (uint64_t j = b * size; j < (b + 1) * size; ++j) {
+        entries.push_back({PackEdge(static_cast<NodeId>(i),
+                                    static_cast<NodeId>(j)),
+                           1.0});
+      }
+    }
+  }
+  SparseMatrix a = SparseMatrix::FromEntries(n, n, std::move(entries));
+  RandomizedSvdOptions opt;
+  opt.rank = blocks + 2;
+  opt.oversample = 8;
+  opt.symmetric = true;
+  opt.power_iters = 1;
+  opt.seed = n + blocks;
+  auto svd = RandomizedSvd(a, opt);
+  for (uint64_t i = 0; i < blocks; ++i) {
+    EXPECT_NEAR(svd.sigma[i], static_cast<double>(size), 0.02 * size) << i;
+  }
+  EXPECT_NEAR(svd.sigma[blocks], 0.0, 0.02 * size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RsvdPlantedRank,
+                         ::testing::Values(std::make_tuple(64ull, 2ull),
+                                           std::make_tuple(240ull, 4ull),
+                                           std::make_tuple(900ull, 9ull)));
+
+// -------------------------------------------------------------------- QR ----
+
+TEST(QrProperty, TsqrAndHouseholderAgreeUpToColumnSigns) {
+  Matrix a = Matrix::Gaussian(30000, 12, 3);
+  Matrix a2 = a;
+  Matrix r1 = HouseholderQr(&a);
+  Matrix r2 = TsqrFactorize(&a2);
+  // R is unique up to row signs for a full-rank matrix.
+  for (uint64_t i = 0; i < 12; ++i) {
+    for (uint64_t j = 0; j < 12; ++j) {
+      EXPECT_NEAR(std::fabs(r1.At(i, j)), std::fabs(r2.At(i, j)), 2e-2)
+          << i << "," << j;
+    }
+  }
+}
+
+// -------------------------------------------------- sparsifier estimator ----
+
+CsrGraph EstimatorGraph() {
+  EdgeList list;
+  list.num_vertices = 7;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  list.Add(2, 0);
+  list.Add(2, 3);
+  list.Add(3, 4);
+  list.Add(4, 5);
+  list.Add(0, 6);
+  list.Add(6, 5);
+  return CsrGraph::FromEdges(std::move(list));
+}
+
+class SparsifierEstimator
+    : public ::testing::TestWithParam<std::tuple<uint32_t, bool, double>> {};
+
+TEST_P(SparsifierEstimator, UnbiasedAcrossConfigs) {
+  const auto [window, downsample, c] = GetParam();
+  const CsrGraph g = EstimatorGraph();
+  SparsifierOptions opt;
+  opt.num_samples = 2000000;
+  opt.window = window;
+  opt.downsample = downsample;
+  opt.downsample_constant = c;
+  opt.seed = window * 31 + (downsample ? 7 : 1);
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  Matrix prelog = ComputeDenseNetmfPreLog(g, window, 1.0);
+  const double m = static_cast<double>(g.NumUndirectedEdges());
+  const double scale = 2.0 * m * m / static_cast<double>(opt.num_samples);
+  double worst = 0;
+  for (NodeId a = 0; a < g.NumVertices(); ++a) {
+    for (NodeId b = 0; b < g.NumVertices(); ++b) {
+      const double got = scale * r->matrix.At(a, b) /
+                         (static_cast<double>(g.Degree(a)) * g.Degree(b));
+      const double expect = prelog.At(a, b);
+      const double err = std::fabs(got - expect) / (expect + 0.3);
+      worst = std::max(worst, err);
+    }
+  }
+  EXPECT_LT(worst, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparsifierEstimator,
+    ::testing::Values(std::make_tuple(1u, false, 0.0),
+                      std::make_tuple(1u, true, 0.0),
+                      std::make_tuple(2u, true, 0.5),
+                      std::make_tuple(4u, true, 0.0),
+                      std::make_tuple(4u, false, 0.0),
+                      std::make_tuple(6u, true, 2.0)));
+
+// ------------------------------------------- spectral propagation filter ----
+
+TEST(PropagationProperty, FilterIsLinearBeforeSmoothing) {
+  std::vector<NodeId> community;
+  const CsrGraph g =
+      CsrGraph::FromEdges(GenerateSbm(500, 3, 4000, 0.7, 5, &community));
+  SpectralPropagationOptions opt;
+  opt.svd_smoothing = false;  // the Chebyshev filter itself is linear
+  Matrix x = Matrix::Gaussian(g.NumVertices(), 6, 1);
+  Matrix y = Matrix::Gaussian(g.NumVertices(), 6, 2);
+  Matrix xy(g.NumVertices(), 6);
+  for (uint64_t k = 0; k < xy.rows() * xy.cols(); ++k) {
+    xy.data()[k] = 2.0f * x.data()[k] - 3.0f * y.data()[k];
+  }
+  Matrix px = SpectralPropagate(g, x, opt);
+  Matrix py = SpectralPropagate(g, y, opt);
+  Matrix pxy = SpectralPropagate(g, xy, opt);
+  Matrix combo(g.NumVertices(), 6);
+  for (uint64_t k = 0; k < combo.rows() * combo.cols(); ++k) {
+    combo.data()[k] = 2.0f * px.data()[k] - 3.0f * py.data()[k];
+  }
+  EXPECT_LT(MaxAbsDiff(pxy, combo), 1e-2);
+}
+
+TEST(PropagationProperty, ConstantVectorStaysNearKernel) {
+  // The filter applied to the all-ones vector: A' rownorm maps 1 -> 1, so
+  // Mop 1 = -mu * 1; the output stays a constant vector (finite, uniform).
+  std::vector<NodeId> community;
+  const CsrGraph g =
+      CsrGraph::FromEdges(GenerateSbm(300, 2, 3000, 0.6, 9, &community));
+  SpectralPropagationOptions opt;
+  opt.svd_smoothing = false;
+  Matrix ones(g.NumVertices(), 1);
+  for (uint64_t i = 0; i < ones.rows(); ++i) ones.At(i, 0) = 1.0f;
+  Matrix out = SpectralPropagate(g, ones, opt);
+  // All rows whose vertex degrees are equal should map identically; in
+  // general the output must be finite and, for the constant input, have low
+  // variance relative to its mean magnitude.
+  double mean = 0;
+  for (uint64_t i = 0; i < out.rows(); ++i) mean += out.At(i, 0);
+  mean /= static_cast<double>(out.rows());
+  ASSERT_TRUE(std::isfinite(mean));
+  double var = 0;
+  for (uint64_t i = 0; i < out.rows(); ++i) {
+    var += (out.At(i, 0) - mean) * (out.At(i, 0) - mean);
+  }
+  var /= static_cast<double>(out.rows());
+  EXPECT_LT(std::sqrt(var), 0.2 * std::fabs(mean) + 1e-3);
+}
+
+// ----------------------------------------------------------- EdgeMap/BFS ----
+
+class EdgeMapDirections : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeMapDirections, SparseEqualsDenseOnRandomFrontiers) {
+  const int seed = GetParam();
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 6000, seed));
+  Rng rng(seed * 31);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<NodeId> ids;
+    const uint64_t size = 1 + rng.UniformInt(g.NumVertices() / 4);
+    std::vector<uint8_t> in(g.NumVertices(), 0);
+    while (ids.size() < size) {
+      NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+      if (!in[v]) {
+        in[v] = 1;
+        ids.push_back(v);
+      }
+    }
+    VertexSubset f1(g.NumVertices(), ids);
+    VertexSubset f2(g.NumVertices(), ids);
+    auto update = [](NodeId, NodeId v) { return v % 3 != 0; };
+    auto cond = [](NodeId v) { return v % 5 != 0; };
+    EdgeMapOptions sparse_opt;
+    sparse_opt.force_direction = 1;
+    EdgeMapOptions dense_opt;
+    dense_opt.force_direction = 2;
+    ASSERT_EQ(EdgeMap(g, f1, update, cond, sparse_opt).ToIds(),
+              EdgeMap(g, f2, update, cond, dense_opt).ToIds());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeMapDirections, ::testing::Values(1, 2, 5));
+
+// --------------------------------------------------------------- PageRank ----
+
+TEST(PageRankProperty, ZeroDampingIsUniform) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 5000, 3));
+  PageRankOptions opt;
+  opt.damping = 0.0;
+  PageRankResult r = PageRank(g, opt);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_NEAR(r.rank[v], 1.0 / g.NumVertices(), 1e-12);
+  }
+}
+
+TEST(PageRankProperty, InvariantUnderVertexRelabeling) {
+  // Build a graph, relabel vertices by an involution, check ranks permute.
+  EdgeList list = GenerateErdosRenyi(400, 3000, 11);
+  const NodeId n = 400;
+  auto perm = [n](NodeId v) { return static_cast<NodeId>(n - 1 - v); };
+  EdgeList permuted;
+  permuted.num_vertices = n;
+  for (auto [u, v] : list.edges) permuted.Add(perm(u), perm(v));
+  CsrGraph g1 = CsrGraph::FromEdges(std::move(list));
+  CsrGraph g2 = CsrGraph::FromEdges(std::move(permuted));
+  PageRankResult r1 = PageRank(g1);
+  PageRankResult r2 = PageRank(g2);
+  for (NodeId v = 0; v < n; ++v) {
+    ASSERT_NEAR(r1.rank[v], r2.rank[perm(v)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace lightne

@@ -1,0 +1,211 @@
+// Failure-injection and edge-condition tests: overflow/retry paths, the
+// pilot extrapolation model, boundary geometry in the compressed format,
+// SGNS internals, and option-validation behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/deepwalk.h"
+#include "baselines/line.h"
+#include "baselines/sgns.h"
+#include "core/lightne.h"
+#include "core/sparsifier.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/pagerank.h"
+
+namespace lightne {
+namespace {
+
+// ------------------------------------------------- pilot extrapolation ----
+
+TEST(ExtrapolateDistinctTest, ExactWhenAllDrawsDistinct) {
+  // distinct == upserts: support effectively unbounded; linear growth.
+  EXPECT_DOUBLE_EQ(internal::ExtrapolateDistinct(1000, 1000, 8.0), 8000.0);
+}
+
+TEST(ExtrapolateDistinctTest, ZeroAndSaturatedInputs) {
+  EXPECT_DOUBLE_EQ(internal::ExtrapolateDistinct(1000, 0, 4.0), 0.0);
+  // Fully saturated pilot (distinct << upserts): extrapolation stays near
+  // the support size.
+  const double support = 500;
+  const double upserts = 50000;  // model(support) ~ support
+  const double distinct = support * (1.0 - std::exp(-upserts / support));
+  const double estimate =
+      internal::ExtrapolateDistinct(upserts, distinct, 64.0);
+  EXPECT_NEAR(estimate, support, 0.02 * support);
+}
+
+TEST(ExtrapolateDistinctTest, RecoversPlantedSupportMidRange) {
+  // Simulate uniform draws into S cells, fit, extrapolate, compare with the
+  // model's own prediction at the larger scale.
+  const double support = 10000;
+  for (double upserts : {2000.0, 10000.0, 40000.0}) {
+    const double distinct = support * (1.0 - std::exp(-upserts / support));
+    const double scale = 16.0;
+    const double expect =
+        support * (1.0 - std::exp(-scale * upserts / support));
+    const double got = internal::ExtrapolateDistinct(upserts, distinct, scale);
+    EXPECT_NEAR(got, expect, 0.02 * expect) << "upserts=" << upserts;
+  }
+}
+
+TEST(ExtrapolateDistinctTest, MonotoneInScale) {
+  double prev = 0;
+  for (double scale : {1.0, 2.0, 8.0, 64.0}) {
+    const double est = internal::ExtrapolateDistinct(5000, 3000, scale);
+    EXPECT_GE(est, prev);
+    prev = est;
+  }
+}
+
+// ------------------------------------------------ sparsifier retry path ----
+
+TEST(SparsifierRetryTest, RecoversFromUndersizedTable) {
+  // A tiny slack forces the initial capacity below the true distinct count;
+  // the builder must retry with doubled capacity and still succeed.
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 3));
+  SparsifierOptions generous;
+  generous.num_samples = 200000;
+  generous.window = 5;
+  generous.seed = 9;
+  auto baseline = BuildSparsifier(g, generous);
+  ASSERT_TRUE(baseline.ok());
+
+  SparsifierOptions tight = generous;
+  tight.table_slack = 0.02;  // guaranteed underestimate
+  auto retried = BuildSparsifier(g, tight);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_GT(retried->attempts, 1);
+  // Same seed => same final sparsifier despite the retries.
+  ASSERT_EQ(retried->matrix.nnz(), baseline->matrix.nnz());
+  EXPECT_EQ(retried->matrix.values(), baseline->matrix.values());
+}
+
+// --------------------------------------------- compressed-format geometry ----
+
+TEST(CompressionBoundary, DegreeExactlyMultipleOfBlock) {
+  // Degrees of 64 and 128 with block 64: no partial trailing block.
+  EdgeList list;
+  list.num_vertices = 200;
+  for (NodeId v = 1; v <= 64; ++v) list.Add(0, v);
+  for (NodeId v = 66; v < 194; ++v) list.Add(65, v);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  ASSERT_EQ(g.Degree(0), 64u);
+  ASSERT_EQ(g.Degree(65), 128u);
+  CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  for (uint64_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(cg.Neighbor(0, i), g.Neighbor(0, i));
+  }
+  for (uint64_t i = 0; i < 128; ++i) {
+    ASSERT_EQ(cg.Neighbor(65, i), g.Neighbor(65, i));
+  }
+}
+
+TEST(CompressionBoundary, FirstNeighborFarBelowAndAboveSource) {
+  // Zigzag first-delta handling: neighbor ids far below and above source.
+  EdgeList list;
+  list.num_vertices = 1 << 20;
+  list.Add(1 << 19, 0);
+  list.Add(1 << 19, (1 << 20) - 1);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  EXPECT_EQ(cg.Neighbor(1 << 19, 0), 0u);
+  EXPECT_EQ(cg.Neighbor(1 << 19, 1), static_cast<NodeId>((1 << 20) - 1));
+  EXPECT_EQ(cg.Neighbor(0, 0), static_cast<NodeId>(1 << 19));
+}
+
+// ----------------------------------------------------------------- SGNS ----
+
+TEST(SgnsInternals, NoiseTableFollowsDegreeThreeQuarters) {
+  EdgeList list;
+  list.num_vertices = 3;
+  // degrees: 0 -> 2, 1 -> 1, 2 -> 1.
+  list.Add(0, 1);
+  list.Add(0, 2);
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  AliasTable noise = DegreeNoiseTable(g);
+  Rng rng(3);
+  std::vector<int> hits(3, 0);
+  const int trials = 90000;
+  for (int t = 0; t < trials; ++t) ++hits[noise.Sample(rng)];
+  const double w0 = std::pow(2.0, 0.75);
+  const double total = w0 + 2.0;
+  EXPECT_NEAR(hits[0] / static_cast<double>(trials), w0 / total, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(trials), 1.0 / total, 0.01);
+}
+
+TEST(SgnsInternals, GradientMovesScoreTowardLabel) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(50, 300, 1));
+  SgnsOptions opt;
+  opt.dim = 8;
+  SgnsModel model(50, opt);
+  AliasTable noise = DegreeNoiseTable(g);
+  Rng rng(5);
+  auto dot = [&](NodeId a, NodeId b) {
+    double acc = 0;
+    for (uint64_t j = 0; j < 8; ++j) {
+      acc += static_cast<double>(model.embedding().At(a, j)) *
+             model.embedding().At(b, j);
+    }
+    return acc;
+  };
+  const double before = dot(3, 4);
+  for (int i = 0; i < 500; ++i) model.TrainPair(3, 4, 0.1f, noise, rng);
+  EXPECT_GT(dot(3, 4), before);
+}
+
+TEST(SgnsInternals, DeterministicWithFixedSeedOnOneWorker) {
+  if (NumWorkers() != 1) GTEST_SKIP() << "hogwild is only deterministic at 1";
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(200, 2000, 9));
+  DeepWalkOptions opt;
+  opt.dim = 8;
+  opt.walks_per_node = 2;
+  opt.walk_length = 10;
+  Matrix a = TrainDeepWalk(g, opt);
+  Matrix b = TrainDeepWalk(g, opt);
+  EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
+}
+
+// ------------------------------------------------------------- PageRank ----
+
+TEST(PageRankRobustness, IterationCapRespected) {
+  CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 5000, 5));
+  PageRankOptions opt;
+  opt.tolerance = 0;  // never converges by delta
+  opt.max_iters = 7;
+  PageRankResult r = PageRank(g, opt);
+  EXPECT_EQ(r.iterations, 7u);
+}
+
+TEST(PageRankRobustness, EmptyGraphIsFine) {
+  EdgeList list;
+  list.num_vertices = 0;
+  CsrGraph g = CsrGraph::FromEdges(std::move(list));
+  PageRankResult r = PageRank(g);
+  EXPECT_TRUE(r.rank.empty());
+}
+
+// ----------------------------------------------------- option validation ----
+
+TEST(OptionValidation, LightNeExplicitSampleCountOverridesRatio) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(500, 4000, 3));
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 3;
+  opt.samples_ratio = 1000.0;  // would be huge
+  opt.num_samples = 50000;     // explicit override
+  auto r = RunLightNe(g, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(static_cast<double>(r->sparsifier_stats.samples_drawn), 50000,
+              2500);
+}
+
+TEST(OptionValidation, HashTableRejectsSillyLoadFactors) {
+  EXPECT_DEATH(ConcurrentHashTable<double>(16, 1.5), "CHECK failed");
+  EXPECT_DEATH(ConcurrentHashTable<double>(16, 0.0), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace lightne

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/memory.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace lightne {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("no such file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.ToString(), "IOError: no such file");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r = std::vector<int>{1, 2, 3};
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+  EXPECT_EQ(rng.UniformInt(0), 0u);
+  EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(99);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.UniformInt(8)];
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_GT(hits[b], 700) << "bucket " << b;
+    EXPECT_LT(hits[b], 1300) << "bucket " << b;
+  }
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(5), b(6);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, GaussianMomentsAreSane) {
+  Rng rng(2024);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ItemRngIsThreadCountIndependent) {
+  // Per-item seeding must give identical streams regardless of who draws.
+  Rng a = ItemRng(17, 12345);
+  Rng b = ItemRng(17, 12345);
+  EXPECT_EQ(a.Next(), b.Next());
+  Rng c = ItemRng(17, 12346);
+  EXPECT_NE(ItemRng(17, 12345).Next(), c.Next());
+}
+
+// ------------------------------------------------------------------- CLI --
+
+TEST(CliTest, ParsesAllFlagForms) {
+  const char* argv[] = {"prog",      "--alpha=0.5", "--n",  "100",
+                        "input.txt", "--verbose",   "--k=3"};
+  auto cl = CommandLine::Parse(7, argv);
+  ASSERT_TRUE(cl.ok());
+  EXPECT_DOUBLE_EQ(cl->GetDouble("alpha", 0), 0.5);
+  EXPECT_EQ(cl->GetInt("n", 0), 100);
+  EXPECT_TRUE(cl->GetBool("verbose"));
+  EXPECT_EQ(cl->GetInt("k", 0), 3);
+  ASSERT_EQ(cl->positional().size(), 1u);
+  EXPECT_EQ(cl->positional()[0], "input.txt");
+  EXPECT_EQ(cl->GetString("missing", "def"), "def");
+  EXPECT_FALSE(cl->Has("missing"));
+}
+
+TEST(CliTest, TrailingBoolFlag) {
+  const char* argv[] = {"prog", "--fast"};
+  auto cl = CommandLine::Parse(2, argv);
+  ASSERT_TRUE(cl.ok());
+  EXPECT_TRUE(cl->GetBool("fast"));
+}
+
+// ---------------------------------------------------------------- Memory --
+
+TEST(MemoryTest, RssIsPositive) {
+  EXPECT_GT(CurrentRssBytes(), 0u);
+  EXPECT_GE(PeakRssBytes(), CurrentRssBytes() / 2);
+}
+
+TEST(MemoryTest, HumanBytesFormats) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KiB");
+  EXPECT_EQ(HumanBytes(3u << 20), "3.00 MiB");
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, StageTimerAccumulates) {
+  StageTimer st;
+  st.Start("a");
+  st.Start("b");
+  st.Stop();
+  ASSERT_EQ(st.stages().size(), 2u);
+  EXPECT_EQ(st.stages()[0].first, "a");
+  EXPECT_EQ(st.stages()[1].first, "b");
+  EXPECT_GE(st.TotalSeconds(), 0.0);
+  EXPECT_GE(st.SecondsFor("a"), 0.0);
+  EXPECT_EQ(st.SecondsFor("zzz"), 0.0);
+}
+
+}  // namespace
+}  // namespace lightne
