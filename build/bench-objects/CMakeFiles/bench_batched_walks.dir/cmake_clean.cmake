@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_batched_walks"
+  "../bench/bench_batched_walks.pdb"
+  "CMakeFiles/bench_batched_walks.dir/bench_batched_walks.cc.o"
+  "CMakeFiles/bench_batched_walks.dir/bench_batched_walks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batched_walks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hash_table_micro"
+  "../bench/bench_hash_table_micro.pdb"
+  "CMakeFiles/bench_hash_table_micro.dir/bench_hash_table_micro.cc.o"
+  "CMakeFiles/bench_hash_table_micro.dir/bench_hash_table_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hash_table_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rsvd_micro"
+  "../bench/bench_rsvd_micro.pdb"
+  "CMakeFiles/bench_rsvd_micro.dir/bench_rsvd_micro.cc.o"
+  "CMakeFiles/bench_rsvd_micro.dir/bench_rsvd_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rsvd_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_small_graphs_fig4"
+  "../bench/bench_small_graphs_fig4.pdb"
+  "CMakeFiles/bench_small_graphs_fig4.dir/bench_small_graphs_fig4.cc.o"
+  "CMakeFiles/bench_small_graphs_fig4.dir/bench_small_graphs_fig4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_graphs_fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

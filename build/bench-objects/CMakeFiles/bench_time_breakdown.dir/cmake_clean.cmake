@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_time_breakdown"
+  "../bench/bench_time_breakdown.pdb"
+  "CMakeFiles/bench_time_breakdown.dir/bench_time_breakdown.cc.o"
+  "CMakeFiles/bench_time_breakdown.dir/bench_time_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billion_scale.dir/billion_scale.cpp.o"
+  "CMakeFiles/billion_scale.dir/billion_scale.cpp.o.d"
+  "billion_scale"
+  "billion_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billion_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_reembedding.dir/dynamic_reembedding.cpp.o"
+  "CMakeFiles/dynamic_reembedding.dir/dynamic_reembedding.cpp.o.d"
+  "dynamic_reembedding"
+  "dynamic_reembedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_reembedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

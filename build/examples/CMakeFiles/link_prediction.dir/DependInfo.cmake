@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/link_prediction.cpp" "examples/CMakeFiles/link_prediction.dir/link_prediction.cpp.o" "gcc" "examples/CMakeFiles/link_prediction.dir/link_prediction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lightne_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lightne_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lightne_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightne_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lightne_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_embedding.dir/weighted_embedding.cpp.o"
+  "CMakeFiles/weighted_embedding.dir/weighted_embedding.cpp.o.d"
+  "weighted_embedding"
+  "weighted_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_baselines.dir/alias.cc.o"
+  "CMakeFiles/lightne_baselines.dir/alias.cc.o.d"
+  "CMakeFiles/lightne_baselines.dir/sgns.cc.o"
+  "CMakeFiles/lightne_baselines.dir/sgns.cc.o.d"
+  "liblightne_baselines.a"
+  "liblightne_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

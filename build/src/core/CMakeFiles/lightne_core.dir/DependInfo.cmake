@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/lightne_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/lightne_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/spectral_propagation.cc" "src/core/CMakeFiles/lightne_core.dir/spectral_propagation.cc.o" "gcc" "src/core/CMakeFiles/lightne_core.dir/spectral_propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lightne_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lightne_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

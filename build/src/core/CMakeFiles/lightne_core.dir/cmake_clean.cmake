@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_core.dir/aggregation.cc.o"
+  "CMakeFiles/lightne_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/lightne_core.dir/spectral_propagation.cc.o"
+  "CMakeFiles/lightne_core.dir/spectral_propagation.cc.o.d"
+  "liblightne_core.a"
+  "liblightne_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

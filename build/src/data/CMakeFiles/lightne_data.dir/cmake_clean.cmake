@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_data.dir/datasets.cc.o"
+  "CMakeFiles/lightne_data.dir/datasets.cc.o.d"
+  "CMakeFiles/lightne_data.dir/generators.cc.o"
+  "CMakeFiles/lightne_data.dir/generators.cc.o.d"
+  "CMakeFiles/lightne_data.dir/labels.cc.o"
+  "CMakeFiles/lightne_data.dir/labels.cc.o.d"
+  "liblightne_data.a"
+  "liblightne_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

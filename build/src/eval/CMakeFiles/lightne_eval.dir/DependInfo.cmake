@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/classification.cc" "src/eval/CMakeFiles/lightne_eval.dir/classification.cc.o" "gcc" "src/eval/CMakeFiles/lightne_eval.dir/classification.cc.o.d"
+  "/root/repo/src/eval/cost_model.cc" "src/eval/CMakeFiles/lightne_eval.dir/cost_model.cc.o" "gcc" "src/eval/CMakeFiles/lightne_eval.dir/cost_model.cc.o.d"
+  "/root/repo/src/eval/embedding_quality.cc" "src/eval/CMakeFiles/lightne_eval.dir/embedding_quality.cc.o" "gcc" "src/eval/CMakeFiles/lightne_eval.dir/embedding_quality.cc.o.d"
+  "/root/repo/src/eval/link_prediction.cc" "src/eval/CMakeFiles/lightne_eval.dir/link_prediction.cc.o" "gcc" "src/eval/CMakeFiles/lightne_eval.dir/link_prediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/lightne_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightne_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lightne_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_eval.dir/classification.cc.o"
+  "CMakeFiles/lightne_eval.dir/classification.cc.o.d"
+  "CMakeFiles/lightne_eval.dir/cost_model.cc.o"
+  "CMakeFiles/lightne_eval.dir/cost_model.cc.o.d"
+  "CMakeFiles/lightne_eval.dir/embedding_quality.cc.o"
+  "CMakeFiles/lightne_eval.dir/embedding_quality.cc.o.d"
+  "CMakeFiles/lightne_eval.dir/link_prediction.cc.o"
+  "CMakeFiles/lightne_eval.dir/link_prediction.cc.o.d"
+  "liblightne_eval.a"
+  "liblightne_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/compressed.cc" "src/graph/CMakeFiles/lightne_graph.dir/compressed.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/compressed.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/lightne_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/dynamic.cc" "src/graph/CMakeFiles/lightne_graph.dir/dynamic.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/dynamic.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/graph/CMakeFiles/lightne_graph.dir/edge_list.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/edge_list.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/lightne_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/kcore.cc" "src/graph/CMakeFiles/lightne_graph.dir/kcore.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/kcore.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/lightne_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/stats.cc.o.d"
+  "/root/repo/src/graph/triangles.cc" "src/graph/CMakeFiles/lightne_graph.dir/triangles.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/triangles.cc.o.d"
+  "/root/repo/src/graph/weighted_csr.cc" "src/graph/CMakeFiles/lightne_graph.dir/weighted_csr.cc.o" "gcc" "src/graph/CMakeFiles/lightne_graph.dir/weighted_csr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

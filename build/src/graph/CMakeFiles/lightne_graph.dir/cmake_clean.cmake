@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_graph.dir/compressed.cc.o"
+  "CMakeFiles/lightne_graph.dir/compressed.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/csr.cc.o"
+  "CMakeFiles/lightne_graph.dir/csr.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/dynamic.cc.o"
+  "CMakeFiles/lightne_graph.dir/dynamic.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/edge_list.cc.o"
+  "CMakeFiles/lightne_graph.dir/edge_list.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/io.cc.o"
+  "CMakeFiles/lightne_graph.dir/io.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/kcore.cc.o"
+  "CMakeFiles/lightne_graph.dir/kcore.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/stats.cc.o"
+  "CMakeFiles/lightne_graph.dir/stats.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/triangles.cc.o"
+  "CMakeFiles/lightne_graph.dir/triangles.cc.o.d"
+  "CMakeFiles/lightne_graph.dir/weighted_csr.cc.o"
+  "CMakeFiles/lightne_graph.dir/weighted_csr.cc.o.d"
+  "liblightne_graph.a"
+  "liblightne_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/embedding_io.cc" "src/la/CMakeFiles/lightne_la.dir/embedding_io.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/embedding_io.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/la/CMakeFiles/lightne_la.dir/matrix.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/matrix.cc.o.d"
+  "/root/repo/src/la/qr.cc" "src/la/CMakeFiles/lightne_la.dir/qr.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/qr.cc.o.d"
+  "/root/repo/src/la/rsvd.cc" "src/la/CMakeFiles/lightne_la.dir/rsvd.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/rsvd.cc.o.d"
+  "/root/repo/src/la/sparse.cc" "src/la/CMakeFiles/lightne_la.dir/sparse.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/sparse.cc.o.d"
+  "/root/repo/src/la/special.cc" "src/la/CMakeFiles/lightne_la.dir/special.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/special.cc.o.d"
+  "/root/repo/src/la/svd.cc" "src/la/CMakeFiles/lightne_la.dir/svd.cc.o" "gcc" "src/la/CMakeFiles/lightne_la.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_la.dir/embedding_io.cc.o"
+  "CMakeFiles/lightne_la.dir/embedding_io.cc.o.d"
+  "CMakeFiles/lightne_la.dir/matrix.cc.o"
+  "CMakeFiles/lightne_la.dir/matrix.cc.o.d"
+  "CMakeFiles/lightne_la.dir/qr.cc.o"
+  "CMakeFiles/lightne_la.dir/qr.cc.o.d"
+  "CMakeFiles/lightne_la.dir/rsvd.cc.o"
+  "CMakeFiles/lightne_la.dir/rsvd.cc.o.d"
+  "CMakeFiles/lightne_la.dir/sparse.cc.o"
+  "CMakeFiles/lightne_la.dir/sparse.cc.o.d"
+  "CMakeFiles/lightne_la.dir/special.cc.o"
+  "CMakeFiles/lightne_la.dir/special.cc.o.d"
+  "CMakeFiles/lightne_la.dir/svd.cc.o"
+  "CMakeFiles/lightne_la.dir/svd.cc.o.d"
+  "liblightne_la.a"
+  "liblightne_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

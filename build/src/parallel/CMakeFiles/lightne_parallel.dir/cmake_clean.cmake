@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/lightne_parallel.dir/thread_pool.cc.o.d"
+  "liblightne_parallel.a"
+  "liblightne_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

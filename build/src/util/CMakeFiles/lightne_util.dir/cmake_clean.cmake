@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightne_util.dir/cli.cc.o"
+  "CMakeFiles/lightne_util.dir/cli.cc.o.d"
+  "CMakeFiles/lightne_util.dir/logging.cc.o"
+  "CMakeFiles/lightne_util.dir/logging.cc.o.d"
+  "CMakeFiles/lightne_util.dir/memory.cc.o"
+  "CMakeFiles/lightne_util.dir/memory.cc.o.d"
+  "CMakeFiles/lightne_util.dir/status.cc.o"
+  "CMakeFiles/lightne_util.dir/status.cc.o.d"
+  "liblightne_util.a"
+  "liblightne_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightne_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblightne_util.a"
+)

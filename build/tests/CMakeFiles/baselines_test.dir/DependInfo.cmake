@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/lightne_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lightne_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lightne_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lightne_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lightne_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lightne_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lightne_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lightne_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

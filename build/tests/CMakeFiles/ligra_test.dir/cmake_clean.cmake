@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ligra_test.dir/ligra_test.cc.o"
+  "CMakeFiles/ligra_test.dir/ligra_test.cc.o.d"
+  "ligra_test"
+  "ligra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ligra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
