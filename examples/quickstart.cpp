@@ -1,7 +1,7 @@
 // Quickstart: embed a graph with LightNE in ~30 lines of API use.
 //
 //   quickstart [--edges FILE] [--dim 64] [--window 10] [--ratio 1.0]
-//              [--out embedding.txt]
+//              [--memory-budget-mb 0] [--out embedding.txt]
 //
 // Without --edges, a small synthetic social network is generated. The
 // program prints the stage breakdown (sparsifier / randomized SVD / spectral
@@ -56,6 +56,10 @@ int main(int argc, char** argv) {
   opt.dim = static_cast<uint64_t>(cli->GetInt("dim", 64));
   opt.window = static_cast<uint32_t>(cli->GetInt("window", 10));
   opt.samples_ratio = cli->GetDouble("ratio", 1.0);
+  // 0 = unlimited; under a budget the sparsifier degrades gracefully and
+  // the run is flagged below instead of OOM-dying.
+  opt.memory_budget_bytes =
+      static_cast<uint64_t>(cli->GetInt("memory-budget-mb", 0)) << 20;
   auto result = RunLightNe(graph, opt);
   if (!result.ok()) {
     std::fprintf(stderr, "LightNE failed: %s\n",
@@ -72,6 +76,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(
                   result->sparsifier_stats.samples_accepted),
               static_cast<unsigned long long>(result->sparsifier_nnz));
+  if (result->degraded) {
+    std::printf("memory budget: degraded build (C tightened %dx%s), peak "
+                "reserved %llu bytes\n",
+                result->sparsifier_stats.budget_tightenings,
+                result->sparsifier_stats.capacity_capped
+                    ? ", table capacity capped"
+                    : "",
+                static_cast<unsigned long long>(result->peak_reserved_bytes));
+  }
 
   // 4. Save (word2vec text format).
   const std::string out = cli->GetString("out", "embedding.txt");

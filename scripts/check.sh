@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure + build the asan preset and run the full test
+# suite under AddressSanitizer/UBSan. Usage: scripts/check.sh [preset]
+# (preset defaults to "asan"; pass "tsan" for the ThreadSanitizer build).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset "${PRESET}"
+cmake --build --preset "${PRESET}" -j "${JOBS}"
+ctest --preset "${PRESET}" -j "${JOBS}"

@@ -57,7 +57,9 @@ inline Result<Matrix> RunNetmfDense(const CsrGraph& g,
   ropt.power_iters = opt.svd_power_iters;
   ropt.symmetric = true;
   ropt.seed = opt.seed;
-  return EmbeddingFromSvd(RandomizedSvd(m, ropt));
+  auto svd = RandomizedSvd(m, ropt);
+  if (!svd.ok()) return svd.status();
+  return EmbeddingFromSvd(*svd);
 }
 
 }  // namespace lightne

@@ -119,7 +119,9 @@ Result<NetsmfResult> RunNetsmfOriginal(const G& g, const NetsmfOptions& opt) {
   ropt.power_iters = opt.svd_power_iters;
   ropt.symmetric = true;
   ropt.seed = opt.seed + 7;
-  result.embedding = EmbeddingFromSvd(RandomizedSvd(matrix, ropt));
+  auto svd = RandomizedSvd(matrix, ropt);
+  if (!svd.ok()) return svd.status();
+  result.embedding = EmbeddingFromSvd(*svd);
   result.timing.Stop();
   return result;
 }

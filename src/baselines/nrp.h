@@ -69,7 +69,9 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
   ropt.power_iters = opt.svd_power_iters;
   ropt.symmetric = true;
   ropt.seed = opt.seed + 5;
-  RandomizedSvdResult svd = RandomizedSvd(norm_adj, ropt);
+  auto svd_result = RandomizedSvd(norm_adj, ropt);
+  if (!svd_result.ok()) return svd_result.status();
+  RandomizedSvdResult& svd = *svd_result;
 
   // Apply the PPR kernel to the spectrum (singular values of the symmetric
   // N are |eigenvalues|; the kernel is monotone on [0, 1]).

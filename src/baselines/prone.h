@@ -102,11 +102,14 @@ Result<ProneResult> RunProne(const G& g, const ProneOptions& opt) {
   ropt.power_iters = opt.svd_power_iters;
   ropt.symmetric = false;  // the modulated matrix is not symmetric
   ropt.seed = opt.seed + 3;
-  RandomizedSvdResult svd = RandomizedSvd(m, ropt);
-  Matrix x = EmbeddingFromSvd(svd);
+  auto svd = RandomizedSvd(m, ropt);
+  if (!svd.ok()) return svd.status();
+  Matrix x = EmbeddingFromSvd(*svd);
   x.NormalizeRows();
   result.timing.Start("propagation");
-  result.embedding = SpectralPropagate(g, x, opt.propagation);
+  auto propagated = SpectralPropagate(g, x, opt.propagation);
+  if (!propagated.ok()) return propagated.status();
+  result.embedding = std::move(*propagated);
   result.timing.Stop();
   return result;
 }

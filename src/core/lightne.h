@@ -12,6 +12,7 @@
 #include "graph/graph_view.h"
 #include "la/rsvd.h"
 #include "util/logging.h"
+#include "util/memory.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -41,6 +42,12 @@ struct LightNeOptions {
   uint64_t svd_oversample = 10;
   uint64_t svd_power_iters = 1;
   uint64_t seed = 1;
+  /// Memory envelope for the pipeline's large allocations (hash table, rSVD
+  /// workspace, propagation workspace). 0 = unlimited (exact paper
+  /// behavior). When set, the sparsifier degrades gracefully under pressure
+  /// (see SparsifierOptions::memory_budget) and the pipeline returns
+  /// kResourceExhausted instead of OOM-dying when nothing fits.
+  uint64_t memory_budget_bytes = 0;
 };
 
 struct LightNeResult {
@@ -50,6 +57,11 @@ struct LightNeResult {
   SparsifierResult sparsifier_stats;  // matrix member left empty
   uint64_t sparsifier_nnz_raw = 0;    // before trunc_log pruning
   uint64_t sparsifier_nnz = 0;        // after trunc_log pruning
+  /// True when the memory-budget governor degraded any stage; the embedding
+  /// is usable but sparser/noisier than the un-budgeted run would produce.
+  bool degraded = false;
+  /// High-water mark of budget-tracked reservations (0 when unbudgeted).
+  uint64_t peak_reserved_bytes = 0;
 };
 
 /// Runs the full pipeline. The graph must be symmetric and simple.
@@ -62,6 +74,7 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
     return Status::InvalidArgument("embedding dim exceeds vertex count");
   }
   LightNeResult result;
+  MemoryBudget budget(opt.memory_budget_bytes);
 
   // ---- Stage 1: parallel sparsifier construction -------------------------
   result.timing.Start("sparsifier");
@@ -75,6 +88,7 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
   sopt.downsample = opt.downsample;
   sopt.downsample_constant = opt.downsample_constant;
   sopt.seed = opt.seed;
+  sopt.memory_budget = budget.limited() ? &budget : nullptr;
   auto sparsifier = BuildSparsifier(g, sopt);
   if (!sparsifier.ok()) return sparsifier.status();
   SparseMatrix matrix = std::move(sparsifier->matrix);
@@ -99,15 +113,43 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
   ropt.power_iters = opt.svd_power_iters;
   ropt.symmetric = true;  // sparsifier is symmetric by construction
   ropt.seed = opt.seed + 7;
-  RandomizedSvdResult svd = RandomizedSvd(matrix, ropt);
-  result.embedding = EmbeddingFromSvd(svd);
+  // Workspace: Algo 3 keeps ~6 dense n x q panels alive (O, Y, B, Z, ZU,
+  // YV) plus q x q small matrices. Reserve them up front so an envelope too
+  // small for the factorization is a reported error, not an OOM kill.
+  uint64_t q = ropt.rank + ropt.oversample;
+  if (q > g.NumVertices()) q = g.NumVertices();
+  BudgetReservation svd_reservation(
+      budget.limited() ? &budget : nullptr,
+      6 * static_cast<uint64_t>(g.NumVertices()) * q * sizeof(float));
+  if (!svd_reservation.ok()) {
+    return Status::ResourceExhausted(
+        "memory budget of " + HumanBytes(budget.limit_bytes()) +
+        " cannot hold the randomized-SVD workspace");
+  }
+  auto svd = RandomizedSvd(matrix, ropt);
+  if (!svd.ok()) return svd.status();
+  result.embedding = EmbeddingFromSvd(*svd);
+  svd_reservation.ReleaseEarly();
 
   // ---- Stage 3: spectral propagation (ProNE enhancement) -----------------
   if (opt.spectral_propagation) {
     result.timing.Start("propagation");
-    result.embedding = SpectralPropagate(g, result.embedding, opt.propagation);
+    // Chebyshev recurrence keeps ~5 dense n x d panels alive.
+    BudgetReservation prop_reservation(
+        budget.limited() ? &budget : nullptr,
+        5 * static_cast<uint64_t>(g.NumVertices()) * opt.dim * sizeof(float));
+    if (!prop_reservation.ok()) {
+      return Status::ResourceExhausted(
+          "memory budget of " + HumanBytes(budget.limit_bytes()) +
+          " cannot hold the spectral-propagation workspace");
+    }
+    auto propagated = SpectralPropagate(g, result.embedding, opt.propagation);
+    if (!propagated.ok()) return propagated.status();
+    result.embedding = std::move(*propagated);
   }
   result.timing.Stop();
+  result.degraded = result.sparsifier_stats.degraded;
+  result.peak_reserved_bytes = budget.peak_reserved_bytes();
   return result;
 }
 

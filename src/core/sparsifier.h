@@ -33,6 +33,7 @@
 #include "parallel/concurrent_hash_table.h"
 #include "parallel/reduce.h"
 #include "util/logging.h"
+#include "util/memory.h"
 #include "util/status.h"
 
 namespace lightne {
@@ -56,6 +57,12 @@ struct SparsifierOptions {
   /// the paper considered, kept for the ablation. Both yield bit-identical
   /// sparsifiers.
   AggregationStrategy aggregation = AggregationStrategy::kSharedHashTable;
+  /// Optional memory-budget governor. When limited, the builder reserves the
+  /// hash-table footprint before allocating and walks the degradation ladder
+  /// (tighten downsampling, then cap table capacity) instead of OOM-dying;
+  /// kResourceExhausted is returned only when no degradation fits. Null or
+  /// unlimited = the exact paper behavior.
+  MemoryBudget* memory_budget = nullptr;
 };
 
 struct SparsifierResult {
@@ -65,6 +72,15 @@ struct SparsifierResult {
   uint64_t distinct_entries = 0;
   uint64_t table_bytes = 0;     // hash table footprint at build time
   int attempts = 1;             // table-resize retries used
+  /// True when the memory-budget governor changed the build (the sparsifier
+  /// is still a valid unbiased estimator, just sparser than requested).
+  bool degraded = false;
+  /// Times the downsampling constant C was halved to fit the budget.
+  int budget_tightenings = 0;
+  /// True when the table capacity was clamped to the budget ceiling.
+  bool capacity_capped = false;
+  /// The C actually used (== the configured/log(n) one unless degraded).
+  double downsample_constant_used = 0.0;
 };
 
 namespace internal {
@@ -239,18 +255,18 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
   if (opt.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
-  const double c = opt.downsample_constant > 0
-                       ? opt.downsample_constant
-                       : std::log(static_cast<double>(n));
+  double c = opt.downsample_constant > 0
+                 ? opt.downsample_constant
+                 : std::log(static_cast<double>(n));
   // Sampling intensity per unit of edge weight: E[sum_e n_e] = M exactly
   // (for unweighted graphs Volume() = 2m, so this is the paper's M/2m).
   const double per_edge =
       static_cast<double>(opt.num_samples) / g.Volume();
 
   // Expected accepted samples = sum_e E[n_e] p_e; the hard upper bound on
-  // distinct entries.
-  double expected_accepted;
-  if (opt.downsample) {
+  // distinct entries. Recomputed by the budget governor when it tightens C.
+  auto compute_expected_accepted = [&](double downsample_c) {
+    if (!opt.downsample) return static_cast<double>(opt.num_samples);
     std::atomic<double> sum_wp{0.0};
     ParallelForWorkers([&](int worker, int workers) {
       const NodeId lo = static_cast<NodeId>(
@@ -261,15 +277,14 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
       for (NodeId u = lo; u < hi; ++u) {
         MapNeighborsWeighted(g, u, [&](NodeId v, float w) {
           local += static_cast<double>(w) *
-                   internal::DownsampleProbability(g, u, v, c, w);
+                   internal::DownsampleProbability(g, u, v, downsample_c, w);
         });
       }
       AtomicFetchAdd(sum_wp, local);
     });
-    expected_accepted = per_edge * sum_wp.load(std::memory_order_relaxed);
-  } else {
-    expected_accepted = static_cast<double>(opt.num_samples);
-  }
+    return per_edge * sum_wp.load(std::memory_order_relaxed);
+  };
+  double expected_accepted = compute_expected_accepted(c);
 
   // --- alternative strategy: per-worker lists + sparse histogram ---------
   if (opt.aggregation == AggregationStrategy::kSortHistogram) {
@@ -283,11 +298,15 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     result.table_bytes = buffers.MemoryBytes();  // peak footprint
     std::vector<std::pair<uint64_t, double>> canonical = buffers.Collapse();
     result.distinct_entries = canonical.size();
+    result.downsample_constant_used = c;
     result.matrix =
         SparseMatrix::FromEntries(n, n, internal::MirrorCanonical(
                                             std::move(canonical)));
     return result;
   }
+
+  MemoryBudget* budget = opt.memory_budget;
+  const bool budgeted = budget != nullptr && budget->limited();
 
   // Distinct-entry estimate (canonical pairs): exact bound for small runs;
   // pilot-extrapolated for large ones.
@@ -295,36 +314,103 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
   constexpr double kPilotScale = 64.0;
   constexpr uint64_t kPilotThreshold = 1u << 20;
   if (expected_accepted > kPilotThreshold) {
-    ConcurrentHashTable<double> pilot(static_cast<uint64_t>(
-        expected_accepted / kPilotScale * opt.table_slack) + 4096);
-    uint64_t pilot_drawn = 0, pilot_accepted = 0;
-    if (internal::RunPerEdgeSampling(g, opt, per_edge / kPilotScale, c,
-                                     opt.seed ^ 0x9107ull, &pilot,
-                                     &pilot_drawn, &pilot_accepted)) {
-      distinct_estimate = internal::ExtrapolateDistinct(
-          static_cast<double>(pilot_accepted),
-          static_cast<double>(pilot.NumEntries()), kPilotScale);
-      // The Poissonized model assumes uniform cell intensities; skewed
-      // sampling (power-law graphs) makes it underestimate, so pad by a
-      // model-error margin. Never trust the model below what the pilot
-      // already saw, and never exceed the hard bound.
-      distinct_estimate *= 1.3;
-      distinct_estimate =
-          std::max(distinct_estimate,
-                   static_cast<double>(pilot.NumEntries()));
-      distinct_estimate = std::min(distinct_estimate, expected_accepted);
-      LIGHTNE_LOG_DEBUG(
-          "pilot: %llu accepted, %llu distinct -> estimate %.0f distinct",
-          static_cast<unsigned long long>(pilot_accepted),
-          static_cast<unsigned long long>(pilot.NumEntries()),
-          distinct_estimate);
+    const uint64_t pilot_hint = static_cast<uint64_t>(
+        expected_accepted / kPilotScale * opt.table_slack) + 4096;
+    // The pilot table is 1/64 of the main one; if even that does not fit
+    // the budget, skip the pilot and let the degradation ladder deal with
+    // the conservative estimate.
+    BudgetReservation pilot_reservation(
+        budget, ConcurrentHashTable<double>::ProjectedMemoryBytes(pilot_hint));
+    if (pilot_reservation.ok()) {
+      ConcurrentHashTable<double> pilot(pilot_hint);
+      uint64_t pilot_drawn = 0, pilot_accepted = 0;
+      if (internal::RunPerEdgeSampling(g, opt, per_edge / kPilotScale, c,
+                                       opt.seed ^ 0x9107ull, &pilot,
+                                       &pilot_drawn, &pilot_accepted)) {
+        distinct_estimate = internal::ExtrapolateDistinct(
+            static_cast<double>(pilot_accepted),
+            static_cast<double>(pilot.NumEntries()), kPilotScale);
+        // The Poissonized model assumes uniform cell intensities; skewed
+        // sampling (power-law graphs) makes it underestimate, so pad by a
+        // model-error margin. Never trust the model below what the pilot
+        // already saw, and never exceed the hard bound.
+        distinct_estimate *= 1.3;
+        distinct_estimate =
+            std::max(distinct_estimate,
+                     static_cast<double>(pilot.NumEntries()));
+        distinct_estimate = std::min(distinct_estimate, expected_accepted);
+        LIGHTNE_LOG_DEBUG(
+            "pilot: %llu accepted, %llu distinct -> estimate %.0f distinct",
+            static_cast<unsigned long long>(pilot_accepted),
+            static_cast<unsigned long long>(pilot.NumEntries()),
+            distinct_estimate);
+      }
     }
   }
 
-  uint64_t capacity_hint =
-      static_cast<uint64_t>(distinct_estimate * opt.table_slack) + 1024;
+  auto hint_from_estimate = [&](double estimate) {
+    return static_cast<uint64_t>(estimate * opt.table_slack) + 1024;
+  };
+  uint64_t capacity_hint = hint_from_estimate(distinct_estimate);
+
+  // ---- memory-budget governor: the degradation ladder --------------------
+  // Rung 1: tighten edge downsampling (halve C) so fewer samples survive and
+  // the table shrinks. Rung 2: cap the table at the largest capacity the
+  // budget can hold and hope the distinct count fits (the overflow retry
+  // below turns "it did not" into kResourceExhausted). Every rung is
+  // recorded in the result so callers can see the embedding was degraded.
+  bool degraded = false;
+  bool capacity_capped = false;
+  int tightenings = 0;
+  if (budgeted) {
+    constexpr int kMaxTightenings = 4;
+    while (opt.downsample && tightenings < kMaxTightenings &&
+           ConcurrentHashTable<double>::ProjectedMemoryBytes(capacity_hint) >
+               budget->available_bytes()) {
+      c *= 0.5;
+      ++tightenings;
+      degraded = true;
+      const double tightened = compute_expected_accepted(c);
+      // Scale the (pilot or exact) estimate by the acceptance shrinkage;
+      // distinct entries can only shrink along with accepted samples.
+      distinct_estimate = std::min(
+          distinct_estimate * (tightened / expected_accepted), tightened);
+      expected_accepted = tightened;
+      capacity_hint = hint_from_estimate(distinct_estimate);
+    }
+    if (ConcurrentHashTable<double>::ProjectedMemoryBytes(capacity_hint) >
+        budget->available_bytes()) {
+      const uint64_t capped_hint = ConcurrentHashTable<double>::
+          LargestHintFitting(budget->available_bytes());
+      if (capped_hint == 0) {
+        return Status::ResourceExhausted(
+            "memory budget of " + HumanBytes(budget->limit_bytes()) +
+            " cannot hold any sparsifier hash table");
+      }
+      capacity_hint = capped_hint;
+      capacity_capped = true;
+      degraded = true;
+    }
+    if (degraded) {
+      LIGHTNE_LOG_WARN(
+          "sparsifier degraded to fit memory budget %s: C halved %d time(s)"
+          "%s",
+          HumanBytes(budget->limit_bytes()).c_str(), tightenings,
+          capacity_capped ? ", table capacity capped" : "");
+    }
+  }
 
   for (int attempt = 1; attempt <= 6; ++attempt) {
+    BudgetReservation table_reservation(
+        budget,
+        ConcurrentHashTable<double>::ProjectedMemoryBytes(capacity_hint));
+    if (!table_reservation.ok()) {
+      return Status::ResourceExhausted(
+          "sparsifier hash table (" +
+          HumanBytes(ConcurrentHashTable<double>::ProjectedMemoryBytes(
+              capacity_hint)) +
+          ") exceeds the remaining memory budget after degradation");
+    }
     ConcurrentHashTable<double> table(capacity_hint);
     uint64_t drawn = 0, accepted = 0;
     const bool ok = internal::RunPerEdgeSampling(
@@ -342,6 +428,10 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     result.distinct_entries = table.NumEntries();
     result.table_bytes = table.MemoryBytes();
     result.attempts = attempt;
+    result.degraded = degraded;
+    result.budget_tightenings = tightenings;
+    result.capacity_capped = capacity_capped;
+    result.downsample_constant_used = c;
     result.matrix = SparseMatrix::FromEntries(
         n, n, internal::MirrorCanonical(table.Extract()));
     return result;

@@ -6,12 +6,14 @@
 
 namespace lightne {
 
-Matrix DenseSvdSmoothing(const Matrix& mm) {
+Result<Matrix> DenseSvdSmoothing(const Matrix& mm) {
   const uint64_t d = mm.cols();
   // Gram trick: mm = U S V^T  =>  mm^T mm = V S^2 V^T, and JacobiSvd of the
   // symmetric PSD Gram matrix is its eigen-decomposition (sigma_j = S_j^2).
   Matrix gram = GemmTN(mm, mm);
-  SvdResult eig = JacobiSvd(gram);
+  Result<SvdResult> eig_result = JacobiSvd(gram);
+  if (!eig_result.ok()) return eig_result.status();
+  SvdResult& eig = *eig_result;
   // ProNE's smoothing returns row-normalized U sqrt(S). Since
   //   U sqrt(S) = mm V S^{-1} S^{1/2} = mm V S^{-1/2},
   // scale the columns of mm*V by S_j^{-1/2} = sigma_j^{-1/4}.

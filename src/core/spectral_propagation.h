@@ -21,7 +21,7 @@
 #include "la/matrix.h"
 #include "la/special.h"
 #include "parallel/parallel_for.h"
-#include "util/check.h"
+#include "util/status.h"
 
 namespace lightne {
 
@@ -79,14 +79,22 @@ Matrix MultiplyAPlusI(const G& g, const Matrix& x) {
 }  // namespace internal
 
 /// Final dense-SVD smoothing used by ProNE: factor mm ~ U S V^T through the
-/// d x d Gram matrix, return rows of U sqrt(S), L2-normalized.
-Matrix DenseSvdSmoothing(const Matrix& mm);
+/// d x d Gram matrix, return rows of U sqrt(S), L2-normalized. Propagates
+/// kInternal if the Gram eigen-decomposition does not converge.
+Result<Matrix> DenseSvdSmoothing(const Matrix& mm);
 
-/// Applies spectral propagation to embedding X over graph g.
+/// Applies spectral propagation to embedding X over graph g. Fails with
+/// kInvalidArgument when X's row count does not match the vertex count, and
+/// propagates non-convergence from the smoothing SVD.
 template <GraphView G>
-Matrix SpectralPropagate(const G& g, const Matrix& x,
-                         const SpectralPropagationOptions& opt = {}) {
-  LIGHTNE_CHECK_EQ(static_cast<uint64_t>(g.NumVertices()), x.rows());
+Result<Matrix> SpectralPropagate(const G& g, const Matrix& x,
+                                 const SpectralPropagationOptions& opt = {}) {
+  if (static_cast<uint64_t>(g.NumVertices()) != x.rows()) {
+    return Status::InvalidArgument(
+        "SpectralPropagate: embedding has " + std::to_string(x.rows()) +
+        " rows but the graph has " + std::to_string(g.NumVertices()) +
+        " vertices");
+  }
   if (opt.order <= 1) return x;
   const uint64_t total = x.rows() * x.cols();
 
@@ -126,7 +134,7 @@ Matrix SpectralPropagate(const G& g, const Matrix& x,
   });
   Matrix mm = internal::MultiplyAPlusI(g, diff);
   if (!opt.svd_smoothing) return mm;
-  return DenseSvdSmoothing(mm);
+  return DenseSvdSmoothing(mm);  // Result<Matrix>: propagates SVD failure
 }
 
 }  // namespace lightne

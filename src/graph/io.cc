@@ -2,61 +2,205 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "util/fault_injection.h"
 
 namespace lightne {
 
 namespace {
 constexpr uint64_t kBinaryMagic = 0x4c4e4547524e31ull;  // "LNEGRN1"
-}  // namespace
 
-Result<EdgeList> LoadEdgeListText(const std::string& path) {
+std::string LineError(const std::string& path, uint64_t line_no,
+                      const char* what) {
+  return path + ":" + std::to_string(line_no) + ": " + what;
+}
+
+/// Parses a base-10 unsigned integer at *p (first char must be a digit —
+/// strtoull's tolerance for signs/whitespace is not wanted here) and
+/// advances *p past it. Overflow saturates to ULLONG_MAX, which the callers
+/// reject as out-of-range.
+bool ParseUint(const char** p, uint64_t* out) {
+  const char* s = *p;
+  if (*s < '0' || *s > '9') return false;
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  *p = end;
+  return true;
+}
+
+/// Requires and consumes at least one space/tab at *p.
+bool SkipFieldSeparator(const char** p) {
+  const char* s = *p;
+  if (*s != ' ' && *s != '\t') return false;
+  while (*s == ' ' || *s == '\t') ++s;
+  *p = s;
+  return true;
+}
+
+void SkipSpace(const char** p) {
+  while (**p == ' ' || **p == '\t') ++(*p);
+}
+
+/// Parses a float at *p and advances past it. Rejects empty matches.
+bool ParseFloat(const char** p, float* out) {
+  char* end = nullptr;
+  *out = std::strtof(*p, &end);
+  if (end == *p) return false;
+  *p = end;
+  return true;
+}
+
+/// Prepares one fgets buffer for parsing: verifies the line fit the buffer,
+/// strips the trailing "\n" / "\r\n", and skips leading blanks. Returns
+/// false with *error set if the line was longer than the buffer.
+bool PrepareLine(char* line, size_t cap, std::FILE* f, const std::string& path,
+                 uint64_t line_no, const char** first, Status* error) {
+  size_t len = std::strlen(line);
+  if (len + 1 == cap && line[len - 1] != '\n' && !std::feof(f)) {
+    *error = Status::InvalidArgument(
+        LineError(path, line_no, "line longer than 4095 bytes"));
+    return false;
+  }
+  while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+    line[--len] = '\0';
+  }
+  const char* p = line;
+  SkipSpace(&p);
+  *first = p;
+  return true;
+}
+
+/// Shared loader core; `weighted` selects the third-column handling. Both
+/// loaders tolerate an optional numeric weight column so weighted files can
+/// be read as unweighted graphs; only the weighted loader validates it.
+template <typename List, typename AddEdge>
+Result<List> LoadEdgeListTextImpl(const std::string& path, bool weighted,
+                                  const AddEdge& add_edge) {
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read while reading " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::IOError("cannot open " + path);
-  EdgeList list;
-  char line[512];
+  List list;
+  char line[4096];
+  uint64_t line_no = 0;
   NodeId max_id = 0;
   bool declared_nodes = false;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (line[0] == '#' || line[0] == '%') {
+    ++line_no;
+    const char* p = nullptr;
+    Status line_error = Status::Ok();
+    if (!PrepareLine(line, sizeof(line), f, path, line_no, &p, &line_error)) {
+      std::fclose(f);
+      return line_error;
+    }
+    if (*p == '\0') continue;  // blank line (covers CRLF-only lines)
+    if (*p == '#' || *p == '%') {
       unsigned long long n = 0;
-      if (std::sscanf(line, "# nodes: %llu", &n) == 1 ||
-          std::sscanf(line, "# Nodes: %llu", &n) == 1) {
+      if (std::sscanf(p, "# nodes: %llu", &n) == 1 ||
+          std::sscanf(p, "# Nodes: %llu", &n) == 1) {
         list.num_vertices = static_cast<NodeId>(n);
         declared_nodes = true;
       }
       continue;
     }
-    unsigned long long u = 0, v = 0;
-    if (std::sscanf(line, "%llu %llu", &u, &v) != 2) continue;
+    uint64_t u = 0, v = 0;
+    if (!ParseUint(&p, &u) || !SkipFieldSeparator(&p) || !ParseUint(&p, &v)) {
+      std::fclose(f);
+      return Status::InvalidArgument(LineError(
+          path, line_no, weighted ? "expected \"u v [w]\" with numeric ids"
+                                  : "expected \"u v\" with numeric ids"));
+    }
+    float w = 1.0f;
+    SkipSpace(&p);
+    if (*p != '\0') {  // optional weight column
+      if (!ParseFloat(&p, &w)) {
+        std::fclose(f);
+        return Status::InvalidArgument(
+            LineError(path, line_no, "garbage after edge endpoints"));
+      }
+      SkipSpace(&p);
+      if (*p != '\0') {
+        std::fclose(f);
+        return Status::InvalidArgument(
+            LineError(path, line_no, "trailing garbage after edge fields"));
+      }
+    }
     if (u > 0xffffffffull || v > 0xffffffffull) {
       std::fclose(f);
-      return Status::OutOfRange("vertex id exceeds 32 bits in " + path);
+      return Status::OutOfRange(
+          LineError(path, line_no, "vertex id exceeds 32 bits"));
     }
-    list.Add(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (weighted && !(w > 0.0f)) {
+      std::fclose(f);
+      return Status::InvalidArgument(
+          LineError(path, line_no, "non-positive edge weight"));
+    }
+    add_edge(&list, static_cast<NodeId>(u), static_cast<NodeId>(v), w);
     if (u > max_id) max_id = static_cast<NodeId>(u);
     if (v > max_id) max_id = static_cast<NodeId>(v);
   }
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) return Status::IOError("read error in " + path);
   if (!declared_nodes) {
     list.num_vertices = list.edges.empty() ? 0 : max_id + 1;
   }
   return list;
 }
 
-Status SaveEdgeListText(const EdgeList& list, const std::string& path) {
+/// Closes `f`, removes `path`, and returns kIOError — the save-failure
+/// epilogue that guarantees no partial output file survives.
+Status AbortSave(std::FILE* f, const std::string& path, const char* what) {
+  std::fclose(f);
+  std::remove(path.c_str());
+  return Status::IOError(std::string(what) + " " + path);
+}
+
+Status SaveEdgeListTextOnce(const EdgeList& list, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "# nodes: %" PRIu64 "\n",
                static_cast<uint64_t>(list.num_vertices));
-  for (const auto& [u, v] : list.edges) {
-    std::fprintf(f, "%u %u\n", u, v);
+  if (LIGHTNE_FAULT_POINT("io/write")) {
+    return AbortSave(f, path, "injected fault io/write while writing");
   }
+  for (const auto& [u, v] : list.edges) {
+    if (std::fprintf(f, "%u %u\n", u, v) < 0) {
+      return AbortSave(f, path, "short write to");
+    }
+  }
+  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
   std::fclose(f);
   return Status::Ok();
 }
 
-Result<EdgeList> LoadEdgeListBinary(const std::string& path) {
+Status SaveWeightedEdgeListTextOnce(const WeightedEdgeList& list,
+                                    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fprintf(f, "# nodes: %" PRIu64 "\n",
+               static_cast<uint64_t>(list.num_vertices));
+  if (LIGHTNE_FAULT_POINT("io/write")) {
+    return AbortSave(f, path, "injected fault io/write while writing");
+  }
+  for (const auto& [u, v, w] : list.edges) {
+    if (std::fprintf(f, "%u %u %.6g\n", u, v, w) < 0) {
+      return AbortSave(f, path, "short write to");
+    }
+  }
+  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<EdgeList> LoadEdgeListBinaryOnce(const std::string& path) {
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read while reading " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   uint64_t header[3];
@@ -78,71 +222,74 @@ Result<EdgeList> LoadEdgeListBinary(const std::string& path) {
   return list;
 }
 
-Result<WeightedEdgeList> LoadWeightedEdgeListText(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  WeightedEdgeList list;
-  char line[512];
-  NodeId max_id = 0;
-  bool declared_nodes = false;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (line[0] == '#' || line[0] == '%') {
-      unsigned long long n = 0;
-      if (std::sscanf(line, "# nodes: %llu", &n) == 1) {
-        list.num_vertices = static_cast<NodeId>(n);
-        declared_nodes = true;
-      }
-      continue;
-    }
-    unsigned long long u = 0, v = 0;
-    float w = 1.0f;
-    const int fields = std::sscanf(line, "%llu %llu %f", &u, &v, &w);
-    if (fields < 2) continue;
-    if (fields == 2) w = 1.0f;
-    if (u > 0xffffffffull || v > 0xffffffffull) {
-      std::fclose(f);
-      return Status::OutOfRange("vertex id exceeds 32 bits in " + path);
-    }
-    if (w <= 0) {
-      std::fclose(f);
-      return Status::InvalidArgument("non-positive edge weight in " + path);
-    }
-    list.Add(static_cast<NodeId>(u), static_cast<NodeId>(v), w);
-    if (u > max_id) max_id = static_cast<NodeId>(u);
-    if (v > max_id) max_id = static_cast<NodeId>(v);
-  }
-  std::fclose(f);
-  if (!declared_nodes) {
-    list.num_vertices = list.edges.empty() ? 0 : max_id + 1;
-  }
-  return list;
-}
-
-Status SaveWeightedEdgeListText(const WeightedEdgeList& list,
-                                const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::fprintf(f, "# nodes: %" PRIu64 "\n",
-               static_cast<uint64_t>(list.num_vertices));
-  for (const auto& [u, v, w] : list.edges) {
-    std::fprintf(f, "%u %u %.6g\n", u, v, w);
-  }
-  std::fclose(f);
-  return Status::Ok();
-}
-
-Status SaveEdgeListBinary(const EdgeList& list, const std::string& path) {
+Status SaveEdgeListBinaryOnce(const EdgeList& list, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const uint64_t header[3] = {kBinaryMagic, list.num_vertices,
                               list.edges.size()};
   bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
+  if (ok && LIGHTNE_FAULT_POINT("io/write")) ok = false;
   if (ok && !list.edges.empty()) {
     ok = std::fwrite(list.edges.data(), 8, list.edges.size(), f) ==
          list.edges.size();
   }
+  if (ok) ok = std::fflush(f) == 0;
+  if (!ok) return AbortSave(f, path, "short write to");
   std::fclose(f);
-  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<EdgeList> LoadEdgeListText(const std::string& path,
+                                  const RetryOptions& retry) {
+  return RetryResultWithBackoff<EdgeList>(
+      [&] {
+        return LoadEdgeListTextImpl<EdgeList>(
+            path, /*weighted=*/false,
+            [](EdgeList* list, NodeId u, NodeId v, float) {
+              list->Add(u, v);
+            });
+      },
+      retry);
+}
+
+Status SaveEdgeListText(const EdgeList& list, const std::string& path,
+                        const RetryOptions& retry) {
+  return RetryWithBackoff([&] { return SaveEdgeListTextOnce(list, path); },
+                          retry);
+}
+
+Result<EdgeList> LoadEdgeListBinary(const std::string& path,
+                                    const RetryOptions& retry) {
+  return RetryResultWithBackoff<EdgeList>(
+      [&] { return LoadEdgeListBinaryOnce(path); }, retry);
+}
+
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path,
+                          const RetryOptions& retry) {
+  return RetryWithBackoff([&] { return SaveEdgeListBinaryOnce(list, path); },
+                          retry);
+}
+
+Result<WeightedEdgeList> LoadWeightedEdgeListText(const std::string& path,
+                                                  const RetryOptions& retry) {
+  return RetryResultWithBackoff<WeightedEdgeList>(
+      [&] {
+        return LoadEdgeListTextImpl<WeightedEdgeList>(
+            path, /*weighted=*/true,
+            [](WeightedEdgeList* list, NodeId u, NodeId v, float w) {
+              list->Add(u, v, w);
+            });
+      },
+      retry);
+}
+
+Status SaveWeightedEdgeListText(const WeightedEdgeList& list,
+                                const std::string& path,
+                                const RetryOptions& retry) {
+  return RetryWithBackoff(
+      [&] { return SaveWeightedEdgeListTextOnce(list, path); }, retry);
 }
 
 }  // namespace lightne

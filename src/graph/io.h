@@ -1,5 +1,10 @@
 // Graph persistence: whitespace-separated edge-list text files (the format
 // used by SNAP/WDC dumps the paper loads) and a compact binary format.
+//
+// All entry points take a RetryOptions and transparently retry transient
+// failures (kIOError) with bounded exponential backoff; parse errors
+// (kInvalidArgument / kOutOfRange) surface immediately. Savers never leave a
+// partial file behind: on any write failure the output path is removed.
 #ifndef LIGHTNE_GRAPH_IO_H_
 #define LIGHTNE_GRAPH_IO_H_
 
@@ -7,27 +12,37 @@
 
 #include "graph/edge_list.h"
 #include "graph/weighted_csr.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace lightne {
 
-/// Reads "u v" pairs, one per line; '#' or '%' lines are comments. Vertex
-/// count is max id + 1 unless the file declares "# nodes: N".
-Result<EdgeList> LoadEdgeListText(const std::string& path);
+/// Reads "u v" pairs, one per line; '#' or '%' lines are comments, blank
+/// lines (including CRLF-only) are skipped. Vertex count is max id + 1
+/// unless the file declares "# nodes: N". Malformed data lines yield
+/// kInvalidArgument naming the offending line number.
+Result<EdgeList> LoadEdgeListText(const std::string& path,
+                                  const RetryOptions& retry = {});
 
 /// Writes one "u v" line per edge.
-Status SaveEdgeListText(const EdgeList& list, const std::string& path);
+Status SaveEdgeListText(const EdgeList& list, const std::string& path,
+                        const RetryOptions& retry = {});
 
 /// Binary format: magic, num_vertices, num_edges, raw (u,v) pairs.
-Result<EdgeList> LoadEdgeListBinary(const std::string& path);
-Status SaveEdgeListBinary(const EdgeList& list, const std::string& path);
+Result<EdgeList> LoadEdgeListBinary(const std::string& path,
+                                    const RetryOptions& retry = {});
+Status SaveEdgeListBinary(const EdgeList& list, const std::string& path,
+                          const RetryOptions& retry = {});
 
 /// Reads "u v w" triples (weight optional per line; defaults to 1.0).
-Result<WeightedEdgeList> LoadWeightedEdgeListText(const std::string& path);
+/// Same comment/blank/CRLF handling and strict parsing as LoadEdgeListText.
+Result<WeightedEdgeList> LoadWeightedEdgeListText(
+    const std::string& path, const RetryOptions& retry = {});
 
 /// Writes one "u v w" line per edge.
 Status SaveWeightedEdgeListText(const WeightedEdgeList& list,
-                                const std::string& path);
+                                const std::string& path,
+                                const RetryOptions& retry = {});
 
 }  // namespace lightne
 

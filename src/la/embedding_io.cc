@@ -4,31 +4,51 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/fault_injection.h"
+
 namespace lightne {
 
 namespace {
 constexpr uint64_t kEmbeddingMagic = 0x4c4e45454d4231ull;  // "LNEEMB1"
-}  // namespace
 
-Status SaveEmbeddingText(const Matrix& embedding, const std::string& path) {
+/// Closes `f`, removes `path`, and returns kIOError — the save-failure
+/// epilogue that guarantees no partial output file survives.
+Status AbortSave(std::FILE* f, const std::string& path, const char* what) {
+  std::fclose(f);
+  std::remove(path.c_str());
+  return Status::IOError(std::string(what) + " " + path);
+}
+
+Status SaveEmbeddingTextOnce(const Matrix& embedding,
+                             const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   std::fprintf(f, "%" PRIu64 " %" PRIu64 "\n", embedding.rows(),
                embedding.cols());
+  // The fault fires after the header so cleanup of a genuinely partial file
+  // is what gets exercised.
+  if (LIGHTNE_FAULT_POINT("io/write")) {
+    return AbortSave(f, path, "injected fault io/write while writing");
+  }
   for (uint64_t i = 0; i < embedding.rows(); ++i) {
     std::fprintf(f, "%" PRIu64, i);
     const float* row = embedding.Row(i);
     for (uint64_t j = 0; j < embedding.cols(); ++j) {
       std::fprintf(f, " %.6g", row[j]);
     }
-    std::fputc('\n', f);
+    if (std::fputc('\n', f) == EOF) {
+      return AbortSave(f, path, "short write to");
+    }
   }
-  const bool ok = std::fflush(f) == 0;
+  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
   std::fclose(f);
-  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+  return Status::Ok();
 }
 
-Result<Matrix> LoadEmbeddingText(const std::string& path) {
+Result<Matrix> LoadEmbeddingTextOnce(const std::string& path) {
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read while reading " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   unsigned long long rows = 0, cols = 0;
@@ -61,21 +81,28 @@ Result<Matrix> LoadEmbeddingText(const std::string& path) {
   return m;
 }
 
-Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path) {
+Status SaveEmbeddingBinaryOnce(const Matrix& embedding,
+                               const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const uint64_t header[3] = {kEmbeddingMagic, embedding.rows(),
                               embedding.cols()};
   bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
+  if (ok && LIGHTNE_FAULT_POINT("io/write")) ok = false;
   const uint64_t count = embedding.rows() * embedding.cols();
   if (ok && count > 0) {
     ok = std::fwrite(embedding.data(), sizeof(float), count, f) == count;
   }
+  if (ok) ok = std::fflush(f) == 0;
+  if (!ok) return AbortSave(f, path, "short write to");
   std::fclose(f);
-  return ok ? Status::Ok() : Status::IOError("short write to " + path);
+  return Status::Ok();
 }
 
-Result<Matrix> LoadEmbeddingBinary(const std::string& path) {
+Result<Matrix> LoadEmbeddingBinaryOnce(const std::string& path) {
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read while reading " + path);
+  }
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   uint64_t header[3];
@@ -92,6 +119,32 @@ Result<Matrix> LoadEmbeddingBinary(const std::string& path) {
   }
   std::fclose(f);
   return m;
+}
+
+}  // namespace
+
+Status SaveEmbeddingText(const Matrix& embedding, const std::string& path,
+                         const RetryOptions& retry) {
+  return RetryWithBackoff(
+      [&] { return SaveEmbeddingTextOnce(embedding, path); }, retry);
+}
+
+Result<Matrix> LoadEmbeddingText(const std::string& path,
+                                 const RetryOptions& retry) {
+  return RetryResultWithBackoff<Matrix>(
+      [&] { return LoadEmbeddingTextOnce(path); }, retry);
+}
+
+Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path,
+                           const RetryOptions& retry) {
+  return RetryWithBackoff(
+      [&] { return SaveEmbeddingBinaryOnce(embedding, path); }, retry);
+}
+
+Result<Matrix> LoadEmbeddingBinary(const std::string& path,
+                                   const RetryOptions& retry) {
+  return RetryResultWithBackoff<Matrix>(
+      [&] { return LoadEmbeddingBinaryOnce(path); }, retry);
 }
 
 }  // namespace lightne

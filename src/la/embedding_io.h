@@ -1,27 +1,36 @@
 // Embedding persistence in the two formats downstream tooling expects:
 // word2vec-style text ("n d" header then "<id> v1 v2 ..." rows) and a
 // compact binary format.
+//
+// All entry points take a RetryOptions and transparently retry transient
+// failures (kIOError) with bounded exponential backoff. Savers never leave a
+// partial file behind: on any write failure the output path is removed.
 #ifndef LIGHTNE_LA_EMBEDDING_IO_H_
 #define LIGHTNE_LA_EMBEDDING_IO_H_
 
 #include <string>
 
 #include "la/matrix.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace lightne {
 
 /// Writes the word2vec text format: header "rows cols", then one line per
 /// node: "<node-id> <v0> <v1> ...".
-Status SaveEmbeddingText(const Matrix& embedding, const std::string& path);
+Status SaveEmbeddingText(const Matrix& embedding, const std::string& path,
+                         const RetryOptions& retry = {});
 
 /// Reads the word2vec text format. Node ids may appear in any order; they
 /// must cover exactly [0, rows).
-Result<Matrix> LoadEmbeddingText(const std::string& path);
+Result<Matrix> LoadEmbeddingText(const std::string& path,
+                                 const RetryOptions& retry = {});
 
 /// Binary: magic, rows, cols, then rows*cols floats.
-Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path);
-Result<Matrix> LoadEmbeddingBinary(const std::string& path);
+Status SaveEmbeddingBinary(const Matrix& embedding, const std::string& path,
+                           const RetryOptions& retry = {});
+Result<Matrix> LoadEmbeddingBinary(const std::string& path,
+                                   const RetryOptions& retry = {});
 
 }  // namespace lightne
 

@@ -10,13 +10,21 @@
 
 namespace lightne {
 
-RandomizedSvdResult RandomizedSvd(const SparseMatrix& a,
-                                  const RandomizedSvdOptions& opt) {
-  LIGHTNE_CHECK_EQ(a.rows(), a.cols());
+Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
+                                          const RandomizedSvdOptions& opt) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument(
+        "RandomizedSvd needs a square matrix (got " +
+        std::to_string(a.rows()) + " x " + std::to_string(a.cols()) + ")");
+  }
   const uint64_t n = a.rows();
+  if (opt.rank == 0 || opt.rank > n) {
+    return Status::InvalidArgument(
+        "RandomizedSvd rank " + std::to_string(opt.rank) +
+        " outside [1, " + std::to_string(n) + "]");
+  }
   uint64_t q = opt.rank + opt.oversample;
   if (q > n) q = n;
-  LIGHTNE_CHECK_GE(q, opt.rank);
 
   const SparseMatrix* at = &a;
   SparseMatrix at_storage;
@@ -51,7 +59,9 @@ RandomizedSvdResult RandomizedSvd(const SparseMatrix& a,
   // Line 8: C = Z^T B.                                  // cblas_sgemm
   Matrix c = GemmTN(z, b);
   // Line 9: SVD of the small matrix C = U S V^T.        // LAPACKE_sgesvd
-  SvdResult small = JacobiSvd(c);
+  Result<SvdResult> small_result = JacobiSvd(c);
+  if (!small_result.ok()) return small_result.status();
+  SvdResult& small = *small_result;
   // Line 10: return (Z U, S, Y V).                      // cblas_sgemm
   Matrix zu = Gemm(z, small.u);
   Matrix yv = Gemm(y, small.v);

@@ -8,6 +8,7 @@
 
 #include "la/matrix.h"
 #include "la/sparse.h"
+#include "util/status.h"
 
 namespace lightne {
 
@@ -25,9 +26,12 @@ struct RandomizedSvdResult {
   Matrix v;                  // n x rank
 };
 
-/// Approximate truncated SVD of a sparse n x n matrix.
-RandomizedSvdResult RandomizedSvd(const SparseMatrix& a,
-                                  const RandomizedSvdOptions& opt);
+/// Approximate truncated SVD of a sparse n x n matrix. Fails with
+/// kInvalidArgument on a non-square input or a rank that exceeds its
+/// dimension, and propagates kInternal from the inner Jacobi SVD if the
+/// projected problem does not converge.
+Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
+                                          const RandomizedSvdOptions& opt);
 
 /// The network-embedding convention: X = U * diag(sqrt(sigma)).
 Matrix EmbeddingFromSvd(const RandomizedSvdResult& svd);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "la/matrix.h"
+#include "util/status.h"
 
 namespace lightne {
 
@@ -19,7 +20,11 @@ struct SvdResult {
 
 /// Full thin SVD A = U diag(sigma) V^T for an l x q matrix with l >= q.
 /// One-sided Jacobi in double precision; singular values sorted descending.
-SvdResult JacobiSvd(const Matrix& a);
+/// Fails with kInvalidArgument on degenerate shapes (l < q, empty, non-
+/// finite entries) and kInternal if the sweep limit is hit before the
+/// off-diagonal mass is annihilated (non-convergence is reported, never
+/// silently truncated). Fault point: "svd/converge".
+Result<SvdResult> JacobiSvd(const Matrix& a);
 
 }  // namespace lightne
 

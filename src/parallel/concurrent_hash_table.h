@@ -21,6 +21,7 @@
 #include "parallel/parallel_for.h"
 #include "parallel/scan.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/random.h"
 
 namespace lightne {
@@ -52,6 +53,12 @@ class ConcurrentHashTable {
   bool Upsert(uint64_t key, V delta) {
     LIGHTNE_CHECK_NE(key, kEmptyKey);
     if (overflow_.load(std::memory_order_relaxed)) return false;
+    // Fault point: pretend the table just crossed its load limit so callers
+    // exercise their overflow-retry path (see the sparsifier builder).
+    if (LIGHTNE_FAULT_POINT("sparsifier/table_insert")) {
+      overflow_.store(true, std::memory_order_relaxed);
+      return false;
+    }
     uint64_t idx = Hash(key) & mask_;
     for (uint64_t probes = 0; probes <= mask_; ++probes) {
       Slot& slot = slots_[idx];
@@ -109,6 +116,33 @@ class ConcurrentHashTable {
 
   /// Bytes held by the slot array (the dominant footprint).
   uint64_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+
+  /// Bytes a table constructed with this hint would occupy, mirroring the
+  /// constructor's rounding. Lets budget-aware callers check the footprint
+  /// before allocating (see the sparsifier's memory-budget governor).
+  static uint64_t ProjectedMemoryBytes(uint64_t capacity_hint,
+                                       double max_load = 0.8) {
+    const uint64_t want = static_cast<uint64_t>(
+        static_cast<double>(capacity_hint < 16 ? 16 : capacity_hint) /
+        max_load);
+    uint64_t capacity = 1;
+    while (capacity < want) capacity <<= 1;
+    return capacity * sizeof(Slot);
+  }
+
+  /// Largest capacity hint whose table fits in `budget_bytes`, or 0 if even
+  /// the minimum table does not fit.
+  static uint64_t LargestHintFitting(uint64_t budget_bytes,
+                                     double max_load = 0.8) {
+    uint64_t capacity = 1;
+    while (capacity * 2 * sizeof(Slot) <= budget_bytes) capacity <<= 1;
+    if (capacity * sizeof(Slot) > budget_bytes) return 0;
+    // Invert the constructor rounding: any hint <= capacity * max_load maps
+    // to a table of at most `capacity` slots.
+    const uint64_t hint = static_cast<uint64_t>(
+        static_cast<double>(capacity) * max_load);
+    return ProjectedMemoryBytes(hint, max_load) <= budget_bytes ? hint : 0;
+  }
 
   /// Applies fn(key, value) to every occupied slot, in parallel. Must not
   /// run concurrently with Upsert.

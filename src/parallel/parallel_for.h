@@ -17,6 +17,16 @@ namespace lightne {
 namespace internal {
 // True while the current thread is executing inside a parallel region.
 inline thread_local bool tl_in_parallel = false;
+
+// Marks the current thread as inside a parallel region for the guard's
+// lifetime. RAII so the flag is restored even when a task body throws (the
+// thread pool catches at the worker boundary and rethrows on the caller).
+struct InParallelRegionGuard {
+  InParallelRegionGuard() { tl_in_parallel = true; }
+  ~InParallelRegionGuard() { tl_in_parallel = false; }
+  InParallelRegionGuard(const InParallelRegionGuard&) = delete;
+  InParallelRegionGuard& operator=(const InParallelRegionGuard&) = delete;
+};
 }  // namespace internal
 
 /// Number of workers the parallel primitives will use.
@@ -43,7 +53,7 @@ void ParallelFor(uint64_t begin, uint64_t end, F&& fn, uint64_t grain = 1024) {
   const uint64_t num_chunks = (n + chunk - 1) / chunk;
   std::atomic<uint64_t> next{0};
   pool.RunOnAll([&](int /*worker*/) {
-    internal::tl_in_parallel = true;
+    internal::InParallelRegionGuard guard;
     for (;;) {
       uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
@@ -52,7 +62,6 @@ void ParallelFor(uint64_t begin, uint64_t end, F&& fn, uint64_t grain = 1024) {
       if (hi > end) hi = end;
       for (uint64_t i = lo; i < hi; ++i) fn(i);
     }
-    internal::tl_in_parallel = false;
   });
 }
 
@@ -68,9 +77,8 @@ void ParallelForWorkers(F&& fn) {
   }
   const int workers = pool.num_workers();
   pool.RunOnAll([&](int worker) {
-    internal::tl_in_parallel = true;
+    internal::InParallelRegionGuard guard;
     fn(worker, workers);
-    internal::tl_in_parallel = false;
   });
 }
 

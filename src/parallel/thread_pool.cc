@@ -1,8 +1,11 @@
 #include "parallel/thread_pool.h"
 
 #include <cstdlib>
+#include <exception>
 
 #include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
 
 namespace lightne {
 
@@ -41,6 +44,29 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::RunTask(const std::function<void(int)>& fn, int id) {
+  try {
+    if (LIGHTNE_FAULT_POINT("pool/task")) {
+      throw std::runtime_error("injected fault: pool/task");
+    }
+    fn(id);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (!has_failure_) {
+      has_failure_ = true;
+      failed_worker_ = id;
+      failure_message_ = e.what();
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (!has_failure_) {
+      has_failure_ = true;
+      failed_worker_ = id;
+      failure_message_ = "non-std::exception thrown";
+    }
+  }
+}
+
 void ThreadPool::WorkerLoop(int id) {
   uint64_t seen = 0;
   for (;;) {
@@ -52,7 +78,7 @@ void ThreadPool::WorkerLoop(int id) {
       seen = generation_;
       job = job_;
     }
-    (*job)(id);
+    RunTask(*job, id);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) cv_done_.notify_one();
@@ -62,21 +88,42 @@ void ThreadPool::WorkerLoop(int id) {
 
 void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
   if (num_workers_ == 1) {
-    fn(0);
-    return;
+    RunTask(fn, 0);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      pending_ = num_workers_ - 1;
+      ++generation_;
+    }
+    cv_start_.notify_all();
+    RunTask(fn, 0);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return pending_ == 0; });
+      job_ = nullptr;
+    }
   }
+  // All workers are quiescent; surface the round's first failure (if any) on
+  // the calling thread with its context.
+  bool failed = false;
+  int worker = -1;
+  std::string message;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    pending_ = num_workers_ - 1;
-    ++generation_;
+    std::lock_guard<std::mutex> lock(failure_mu_);
+    if (has_failure_) {
+      failed = true;
+      worker = failed_worker_;
+      message = std::move(failure_message_);
+      has_failure_ = false;
+      failed_worker_ = -1;
+      failure_message_.clear();
+    }
   }
-  cv_start_.notify_all();
-  fn(0);
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_done_.wait(lock, [&] { return pending_ == 0; });
-    job_ = nullptr;
+  if (failed) {
+    LIGHTNE_LOG_ERROR("parallel task failed on worker %d: %s", worker,
+                      message.c_str());
+    throw ParallelTaskError(worker, message);
   }
 }
 

@@ -4,16 +4,41 @@
 // as worker 0, so a machine with one hardware thread runs everything inline
 // with no synchronization overhead. Worker count comes from
 // LIGHTNE_NUM_THREADS if set, else std::thread::hardware_concurrency().
+//
+// Failure semantics: a task body that throws used to take the whole process
+// down via std::terminate (the exception escaped a worker thread). Instead,
+// each worker catches at the task boundary, the first failure is recorded
+// (worker index + message), remaining workers run to completion, and
+// RunOnAll rethrows the failure as ParallelTaskError on the calling thread —
+// parallel regions fail loudly with a diagnostic and the pool stays usable.
 #ifndef LIGHTNE_PARALLEL_THREAD_POOL_H_
 #define LIGHTNE_PARALLEL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace lightne {
+
+/// Thrown by RunOnAll (on the calling thread) when a task body threw on any
+/// worker. Carries the worker index the first failure was observed on.
+class ParallelTaskError : public std::runtime_error {
+ public:
+  ParallelTaskError(int worker, const std::string& what)
+      : std::runtime_error("parallel task failed on worker " +
+                           std::to_string(worker) + ": " + what),
+        worker_(worker) {}
+
+  /// Worker index (0 = the calling thread) the first failure occurred on.
+  int worker() const { return worker_; }
+
+ private:
+  int worker_;
+};
 
 class ThreadPool {
  public:
@@ -24,7 +49,9 @@ class ThreadPool {
   int num_workers() const { return num_workers_; }
 
   /// Runs fn(worker_id) on every worker (ids 0..num_workers-1); the calling
-  /// thread acts as worker 0. Blocks until all workers finish. Not
+  /// thread acts as worker 0. Blocks until all workers finish. If any task
+  /// body throws, the first failure is rethrown here as ParallelTaskError
+  /// (after every worker has finished, so the pool remains consistent). Not
   /// re-entrant: callers must not invoke RunOnAll from inside fn (the
   /// parallel_for layer enforces this by running nested loops sequentially).
   void RunOnAll(const std::function<void(int)>& fn);
@@ -38,6 +65,9 @@ class ThreadPool {
   explicit ThreadPool(int num_workers);
 
   void WorkerLoop(int id);
+  /// Runs the task body for one worker, capturing any exception as the
+  /// round's first failure. Never throws.
+  void RunTask(const std::function<void(int)>& fn, int id);
 
   int num_workers_;
   std::vector<std::thread> threads_;
@@ -49,6 +79,12 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+
+  // First failure of the current RunOnAll round, guarded by failure_mu_.
+  std::mutex failure_mu_;
+  bool has_failure_ = false;
+  int failed_worker_ = -1;
+  std::string failure_message_;
 };
 
 }  // namespace lightne

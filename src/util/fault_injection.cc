@@ -1,0 +1,158 @@
+#include "util/fault_injection.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+namespace fault_internal {
+std::atomic<int> g_armed_points{0};
+}  // namespace fault_internal
+
+namespace {
+
+enum class PolicyKind { kNone, kAlways, kNthHit, kProbability };
+
+struct PointState {
+  // Counters are atomic so ShouldFail can run under the shared lock from
+  // many threads at once.
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+  // Policy fields are written under the exclusive lock only.
+  PolicyKind kind = PolicyKind::kNone;
+  uint64_t nth = 0;
+  double probability = 0.0;
+  uint64_t seed = 0;
+};
+
+}  // namespace
+
+struct FaultRegistry::Impl {
+  mutable std::shared_mutex mu;
+  // unique_ptr keeps PointState addresses stable across map growth.
+  std::map<std::string, std::unique_ptr<PointState>> points;
+
+  PointState& ArmLocked(const std::string& point) {
+    auto& slot = points[point];
+    if (slot == nullptr) slot = std::make_unique<PointState>();
+    if (slot->kind == PolicyKind::kNone) {
+      fault_internal::g_armed_points.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *slot;
+  }
+};
+
+FaultRegistry::Impl& FaultRegistry::impl() {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::ArmAlwaysFail(const std::string& point) {
+  Impl& i = impl();
+  std::unique_lock lock(i.mu);
+  PointState& s = i.ArmLocked(point);
+  s.kind = PolicyKind::kAlways;
+}
+
+void FaultRegistry::ArmFailOnNthHit(const std::string& point, uint64_t nth) {
+  LIGHTNE_CHECK_GE(nth, 1u);
+  Impl& i = impl();
+  std::unique_lock lock(i.mu);
+  PointState& s = i.ArmLocked(point);
+  s.kind = PolicyKind::kNthHit;
+  s.nth = nth;
+}
+
+void FaultRegistry::ArmFailWithProbability(const std::string& point, double p,
+                                           uint64_t seed) {
+  LIGHTNE_CHECK_GE(p, 0.0);
+  LIGHTNE_CHECK_LE(p, 1.0);
+  Impl& i = impl();
+  std::unique_lock lock(i.mu);
+  PointState& s = i.ArmLocked(point);
+  s.kind = PolicyKind::kProbability;
+  s.probability = p;
+  s.seed = seed;
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  Impl& i = impl();
+  std::unique_lock lock(i.mu);
+  auto it = i.points.find(point);
+  if (it == i.points.end() || it->second->kind == PolicyKind::kNone) return;
+  it->second->kind = PolicyKind::kNone;
+  fault_internal::g_armed_points.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void FaultRegistry::Reset() {
+  Impl& i = impl();
+  std::unique_lock lock(i.mu);
+  int armed = 0;
+  for (const auto& [name, state] : i.points) {
+    if (state->kind != PolicyKind::kNone) ++armed;
+  }
+  if (armed > 0) {
+    fault_internal::g_armed_points.fetch_sub(armed,
+                                             std::memory_order_relaxed);
+  }
+  i.points.clear();
+}
+
+uint64_t FaultRegistry::HitCount(const std::string& point) const {
+  Impl& i = impl();
+  std::shared_lock lock(i.mu);
+  auto it = i.points.find(point);
+  return it == i.points.end()
+             ? 0
+             : it->second->hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::FireCount(const std::string& point) const {
+  Impl& i = impl();
+  std::shared_lock lock(i.mu);
+  auto it = i.points.find(point);
+  return it == i.points.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+bool FaultRegistry::ShouldFail(const char* point) {
+  Impl& i = impl();
+  std::shared_lock lock(i.mu);
+  auto it = i.points.find(point);
+  if (it == i.points.end()) return false;
+  PointState& s = *it->second;
+  const uint64_t hit = 1 + s.hits.fetch_add(1, std::memory_order_relaxed);
+  bool fire = false;
+  switch (s.kind) {
+    case PolicyKind::kNone:
+      break;
+    case PolicyKind::kAlways:
+      fire = true;
+      break;
+    case PolicyKind::kNthHit:
+      fire = hit == s.nth;
+      break;
+    case PolicyKind::kProbability: {
+      // Hash of (seed, hit index) -> uniform in [0, 1): the set of failing
+      // hit indices is a pure function of the seed.
+      const uint64_t h = HashCombine64(s.seed, hit);
+      fire = static_cast<double>(h >> 11) * 0x1.0p-53 < s.probability;
+      break;
+    }
+  }
+  if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace lightne

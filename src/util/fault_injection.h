@@ -1,0 +1,92 @@
+// Deterministic fault injection for robustness testing.
+//
+// Library code declares *fault points* — named places where a recoverable
+// failure can occur (a hash-table insert rejecting, an IO call failing, an
+// iterative solver not converging) — by asking the registry whether the
+// fault should fire at this hit:
+//
+//   if (LIGHTNE_FAULT_POINT("io/read")) {
+//     return Status::IOError("injected fault: io/read");
+//   }
+//
+// Tests arm a policy on a point (always-fail, fail exactly on the Nth hit,
+// or fail with probability p under a seeded hash), run the code under test,
+// and inspect hit/fire counters. With no policy armed anywhere the macro is
+// a single relaxed atomic load — safe to leave in release hot paths.
+//
+// Naming convention: "<subsystem>/<operation>", e.g.
+// "sparsifier/table_insert", "io/read", "io/write", "pool/task",
+// "svd/converge". See DESIGN.md ("Error handling & degradation policy").
+//
+// Thread safety: ShouldFail takes a shared lock and bumps atomic counters,
+// so fault points may sit inside parallel regions. Arming/disarming takes an
+// exclusive lock and must happen outside parallel regions (in practice: in
+// test set-up/tear-down).
+#ifndef LIGHTNE_UTIL_FAULT_INJECTION_H_
+#define LIGHTNE_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lightne {
+
+namespace fault_internal {
+/// Number of currently armed fault points, process-wide. Read (relaxed) by
+/// every LIGHTNE_FAULT_POINT before touching the registry.
+extern std::atomic<int> g_armed_points;
+}  // namespace fault_internal
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry.
+  static FaultRegistry& Global();
+
+  /// Every evaluation of the point fails.
+  void ArmAlwaysFail(const std::string& point);
+
+  /// Exactly the nth evaluation (1-based, counted from arming... the counter
+  /// keeps running across retries) fails; all others pass.
+  void ArmFailOnNthHit(const std::string& point, uint64_t nth);
+
+  /// Each evaluation independently fails with probability p. Deterministic
+  /// for a given seed: the decision is a hash of (seed, hit index), so the
+  /// set of failing hit indices does not depend on thread interleaving.
+  void ArmFailWithProbability(const std::string& point, double p,
+                              uint64_t seed);
+
+  /// Removes the policy from a point. Counters are preserved.
+  void Disarm(const std::string& point);
+
+  /// Removes all policies and forgets all counters. Call between tests.
+  void Reset();
+
+  /// Times the point was evaluated while the registry had any policy armed.
+  uint64_t HitCount(const std::string& point) const;
+
+  /// Times the point actually fired (returned "fail").
+  uint64_t FireCount(const std::string& point) const;
+
+  /// Hot path behind LIGHTNE_FAULT_POINT: records a hit on `point` and
+  /// returns true iff its armed policy says this hit fails.
+  bool ShouldFail(const char* point);
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+ private:
+  FaultRegistry() = default;
+  struct Impl;
+  static Impl& impl();
+};
+
+}  // namespace lightne
+
+/// True iff the named fault point should fail at this evaluation. Expands to
+/// one relaxed atomic load when nothing is armed anywhere in the process.
+#define LIGHTNE_FAULT_POINT(name)                                \
+  (::lightne::fault_internal::g_armed_points.load(              \
+       std::memory_order_relaxed) != 0 &&                        \
+   ::lightne::FaultRegistry::Global().ShouldFail(name))
+
+#endif  // LIGHTNE_UTIL_FAULT_INJECTION_H_

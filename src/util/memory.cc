@@ -34,6 +34,81 @@ uint64_t PeakRssBytes() {
   return kib * 1024;
 }
 
+uint64_t MemoryBudget::available_bytes() const {
+  if (!limited()) return ~0ull;
+  const uint64_t used = reserved_.load(std::memory_order_relaxed);
+  return used >= limit_ ? 0 : limit_ - used;
+}
+
+bool MemoryBudget::TryReserve(uint64_t bytes) {
+  if (!limited()) {
+    // Still track usage so peak_reserved_bytes() is meaningful.
+    const uint64_t now =
+        bytes + reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+  uint64_t used = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > limit_ || used > limit_ - bytes) return false;
+    if (reserved_.compare_exchange_weak(used, used + bytes,
+                                        std::memory_order_relaxed)) {
+      const uint64_t now = used + bytes;
+      uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (now > peak &&
+             !peak_.compare_exchange_weak(peak, now,
+                                          std::memory_order_relaxed)) {
+      }
+      return true;
+    }
+  }
+}
+
+void MemoryBudget::Release(uint64_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+BudgetReservation::BudgetReservation(MemoryBudget* budget, uint64_t bytes) {
+  if (budget == nullptr) return;
+  if (budget->TryReserve(bytes)) {
+    budget_ = budget;
+    bytes_ = bytes;
+  } else {
+    ok_ = false;
+  }
+}
+
+void BudgetReservation::ReleaseEarly() {
+  if (budget_ != nullptr && bytes_ > 0) {
+    budget_->Release(bytes_);
+  }
+  budget_ = nullptr;
+  bytes_ = 0;
+}
+
+BudgetReservation::BudgetReservation(BudgetReservation&& other) noexcept
+    : budget_(other.budget_), bytes_(other.bytes_), ok_(other.ok_) {
+  other.budget_ = nullptr;
+  other.bytes_ = 0;
+}
+
+BudgetReservation& BudgetReservation::operator=(
+    BudgetReservation&& other) noexcept {
+  if (this != &other) {
+    ReleaseEarly();
+    budget_ = other.budget_;
+    bytes_ = other.bytes_;
+    ok_ = other.ok_;
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
 std::string HumanBytes(uint64_t bytes) {
   const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   double v = static_cast<double>(bytes);

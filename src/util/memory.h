@@ -1,8 +1,11 @@
 // Process memory introspection used by the memory-ablation benches
-// (sparsifier footprint with/without downsampling, compressed vs raw CSR).
+// (sparsifier footprint with/without downsampling, compressed vs raw CSR),
+// plus the MemoryBudget governor pipeline stages reserve against before
+// large allocations (see DESIGN.md, "Error handling & degradation policy").
 #ifndef LIGHTNE_UTIL_MEMORY_H_
 #define LIGHTNE_UTIL_MEMORY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -16,6 +19,75 @@ uint64_t PeakRssBytes();
 
 /// "1.50 GiB", "64.0 KiB", ...
 std::string HumanBytes(uint64_t bytes);
+
+/// A fixed envelope of bytes that pipeline stages reserve against before
+/// making large allocations. Reservations are advisory accounting (nothing
+/// is pre-allocated); the point is that a stage can learn *before* an
+/// allocation that it will not fit, and degrade instead of OOM-dying.
+///
+/// A default-constructed budget (limit 0) is unlimited: every reservation
+/// succeeds and nothing is tracked against a ceiling. Thread-safe.
+class MemoryBudget {
+ public:
+  /// Unlimited budget.
+  MemoryBudget() = default;
+  /// Budget capped at `limit_bytes`; 0 means unlimited.
+  explicit MemoryBudget(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+  bool limited() const { return limit_ != 0; }
+  uint64_t limit_bytes() const { return limit_; }
+  uint64_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of reserved bytes over the budget's lifetime.
+  uint64_t peak_reserved_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  /// Bytes still reservable (UINT64_MAX when unlimited).
+  uint64_t available_bytes() const;
+
+  /// Atomically reserves `bytes` if they fit under the limit. Returns false
+  /// (reserving nothing) otherwise.
+  bool TryReserve(uint64_t bytes);
+
+  /// Returns `bytes` to the budget. Must match a prior successful reserve.
+  void Release(uint64_t bytes);
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+ private:
+  uint64_t limit_ = 0;
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// RAII reservation against a MemoryBudget. A null budget always succeeds
+/// (no-op), so call sites need no branching on "is a budget configured".
+class BudgetReservation {
+ public:
+  BudgetReservation() = default;
+  /// Attempts the reservation; check ok() before relying on it.
+  BudgetReservation(MemoryBudget* budget, uint64_t bytes);
+  ~BudgetReservation() { ReleaseEarly(); }
+
+  /// True if the reservation succeeded (or no budget was given).
+  bool ok() const { return ok_; }
+  uint64_t bytes() const { return bytes_; }
+
+  /// Returns the bytes before destruction (idempotent).
+  void ReleaseEarly();
+
+  BudgetReservation(BudgetReservation&& other) noexcept;
+  BudgetReservation& operator=(BudgetReservation&& other) noexcept;
+  BudgetReservation(const BudgetReservation&) = delete;
+  BudgetReservation& operator=(const BudgetReservation&) = delete;
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+  bool ok_ = true;
+};
 
 }  // namespace lightne
 

@@ -1,0 +1,37 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lightne {
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+namespace retry_internal {
+
+uint64_t Backoff(const RetryOptions& opt, uint64_t current_ms) {
+  if (opt.sleep) {
+    opt.sleep(current_ms);
+  } else if (current_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(current_ms));
+  }
+  const double next = static_cast<double>(current_ms) * opt.backoff_multiplier;
+  return next < 1.0 ? 1 : static_cast<uint64_t>(next);
+}
+
+}  // namespace retry_internal
+
+Status RetryWithBackoff(const std::function<Status()>& fn,
+                        const RetryOptions& opt) {
+  uint64_t backoff_ms = opt.initial_backoff_ms;
+  const int attempts = opt.max_attempts < 1 ? 1 : opt.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    Status s = fn();
+    if (s.ok() || attempt >= attempts || !IsRetryableStatus(s)) return s;
+    backoff_ms = retry_internal::Backoff(opt, backoff_ms);
+  }
+}
+
+}  // namespace lightne

@@ -1,0 +1,61 @@
+// Bounded retry with exponential backoff for transient failures.
+//
+// Policy: only kIOError is considered transient (a flaky filesystem, an
+// injected "io/read" fault). Every other code — parse errors, missing
+// schema, exhausted resources — is deterministic and returned immediately.
+//
+// The backoff clock is injectable so tests can assert the exact retry
+// schedule without real sleeping: RetryOptions::sleep receives each backoff
+// duration in milliseconds; when null, the caller thread really sleeps.
+#ifndef LIGHTNE_UTIL_RETRY_H_
+#define LIGHTNE_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace lightne {
+
+struct RetryOptions {
+  /// Total attempts (first try included). 1 disables retrying.
+  int max_attempts = 3;
+  /// Backoff before the second attempt; doubles (etc.) per further attempt.
+  uint64_t initial_backoff_ms = 2;
+  double backoff_multiplier = 2.0;
+  /// Injectable clock: called with each backoff duration. Null = real sleep.
+  std::function<void(uint64_t ms)> sleep;
+};
+
+/// True if `status` is worth retrying under the policy above.
+bool IsRetryableStatus(const Status& status);
+
+namespace retry_internal {
+/// Sleeps (or invokes the injected clock) and returns the next backoff.
+uint64_t Backoff(const RetryOptions& opt, uint64_t current_ms);
+}  // namespace retry_internal
+
+/// Runs `fn` (returning Status) up to max_attempts times, backing off
+/// between attempts, until it succeeds or fails non-transiently. Returns the
+/// last status.
+Status RetryWithBackoff(const std::function<Status()>& fn,
+                        const RetryOptions& opt);
+
+/// Result<T>-returning flavor.
+template <typename T, typename Fn>
+Result<T> RetryResultWithBackoff(Fn&& fn, const RetryOptions& opt) {
+  uint64_t backoff_ms = opt.initial_backoff_ms;
+  const int attempts = opt.max_attempts < 1 ? 1 : opt.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    Result<T> r = fn();
+    if (r.ok() || attempt >= attempts || !IsRetryableStatus(r.status())) {
+      return r;
+    }
+    backoff_ms = retry_internal::Backoff(opt, backoff_ms);
+  }
+}
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_RETRY_H_

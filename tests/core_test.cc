@@ -440,7 +440,7 @@ TEST(PropagationTest, OrderOneIsIdentity) {
   Matrix x = Matrix::Gaussian(g.NumVertices(), 4, 3);
   SpectralPropagationOptions opt;
   opt.order = 1;
-  Matrix y = SpectralPropagate(g, x, opt);
+  Matrix y = SpectralPropagate(g, x, opt).value();
   EXPECT_EQ(MaxAbsDiff(x, y), 0.0);
 }
 
@@ -449,7 +449,7 @@ TEST(PropagationTest, OutputRowsAreUnitNorm) {
   const CsrGraph g =
       CsrGraph::FromEdges(GenerateSbm(1000, 4, 8000, 0.7, 2, &community));
   Matrix x = Matrix::Gaussian(g.NumVertices(), 16, 5);
-  Matrix y = SpectralPropagate(g, x);
+  Matrix y = SpectralPropagate(g, x).value();
   ASSERT_EQ(y.rows(), x.rows());
   ASSERT_EQ(y.cols(), x.cols());
   for (uint64_t i = 0; i < y.rows(); ++i) {
@@ -462,16 +462,16 @@ TEST(PropagationTest, DeterministicAndRepresentationIndependent) {
   const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(9, 4000, 31));
   const CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
   Matrix x = Matrix::Gaussian(g.NumVertices(), 8, 9);
-  Matrix a = SpectralPropagate(g, x);
-  Matrix b = SpectralPropagate(g, x);
-  Matrix c = SpectralPropagate(cg, x);
+  Matrix a = SpectralPropagate(g, x).value();
+  Matrix b = SpectralPropagate(g, x).value();
+  Matrix c = SpectralPropagate(cg, x).value();
   EXPECT_EQ(MaxAbsDiff(a, b), 0.0);
   EXPECT_LT(MaxAbsDiff(a, c), 1e-6);
 }
 
 TEST(PropagationTest, SmoothingRowsNormalizedAndSpanPreserved) {
   Matrix mm = Matrix::Gaussian(50, 5, 2);
-  Matrix out = DenseSvdSmoothing(mm);
+  Matrix out = DenseSvdSmoothing(mm).value();
   ASSERT_EQ(out.rows(), 50u);
   ASSERT_EQ(out.cols(), 5u);
   for (uint64_t i = 0; i < out.rows(); ++i) {

@@ -157,7 +157,7 @@ TEST(QrTest, RankDeficientInputStillGivesOrthonormalQ) {
 
 TEST(SvdTest, ReconstructsRandomMatrix) {
   Matrix a = Matrix::Gaussian(30, 12, 21);
-  SvdResult svd = JacobiSvd(a);
+  SvdResult svd = JacobiSvd(a).value();
   // U diag(sigma) V^T == A.
   Matrix us = svd.u;
   us.ScaleColumns(svd.sigma);
@@ -175,7 +175,7 @@ TEST(SvdTest, DiagonalMatrixGivesExactSingularValues) {
   Matrix a(5, 5);
   const float diag[5] = {3.0f, 1.0f, 4.0f, 1.5f, 9.0f};
   for (int i = 0; i < 5; ++i) a.At(i, i) = diag[i];
-  SvdResult svd = JacobiSvd(a);
+  SvdResult svd = JacobiSvd(a).value();
   std::vector<float> expect = {9.0f, 4.0f, 3.0f, 1.5f, 1.0f};
   for (int i = 0; i < 5; ++i) EXPECT_NEAR(svd.sigma[i], expect[i], 1e-5);
 }
@@ -189,7 +189,7 @@ TEST(SvdTest, RankDeficientSigmaHasZeros) {
     a.At(i, 2) = g.At(i, 0) + g.At(i, 1);
     a.At(i, 3) = g.At(i, 0) - g.At(i, 1);
   }
-  SvdResult svd = JacobiSvd(a);
+  SvdResult svd = JacobiSvd(a).value();
   EXPECT_GT(svd.sigma[1], 1e-3);
   EXPECT_NEAR(svd.sigma[2], 0.0, 1e-3);
   EXPECT_NEAR(svd.sigma[3], 0.0, 1e-3);
@@ -292,7 +292,7 @@ TEST(RsvdTest, RecoversPlantedSpectrum) {
   opt.oversample = 8;
   opt.symmetric = true;
   opt.seed = 5;
-  auto svd = RandomizedSvd(a, opt);
+  auto svd = RandomizedSvd(a, opt).value();
   for (int i = 0; i < 4; ++i) EXPECT_NEAR(svd.sigma[i], 50.0, 0.5) << i;
   EXPECT_NEAR(svd.sigma[4], 0.0, 0.5);
   EXPECT_NEAR(svd.sigma[5], 0.0, 0.5);
@@ -304,7 +304,7 @@ TEST(RsvdTest, ReconstructionErrorSmallForLowRank) {
   opt.rank = 3;
   opt.oversample = 10;
   opt.symmetric = true;
-  auto svd = RandomizedSvd(a, opt);
+  auto svd = RandomizedSvd(a, opt).value();
   Matrix us = svd.u;
   us.ScaleColumns(svd.sigma);
   Matrix recon = Gemm(us, Transpose(svd.v));
@@ -318,9 +318,9 @@ TEST(RsvdTest, NonSymmetricPathMatchesSymmetricOnSymmetricInput) {
   opt.oversample = 6;
   opt.seed = 9;
   opt.symmetric = false;
-  auto svd_general = RandomizedSvd(a, opt);
+  auto svd_general = RandomizedSvd(a, opt).value();
   opt.symmetric = true;
-  auto svd_symmetric = RandomizedSvd(a, opt);
+  auto svd_symmetric = RandomizedSvd(a, opt).value();
   for (int i = 0; i < 2; ++i) {
     EXPECT_NEAR(svd_general.sigma[i], svd_symmetric.sigma[i], 1.0) << i;
   }
@@ -345,9 +345,9 @@ TEST(RsvdTest, PowerIterationsImproveSpectralDecay) {
   base.rank = 8;
   base.oversample = 4;
   base.symmetric = true;
-  auto plain = RandomizedSvd(a, base);
+  auto plain = RandomizedSvd(a, base).value();
   base.power_iters = 3;
-  auto powered = RandomizedSvd(a, base);
+  auto powered = RandomizedSvd(a, base).value();
   EXPECT_GE(powered.sigma[0], plain.sigma[0] - 0.05);
 }
 

@@ -92,7 +92,7 @@ TEST_P(RsvdPlantedRank, RecoversBlockSpectrum) {
   opt.symmetric = true;
   opt.power_iters = 1;
   opt.seed = n + blocks;
-  auto svd = RandomizedSvd(a, opt);
+  auto svd = RandomizedSvd(a, opt).value();
   for (uint64_t i = 0; i < blocks; ++i) {
     EXPECT_NEAR(svd.sigma[i], static_cast<double>(size), 0.02 * size) << i;
   }
@@ -189,9 +189,9 @@ TEST(PropagationProperty, FilterIsLinearBeforeSmoothing) {
   for (uint64_t k = 0; k < xy.rows() * xy.cols(); ++k) {
     xy.data()[k] = 2.0f * x.data()[k] - 3.0f * y.data()[k];
   }
-  Matrix px = SpectralPropagate(g, x, opt);
-  Matrix py = SpectralPropagate(g, y, opt);
-  Matrix pxy = SpectralPropagate(g, xy, opt);
+  Matrix px = SpectralPropagate(g, x, opt).value();
+  Matrix py = SpectralPropagate(g, y, opt).value();
+  Matrix pxy = SpectralPropagate(g, xy, opt).value();
   Matrix combo(g.NumVertices(), 6);
   for (uint64_t k = 0; k < combo.rows() * combo.cols(); ++k) {
     combo.data()[k] = 2.0f * px.data()[k] - 3.0f * py.data()[k];
@@ -209,7 +209,7 @@ TEST(PropagationProperty, ConstantVectorStaysNearKernel) {
   opt.svd_smoothing = false;
   Matrix ones(g.NumVertices(), 1);
   for (uint64_t i = 0; i < ones.rows(); ++i) ones.At(i, 0) = 1.0f;
-  Matrix out = SpectralPropagate(g, ones, opt);
+  Matrix out = SpectralPropagate(g, ones, opt).value();
   // All rows whose vertex degrees are equal should map identically; in
   // general the output must be finite and, for the constant input, have low
   // variance relative to its mean magnitude.

@@ -3,7 +3,11 @@
 // SGNS internals, and option-validation behavior.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/deepwalk.h"
 #include "baselines/line.h"
@@ -13,7 +17,11 @@
 #include "data/generators.h"
 #include "graph/compressed.h"
 #include "graph/csr.h"
+#include "graph/io.h"
 #include "graph/pagerank.h"
+#include "la/embedding_io.h"
+#include "util/fault_injection.h"
+#include "util/retry.h"
 
 namespace lightne {
 namespace {
@@ -205,6 +213,287 @@ TEST(OptionValidation, LightNeExplicitSampleCountOverridesRatio) {
 TEST(OptionValidation, HashTableRejectsSillyLoadFactors) {
   EXPECT_DEATH(ConcurrentHashTable<double>(16, 1.5), "CHECK failed");
   EXPECT_DEATH(ConcurrentHashTable<double>(16, 0.0), "CHECK failed");
+}
+
+// ------------------------------------------------------- fault injection ----
+
+class FaultSuite : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Global().Reset(); }
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+
+  /// A RetryOptions whose clock records the backoff schedule instead of
+  /// sleeping.
+  RetryOptions RecordingRetry() {
+    RetryOptions opt;
+    opt.sleep = [this](uint64_t ms) { schedule_.push_back(ms); };
+    return opt;
+  }
+
+  static bool FileExists(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+  }
+
+  std::vector<uint64_t> schedule_;
+};
+
+TEST_F(FaultSuite, TransientReadFaultRecoveredByOneRetry) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.Add(0, 1);
+  list.Add(2, 3);
+  const std::string path = ::testing::TempDir() + "/fault_recover.txt";
+  ASSERT_TRUE(SaveEdgeListText(list, path).ok());
+
+  FaultRegistry::Global().ArmFailOnNthHit("io/read", 1);
+  auto r = LoadEdgeListText(path, RecordingRetry());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->edges, list.edges);
+  // Exactly one backoff (the default 2 ms) before the successful attempt.
+  EXPECT_EQ(schedule_, (std::vector<uint64_t>{2}));
+  EXPECT_EQ(FaultRegistry::Global().HitCount("io/read"), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultSuite, ReadRetryExhaustionSurfacesIOError) {
+  const std::string path = ::testing::TempDir() + "/fault_exhaust.txt";
+  EdgeList list;
+  list.num_vertices = 2;
+  list.Add(0, 1);
+  ASSERT_TRUE(SaveEdgeListText(list, path).ok());
+
+  FaultRegistry::Global().ArmAlwaysFail("io/read");
+  auto r = LoadEdgeListText(path, RecordingRetry());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  // Default policy: 3 attempts, exponential 2 ms -> 4 ms between them.
+  EXPECT_EQ(schedule_, (std::vector<uint64_t>{2, 4}));
+  EXPECT_EQ(FaultRegistry::Global().HitCount("io/read"), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultSuite, FailedEmbeddingSaveLeavesNoPartialFile) {
+  Matrix x = Matrix::Gaussian(20, 4, 7);
+  const std::string path = ::testing::TempDir() + "/fault_partial.emb";
+  FaultRegistry::Global().ArmAlwaysFail("io/write");
+  Status s = SaveEmbeddingText(x, path, RecordingRetry());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  // The header had already been written when the fault fired; the saver must
+  // have removed the partial file.
+  EXPECT_FALSE(FileExists(path));
+
+  // Disarmed, the same call succeeds and round-trips.
+  FaultRegistry::Global().Disarm("io/write");
+  ASSERT_TRUE(SaveEmbeddingText(x, path).ok());
+  auto loaded = LoadEmbeddingText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_LT(MaxAbsDiff(*loaded, x), 1e-4f);  // %.6g text round-trip
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultSuite, FailedEdgeListSaveLeavesNoPartialFile) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.Add(0, 1);
+  const std::string path = ::testing::TempDir() + "/fault_partial.txt";
+  FaultRegistry::Global().ArmAlwaysFail("io/write");
+  Status s = SaveEdgeListText(list, path, RecordingRetry());
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST_F(FaultSuite, SvdNonConvergenceSurfacesWithoutAborting) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(300, 2500, 3));
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 3;
+  opt.num_samples = 20000;
+  FaultRegistry::Global().ArmAlwaysFail("svd/converge");
+  auto r = RunLightNe(g, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_NE(r.status().ToString().find("converge"), std::string::npos);
+
+  // The failure is injected, not structural: disarm and the same pipeline
+  // succeeds.
+  FaultRegistry::Global().Disarm("svd/converge");
+  auto ok = RunLightNe(g, opt);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->embedding.rows(), g.NumVertices());
+}
+
+TEST_F(FaultSuite, ForcedTableOverflowRetriesToBitIdenticalSparsifier) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 3));
+  SparsifierOptions opt;
+  opt.num_samples = 200000;
+  opt.window = 5;
+  opt.seed = 9;
+  auto baseline = BuildSparsifier(g, opt);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_EQ(baseline->attempts, 1);
+
+  // Fail the very first table insert: the builder must treat it as an
+  // overflow, double the capacity, resample with the same seed, and land on
+  // the exact same sparsifier.
+  FaultRegistry::Global().ArmFailOnNthHit("sparsifier/table_insert", 1);
+  auto retried = BuildSparsifier(g, opt);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->attempts, 2);
+  ASSERT_EQ(retried->matrix.nnz(), baseline->matrix.nnz());
+  EXPECT_EQ(retried->matrix.values(), baseline->matrix.values());
+  EXPECT_EQ(FaultRegistry::Global().FireCount("sparsifier/table_insert"), 1u);
+}
+
+TEST_F(FaultSuite, PoolTaskFaultSurfacesAsParallelTaskError) {
+  FaultRegistry::Global().ArmFailOnNthHit("pool/task", 1);
+  try {
+    ThreadPool::Global().RunOnAll([](int) {});
+    FAIL() << "expected ParallelTaskError";
+  } catch (const ParallelTaskError& e) {
+    EXPECT_GE(e.worker(), 0);
+    EXPECT_NE(std::string(e.what()).find("pool/task"), std::string::npos);
+  }
+  // The pool survives the failure and runs the next round normally.
+  std::atomic<int> ran{0};
+  ThreadPool::Global().RunOnAll([&](int) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), ThreadPool::Global().num_workers());
+}
+
+TEST_F(FaultSuite, ThrowingTaskBodyReportsWorkerAndMessage) {
+  try {
+    ThreadPool::Global().RunOnAll(
+        [](int) { throw std::runtime_error("boom in task"); });
+    FAIL() << "expected ParallelTaskError";
+  } catch (const ParallelTaskError& e) {
+    EXPECT_GE(e.worker(), 0);
+    EXPECT_NE(std::string(e.what()).find("boom in task"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------ memory governor ----
+
+TEST(MemoryGovernor, DegradesSparsifierInsteadOfFailing) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 3));
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 5;
+  opt.num_samples = 60000;
+  opt.seed = 9;
+
+  auto unbudgeted = RunLightNe(g, opt);
+  ASSERT_TRUE(unbudgeted.ok());
+  EXPECT_FALSE(unbudgeted->degraded);
+  EXPECT_EQ(unbudgeted->peak_reserved_bytes, 0u);
+
+  // Too small for the unbudgeted hash table, but comfortably above the
+  // dense rSVD/propagation workspaces — the governor must tighten the
+  // downsampling until the table fits and still deliver a usable embedding.
+  opt.memory_budget_bytes = 600000;
+  ASSERT_LT(opt.memory_budget_bytes, unbudgeted->sparsifier_stats.table_bytes);
+  auto budgeted = RunLightNe(g, opt);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+  EXPECT_TRUE(budgeted->degraded);
+  EXPECT_TRUE(budgeted->sparsifier_stats.degraded);
+  EXPECT_GE(budgeted->sparsifier_stats.budget_tightenings, 1);
+  EXPECT_LT(budgeted->sparsifier_stats.downsample_constant_used,
+            unbudgeted->sparsifier_stats.downsample_constant_used);
+  EXPECT_LE(budgeted->sparsifier_stats.table_bytes, opt.memory_budget_bytes);
+  EXPECT_EQ(budgeted->embedding.rows(), g.NumVertices());
+  EXPECT_EQ(budgeted->embedding.cols(), opt.dim);
+  EXPECT_GT(budgeted->peak_reserved_bytes, 0u);
+  EXPECT_LE(budgeted->peak_reserved_bytes, opt.memory_budget_bytes);
+}
+
+TEST(MemoryGovernor, ImpossibleBudgetReturnsResourceExhausted) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 3));
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 5;
+  opt.num_samples = 60000;
+  // Far below even the degraded table / rSVD workspace.
+  opt.memory_budget_bytes = 4096;
+  auto r = RunLightNe(g, opt);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryGovernor, UnbudgetedRunIsBitIdenticalToSeedBehavior) {
+  const CsrGraph g = CsrGraph::FromEdges(GenerateErdosRenyi(400, 3000, 11));
+  LightNeOptions opt;
+  opt.dim = 8;
+  opt.window = 3;
+  opt.num_samples = 30000;
+  auto a = RunLightNe(g, opt);
+  auto b = RunLightNe(g, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(MaxAbsDiff(a->embedding, b->embedding), 0.0f);
+}
+
+// ------------------------------------------------------ hardened parsing ----
+
+TEST(TextParsing, CrlfAndBlankLinesAccepted) {
+  const std::string path = ::testing::TempDir() + "/crlf.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fprintf(f, "# nodes: 9\r\n\r\n1 2\r\n  \r\n3 4\r\n\r\n");
+  std::fclose(f);
+  auto r = LoadEdgeListText(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_vertices, 9u);
+  ASSERT_EQ(r->edges.size(), 2u);
+  EXPECT_EQ(r->edges[1], std::make_pair(NodeId{3}, NodeId{4}));
+  std::remove(path.c_str());
+}
+
+TEST(TextParsing, GarbageTokensRejectedWithLineNumber) {
+  const std::string path = ::testing::TempDir() + "/garbage.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "1 2\n3 four\n5 6\n");
+  std::fclose(f);
+  auto r = LoadEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find(":2:"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TextParsing, TrailingJunkAfterWeightRejected) {
+  const std::string path = ::testing::TempDir() + "/junk.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "1 2 0.5 extra\n");
+  std::fclose(f);
+  auto r = LoadWeightedEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find(":1:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TextParsing, NegativeIdRejected) {
+  const std::string path = ::testing::TempDir() + "/negid.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "-1 2\n");
+  std::fclose(f);
+  auto r = LoadEdgeListText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(TextParsing, UnweightedLoaderToleratesWeightColumn) {
+  const std::string path = ::testing::TempDir() + "/wcol.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fprintf(f, "1 2 0.25\n3 4\n");
+  std::fclose(f);
+  auto r = LoadEdgeListText(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->edges.size(), 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -214,7 +214,7 @@ TEST(WeightedLightNeTest, SeparatesCommunitiesByWeightAlone) {
 TEST(WeightedLightNeTest, PropagationRunsOnWeightedGraph) {
   WeightedCsrGraph g = TriangleWeighted();
   Matrix x = Matrix::Gaussian(4, 3, 7);
-  Matrix y = SpectralPropagate(g, x);
+  Matrix y = SpectralPropagate(g, x).value();
   ASSERT_EQ(y.rows(), 4u);
   for (uint64_t k = 0; k < y.rows() * y.cols(); ++k) {
     ASSERT_TRUE(std::isfinite(y.data()[k]));
