@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the committed kernel perf baseline (BENCH_kernels.json).
+#
+# Builds the release preset, runs bench_kernels_baseline at full scale, and
+# writes the JSON artifact at the repo root with the current git sha stamped
+# in. Perf PRs re-run this and commit the result so the kernel trajectory is
+# visible in version control. Usage: scripts/bench_baseline.sh [out.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake --preset release
+cmake --build --preset release -j "${JOBS}" --target bench_kernels_baseline
+
+LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
+  ./build/bench/bench_kernels_baseline "${OUT}"

@@ -12,3 +12,32 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake --preset "${PRESET}"
 cmake --build --preset "${PRESET}" -j "${JOBS}"
 ctest --preset "${PRESET}" -j "${JOBS}"
+
+# Bench smoke: run the kernel perf baseline at reduced scale under the
+# sanitizer build and validate that the JSON artifact parses with the keys
+# downstream tooling relies on. This keeps bench_kernels_baseline honest
+# without paying for a full-scale run in the gate.
+BINDIR="build"
+[[ "${PRESET}" != "release" ]] && BINDIR="build-${PRESET}"
+SMOKE_JSON="$(mktemp /tmp/bench_kernels_smoke.XXXXXX.json)"
+trap 'rm -f "${SMOKE_JSON}"' EXIT
+LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
+  "./${BINDIR}/bench/bench_kernels_baseline" "${SMOKE_JSON}"
+python3 - "${SMOKE_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema_version", "git_sha", "workers", "bench_scale", "results",
+            "speedups"):
+    assert key in doc, f"BENCH_kernels.json missing top-level key {key!r}"
+assert doc["results"], "BENCH_kernels.json has no results"
+for row in doc["results"]:
+    for key in ("name", "kernel", "variant", "threads", "shape", "runs",
+                "median_ms"):
+        assert key in row, f"result row missing key {key!r}: {row}"
+    assert row["median_ms"] > 0, f"non-positive median in {row['name']}"
+assert "gemm_512_blocked_vs_naive_1t" in doc["speedups"]
+print(f"bench smoke OK: {len(doc['results'])} results, "
+      f"gemm_512 speedup {doc['speedups']['gemm_512_blocked_vs_naive_1t']}x")
+EOF

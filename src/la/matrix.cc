@@ -94,74 +94,6 @@ Matrix Matrix::FirstColumns(uint64_t k) const {
   return out;
 }
 
-Matrix Gemm(const Matrix& a, const Matrix& b) {
-  LIGHTNE_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
-  const uint64_t n = b.cols();
-  const uint64_t k = a.cols();
-  ParallelFor(
-      0, a.rows(),
-      [&](uint64_t i) {
-        float* ci = c.Row(i);
-        const float* ai = a.Row(i);
-        for (uint64_t p = 0; p < k; ++p) {
-          const float aip = ai[p];
-          if (aip == 0.0f) continue;
-          const float* bp = b.Row(p);
-          for (uint64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-        }
-      },
-      /*grain=*/16);
-  return c;
-}
-
-Matrix GemmTN(const Matrix& a, const Matrix& b) {
-  LIGHTNE_CHECK_EQ(a.rows(), b.rows());
-  const uint64_t m = a.cols();
-  const uint64_t n = b.cols();
-  const uint64_t rows = a.rows();
-  const int workers = NumWorkers();
-  // Per-worker double accumulators of the full m x n product, merged at the
-  // end. m and n are small (embedding-dimension scale) so this is cheap.
-  std::vector<std::vector<double>> partial(
-      static_cast<size_t>(workers), std::vector<double>(m * n, 0.0));
-  ParallelForWorkers([&](int worker, int total) {
-    std::vector<double>& acc = partial[static_cast<size_t>(worker)];
-    const uint64_t lo = rows * static_cast<uint64_t>(worker) /
-                        static_cast<uint64_t>(total);
-    const uint64_t hi = rows * (static_cast<uint64_t>(worker) + 1) /
-                        static_cast<uint64_t>(total);
-    for (uint64_t r = lo; r < hi; ++r) {
-      const float* ar = a.Row(r);
-      const float* br = b.Row(r);
-      for (uint64_t i = 0; i < m; ++i) {
-        const double ari = ar[i];
-        if (ari == 0.0) continue;
-        double* acc_row = acc.data() + i * n;
-        for (uint64_t j = 0; j < n; ++j) acc_row[j] += ari * br[j];
-      }
-    }
-  });
-  Matrix c(m, n);
-  ParallelFor(0, m * n, [&](uint64_t k) {
-    double sum = 0;
-    for (int w = 0; w < workers; ++w) sum += partial[w][k];
-    c.data()[k] = static_cast<float>(sum);
-  });
-  return c;
-}
-
-Matrix Transpose(const Matrix& a) {
-  Matrix t(a.cols(), a.rows());
-  ParallelFor(
-      0, a.rows(),
-      [&](uint64_t i) {
-        for (uint64_t j = 0; j < a.cols(); ++j) t.At(j, i) = a.At(i, j);
-      },
-      /*grain=*/64);
-  return t;
-}
-
 double MaxAbsDiff(const Matrix& a, const Matrix& b) {
   LIGHTNE_CHECK_EQ(a.rows(), b.rows());
   LIGHTNE_CHECK_EQ(a.cols(), b.cols());

@@ -62,15 +62,17 @@ class Matrix {
   std::vector<float> data_;
 };
 
-/// C = A * B. Parallel over rows of A.
+/// C = A * B. Cache-blocked with packed B panels, parallel over row panels
+/// of A; bit-identical to NaiveGemm for any worker count (la/kernels.h).
 Matrix Gemm(const Matrix& a, const Matrix& b);
 
 /// C = A^T * B, for tall-skinny A and B with equal row counts (the Gram-type
-/// product in Algo 3 line 8). Parallel over row blocks with per-worker
-/// partial accumulators.
+/// product in Algo 3 line 8). Parallel over a shape-determined row-block
+/// partition with double-precision partials from the scratch arena
+/// (la/kernels.h); deterministic for any worker count.
 Matrix GemmTN(const Matrix& a, const Matrix& b);
 
-/// B = A^T.
+/// B = A^T. Square-tile blocked copy (la/kernels.h).
 Matrix Transpose(const Matrix& a);
 
 /// max_{i,j} |A_ij - B_ij|; shapes must match.

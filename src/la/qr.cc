@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "la/kernels.h"
 #include "parallel/parallel_for.h"
 #include "util/check.h"
 
@@ -109,15 +110,22 @@ Matrix TsqrFactorize(Matrix* a) {
   const uint64_t n = a->rows();
   const uint64_t q = a->cols();
   LIGHTNE_CHECK_GE(n, q);
+  // The block count is a function of the shape only — never the worker
+  // count — so the factorization (and everything downstream of rSVD) is
+  // bit-identical for any pool size. ~4K rows per block keeps the per-block
+  // Householder sweep long enough to amortize the stacked-R combine.
+  constexpr uint64_t kBlockRows = 1u << 12;
+  constexpr uint64_t kMaxBlocks = 64;
   const uint64_t max_blocks = q == 0 ? 1 : n / q;
-  uint64_t blocks = static_cast<uint64_t>(NumWorkers());
+  uint64_t blocks = n / kBlockRows;
+  if (blocks > kMaxBlocks) blocks = kMaxBlocks;
   if (blocks > max_blocks) blocks = max_blocks;
   if (blocks <= 1 || n < (1u << 12)) return HouseholderQr(a);
 
   // Row ranges per block.
   auto block_lo = [&](uint64_t b) { return n * b / blocks; };
 
-  // Per-block QR.
+  // Per-block QR. Panel copies go through the shared blocked-copy primitive.
   std::vector<Matrix> q_blocks(blocks);
   Matrix stacked(blocks * q, q);
   ParallelFor(
@@ -125,41 +133,26 @@ Matrix TsqrFactorize(Matrix* a) {
       [&](uint64_t b) {
         const uint64_t lo = block_lo(b), hi = block_lo(b + 1);
         Matrix ab(hi - lo, q);
-        for (uint64_t i = lo; i < hi; ++i) {
-          const float* src = a->Row(i);
-          float* dst = ab.Row(i - lo);
-          for (uint64_t j = 0; j < q; ++j) dst[j] = src[j];
-        }
+        kernels::CopyBlock(a->Row(lo), q, ab.Row(0), q, hi - lo, q);
         Matrix rb = HouseholderQr(&ab);
         q_blocks[b] = std::move(ab);
-        for (uint64_t i = 0; i < q; ++i) {
-          float* dst = stacked.Row(b * q + i);
-          const float* src = rb.Row(i);
-          for (uint64_t j = 0; j < q; ++j) dst[j] = src[j];
-        }
+        kernels::CopyBlock(rb.Row(0), q, stacked.Row(b * q), q, q, q);
       },
       /*grain=*/1);
 
   // QR of the stacked R factors (small: blocks*q x q).
   Matrix r_final = HouseholderQr(&stacked);
 
-  // Recover thin Q: block i of Q = Q_i * stacked[i*q:(i+1)*q, :].
+  // Recover thin Q: block b of Q = Q_b * stacked[b*q:(b+1)*q, :]. The q x q
+  // panel product runs through the shared microkernel (stacked panel is
+  // cache-resident), writing the block of `a` in place.
   ParallelFor(
       0, blocks,
       [&](uint64_t b) {
         const uint64_t lo = block_lo(b), hi = block_lo(b + 1);
         const Matrix& qb = q_blocks[b];
-        for (uint64_t i = lo; i < hi; ++i) {
-          float* dst = a->Row(i);
-          const float* qi = qb.Row(i - lo);
-          for (uint64_t j = 0; j < q; ++j) {
-            double acc = 0;
-            for (uint64_t p = 0; p < q; ++p) {
-              acc += static_cast<double>(qi[p]) * stacked.At(b * q + p, j);
-            }
-            dst[j] = static_cast<float>(acc);
-          }
-        }
+        kernels::MicroGemm(qb.Row(0), q, stacked.Row(b * q), q, a->Row(lo),
+                           q, hi - lo, q, q);
       },
       /*grain=*/1);
   return r_final;

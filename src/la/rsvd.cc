@@ -42,7 +42,11 @@ Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
   // Line 4: orthonormalize Y.         // LAPACKE_sgeqrf, LAPACKE_sorgqr
   Orthonormalize(&y);
 
-  // Optional subspace (power) iterations for tougher spectra.
+  // Optional subspace (power) iterations for tougher spectra. The blocked
+  // kernels invoked each step (Spmm, the TSQR panel products, and later
+  // GemmTN) draw their packing panels and partial buffers from the calling
+  // thread's ScratchArena, so every iteration after the first reuses warm
+  // workspace instead of reallocating (parallel/scratch.h).
   for (uint64_t it = 0; it < opt.power_iters; ++it) {
     Matrix z = a.Multiply(y);
     Orthonormalize(&z);

@@ -180,10 +180,24 @@ class ConcurrentHashTable {
   }
 
  private:
-  struct Slot {
+  // Layout choice: each slot is padded to its own cache line. The sparsifier
+  // ingestion path has every worker CAS-ing keys and fetch-adding values at
+  // hash-random slots; with the natural 16-byte layout four adjacent slots
+  // share one 64-byte line, so a hot slot's xadd traffic invalidates the
+  // line under three innocent neighbors (false sharing) and the probe
+  // cluster around any popular key serializes. A full line per slot makes
+  // every atomic RMW miss-or-own exactly one line. The 4x memory cost is
+  // deliberate and visible to the memory-budget governor, which sizes
+  // tables through sizeof(Slot) (MemoryBytes / ProjectedMemoryBytes), so
+  // budget degradation accounts for the padding automatically. The
+  // alternative — interleaving the hash so probe sequences stride across
+  // lines — keeps the memory but costs an extra line fetch per probe even
+  // when uncontended; ingestion throughput is the hot path, so we pad.
+  struct alignas(64) Slot {
     std::atomic<uint64_t> key;
     std::atomic<V> value;
   };
+  static_assert(alignof(Slot) == 64, "slots must not share a cache line");
 
   static uint64_t Hash(uint64_t key) {
     uint64_t s = key;

@@ -35,6 +35,24 @@ inline int NumWorkers() { return ThreadPool::Global().num_workers(); }
 /// True when called from inside a parallel_for body (nested region).
 inline bool InParallelRegion() { return internal::tl_in_parallel; }
 
+/// Forces every parallel primitive invoked on the current thread to run
+/// inline (single-worker semantics) for the guard's lifetime, regardless of
+/// the global pool size. Lets the determinism tests and the kernel perf
+/// baseline obtain true 1-worker runs inside a process whose pool is
+/// already sized from LIGHTNE_NUM_THREADS.
+class SequentialRegion {
+ public:
+  SequentialRegion() : saved_(internal::tl_in_parallel) {
+    internal::tl_in_parallel = true;
+  }
+  ~SequentialRegion() { internal::tl_in_parallel = saved_; }
+  SequentialRegion(const SequentialRegion&) = delete;
+  SequentialRegion& operator=(const SequentialRegion&) = delete;
+
+ private:
+  bool saved_;
+};
+
 /// Applies fn(i) for every i in [begin, end). `grain` is the minimum chunk
 /// handed to a worker; loops shorter than one grain run inline.
 template <typename F>

@@ -469,6 +469,20 @@ TEST(PropagationTest, DeterministicAndRepresentationIndependent) {
   EXPECT_LT(MaxAbsDiff(a, c), 1e-6);
 }
 
+TEST(PropagationTest, BitIdenticalAcrossWorkerCounts) {
+  // The pool's worker count comes from LIGHTNE_NUM_THREADS (the _mt4
+  // variant runs with 4); SequentialRegion forces a true 1-worker run in
+  // the same process. The blocked kernel layer partitions work by shape,
+  // never worker count (la/kernels.h), so propagation — including the
+  // GemmTN/Gemm/Jacobi smoothing path — must agree bit for bit.
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(10, 8000, 77));
+  Matrix x = Matrix::Gaussian(g.NumVertices(), 24, 13);
+  Matrix parallel_run = SpectralPropagate(g, x).value();
+  SequentialRegion sequential;
+  Matrix sequential_run = SpectralPropagate(g, x).value();
+  EXPECT_EQ(MaxAbsDiff(parallel_run, sequential_run), 0.0);
+}
+
 TEST(PropagationTest, SmoothingRowsNormalizedAndSpanPreserved) {
   Matrix mm = Matrix::Gaussian(50, 5, 2);
   Matrix out = DenseSvdSmoothing(mm).value();

@@ -1,22 +1,26 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 #include <vector>
 
+#include "data/generators.h"
 #include "graph/types.h"
 #include "la/embedding_io.h"
+#include "la/kernels.h"
 #include "la/matrix.h"
 #include "la/qr.h"
 #include "la/rsvd.h"
 #include "la/sparse.h"
 #include "la/special.h"
 #include "la/svd.h"
+#include "parallel/parallel_for.h"
 #include "util/random.h"
 
 namespace lightne {
 namespace {
 
-Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+Matrix RefGemmDouble(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.cols());
   for (uint64_t i = 0; i < a.rows(); ++i) {
     for (uint64_t j = 0; j < b.cols(); ++j) {
@@ -57,7 +61,7 @@ TEST(MatrixTest, GemmMatchesNaive) {
 TEST(MatrixTest, GemmTNMatchesTransposeThenGemm) {
   Matrix a = Matrix::Gaussian(5000, 12, 4);
   Matrix b = Matrix::Gaussian(5000, 9, 5);
-  Matrix expect = NaiveGemm(Transpose(a), b);
+  Matrix expect = RefGemmDouble(Transpose(a), b);
   EXPECT_LT(MaxAbsDiff(GemmTN(a, b), expect), 2e-3);
 }
 
@@ -418,6 +422,165 @@ TEST(EmbeddingIoTest, EmptyMatrixRoundTrips) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->rows(), 0u);
   std::remove(path.c_str());
+}
+
+// -------------------------------------------------- blocked kernel layer --
+
+// Relative Frobenius distance ||a - b||_F / ||b||_F (b is the reference).
+double RelFrobDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double diff_sq = 0.0;
+  for (uint64_t i = 0; i < a.rows(); ++i) {
+    for (uint64_t j = 0; j < a.cols(); ++j) {
+      const double d = static_cast<double>(a.At(i, j)) - b.At(i, j);
+      diff_sq += d * d;
+    }
+  }
+  const double ref = b.FrobeniusNorm();
+  return ref > 0 ? std::sqrt(diff_sq) / ref : std::sqrt(diff_sq);
+}
+
+// Shapes deliberately include non-multiples of every blocking parameter
+// (kMc=64, kKc=256, kNc=64) so ragged panel/strip edges are exercised.
+class BlockedGemmShapes
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, uint64_t>> {
+};
+
+TEST_P(BlockedGemmShapes, BlockedMatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Matrix a = Matrix::Gaussian(m, k, m * 31 + k);
+  Matrix b = Matrix::Gaussian(k, n, k * 17 + n);
+  EXPECT_LT(RelFrobDiff(Gemm(a, b), NaiveGemm(a, b)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmShapes,
+    ::testing::Values(std::make_tuple(1ull, 1ull, 1ull),
+                      std::make_tuple(64ull, 64ull, 64ull),
+                      std::make_tuple(37ull, 23ull, 41ull),
+                      std::make_tuple(65ull, 257ull, 66ull),
+                      std::make_tuple(128ull, 300ull, 64ull),
+                      std::make_tuple(200ull, 513ull, 3ull),
+                      std::make_tuple(3ull, 1000ull, 129ull)));
+
+class BlockedGemmTNShapes
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t, uint64_t>> {
+};
+
+TEST_P(BlockedGemmTNShapes, BlockedMatchesNaiveReference) {
+  const auto [rows, m, n] = GetParam();
+  Matrix a = Matrix::Gaussian(rows, m, rows + m);
+  Matrix b = Matrix::Gaussian(rows, n, rows + n + 1);
+  EXPECT_LT(RelFrobDiff(GemmTN(a, b), NaiveGemmTN(a, b)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BlockedGemmTNShapes,
+    ::testing::Values(std::make_tuple(100ull, 12ull, 9ull),
+                      std::make_tuple(1024ull, 16ull, 16ull),
+                      std::make_tuple(2500ull, 33ull, 17ull),  // 2 blocks
+                      std::make_tuple(5000ull, 7ull, 40ull),   // 4 blocks
+                      std::make_tuple(4097ull, 1ull, 1ull)));
+
+TEST(BlockedKernelTest, GemmTnBlocksDependOnShapeOnly) {
+  // Partition must never see the worker count (determinism contract).
+  EXPECT_EQ(kernels::GemmTnBlocks(100, 8, 8), 1ull);
+  EXPECT_EQ(kernels::GemmTnBlocks(4096, 8, 8), 4ull);
+  // Memory cap engages for fat outputs: 2048x2048 doubles = 32 MiB budget.
+  EXPECT_EQ(kernels::GemmTnBlocks(1u << 20, 2048, 2048), 1ull);
+}
+
+TEST(BlockedKernelTest, TransposeMatchesNaiveOnRaggedShapes) {
+  for (auto [r, c] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {1, 1}, {32, 32}, {33, 31}, {100, 257}, {513, 7}}) {
+    Matrix a = Matrix::Gaussian(r, c, r * 1000 + c);
+    EXPECT_EQ(MaxAbsDiff(Transpose(a), NaiveTranspose(a)), 0.0);
+  }
+}
+
+TEST(BlockedKernelTest, SpmmMatchesNaiveReference) {
+  Rng rng(71);
+  std::vector<std::pair<uint64_t, double>> entries;
+  const uint64_t rows = 300, cols = 400;
+  for (int k = 0; k < 5000; ++k) {
+    entries.push_back({PackEdge(static_cast<NodeId>(rng.UniformInt(rows)),
+                                static_cast<NodeId>(rng.UniformInt(cols))),
+                       rng.Uniform() - 0.5});
+  }
+  SparseMatrix s = SparseMatrix::FromEntries(rows, cols, std::move(entries));
+  // d values straddle the kSpmmStrip=64 strip width; forced strips pin the
+  // tiled path (the auto policy single-passes at these widths), including
+  // ragged final strips (d=65 strip 64, d=300 strip 256).
+  for (uint64_t d : {7ull, 64ull, 65ull, 200ull, 300ull}) {
+    Matrix x = Matrix::Gaussian(cols, d, d);
+    Matrix ref = NaiveSpmm(s, x);
+    EXPECT_LT(RelFrobDiff(s.Multiply(x), ref), 1e-12) << d;
+    for (uint64_t strip : {64ull, 256ull}) {
+      EXPECT_LT(RelFrobDiff(s.Multiply(x, strip), ref), 1e-12)
+          << d << " strip " << strip;
+    }
+  }
+}
+
+TEST(BlockedKernelTest, GemmIsBitIdenticalToReference) {
+  // Stronger than the 1e-12 bound: identical accumulation order means
+  // identical bits (the determinism contract in kernels.h).
+  Matrix a = Matrix::Gaussian(130, 520, 1);
+  Matrix b = Matrix::Gaussian(520, 130, 2);
+  EXPECT_EQ(MaxAbsDiff(Gemm(a, b), NaiveGemm(a, b)), 0.0);
+}
+
+// ------------------------------------------------ 1-vs-N-worker determinism
+
+// Sparse NetMF-style matrix from a fixed-seed RMAT graph.
+SparseMatrix RmatSparse(int scale, uint64_t edges, uint64_t seed) {
+  EdgeList list = GenerateRmat(scale, edges, seed);
+  const uint64_t n = 1ull << scale;
+  std::vector<std::pair<uint64_t, double>> entries;
+  entries.reserve(list.edges.size() * 2);
+  for (const auto& [u, v] : list.edges) {
+    entries.push_back({PackEdge(u, v), 1.0});
+    entries.push_back({PackEdge(v, u), 1.0});
+  }
+  return SparseMatrix::FromEntries(n, n, std::move(entries));
+}
+
+TEST(DeterminismTest, RandomizedSvdBitIdenticalAcrossWorkerCounts) {
+  // The pool's worker count comes from LIGHTNE_NUM_THREADS (the _mt4 test
+  // variant runs this with 4 workers); SequentialRegion forces a true
+  // 1-worker run in the same process. Every kernel partitions by shape, not
+  // worker count, so the results must be bit-identical — not merely close.
+  SparseMatrix a = RmatSparse(10, 8000, 97);
+  RandomizedSvdOptions opt;
+  opt.rank = 16;
+  opt.oversample = 8;
+  opt.power_iters = 2;
+  opt.symmetric = true;
+  opt.seed = 12;
+  auto parallel_run = RandomizedSvd(a, opt).value();
+  SequentialRegion sequential;
+  auto sequential_run = RandomizedSvd(a, opt).value();
+  EXPECT_EQ(MaxAbsDiff(parallel_run.u, sequential_run.u), 0.0);
+  EXPECT_EQ(MaxAbsDiff(parallel_run.v, sequential_run.v), 0.0);
+  ASSERT_EQ(parallel_run.sigma.size(), sequential_run.sigma.size());
+  for (size_t i = 0; i < parallel_run.sigma.size(); ++i) {
+    EXPECT_EQ(parallel_run.sigma[i], sequential_run.sigma[i]) << i;
+  }
+}
+
+TEST(DeterminismTest, NonSymmetricRsvdBitIdenticalAcrossWorkerCounts) {
+  SparseMatrix a = RmatSparse(9, 4000, 3);
+  RandomizedSvdOptions opt;
+  opt.rank = 8;
+  opt.oversample = 4;
+  opt.symmetric = false;
+  opt.seed = 44;
+  auto parallel_run = RandomizedSvd(a, opt).value();
+  SequentialRegion sequential;
+  auto sequential_run = RandomizedSvd(a, opt).value();
+  EXPECT_EQ(MaxAbsDiff(parallel_run.u, sequential_run.u), 0.0);
+  EXPECT_EQ(MaxAbsDiff(parallel_run.v, sequential_run.v), 0.0);
 }
 
 // ---------------------------------------------------------------- Bessel --
