@@ -225,7 +225,9 @@ void WriteJson(const std::string& path) {
   std::fprintf(f, "  \"workers\": %d,\n", NumWorkers());
   std::fprintf(f, "  \"bench_scale\": %.3f,\n", BenchScale());
   std::fprintf(f, "  \"timestamp_unix\": %lld,\n",
-               static_cast<long long>(std::time(nullptr)));
+               static_cast<long long>(
+                   std::time(nullptr)));  // lint-ok: random (timestamp
+                                          // field, not an RNG seed)
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < g_rows.size(); ++i) {
     const ResultRow& r = g_rows[i];

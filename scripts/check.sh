@@ -1,13 +1,35 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure + build the asan preset and run the full test
-# suite under AddressSanitizer/UBSan. Usage: scripts/check.sh [preset]
-# (preset defaults to "asan"; pass "tsan" for the ThreadSanitizer build).
+# Sanitizer + lint gate. Usage: scripts/check.sh [mode]
+#   asan (default)  configure/build the asan preset, run all tests under
+#                   AddressSanitizer/UBSan + the bench smoke
+#   tsan            same under ThreadSanitizer (includes stress_test)
+#   lint            repo-invariant linter (tools/lint/lightne_lint.py) +
+#                   its self-tests + clang-tidy over src/ tests/ bench/
+#                   examples/ when clang-tidy is installed
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+if [[ "${PRESET}" == "lint" ]]; then
+  echo "== lightne_lint: repo invariants over src/ tests/ bench/ examples/"
+  python3 tools/lint/lightne_lint.py
+  echo "== lightne_lint: rule self-tests (fixtures under tools/lint/testdata)"
+  python3 -m unittest discover -s tools/lint -p "test_*.py"
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy (config: .clang-tidy)"
+    cmake --preset release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # Headers are covered through their including TUs (HeaderFilterRegex).
+    find src tests bench examples -name '*.cc' -print0 |
+      xargs -0 -P "${JOBS}" -n 8 clang-tidy -p build --quiet
+  else
+    echo "== clang-tidy not installed; skipped (lint rules still enforced)"
+  fi
+  echo "lint OK"
+  exit 0
+fi
 
 cmake --preset "${PRESET}"
 cmake --build --preset "${PRESET}" -j "${JOBS}"

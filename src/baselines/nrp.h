@@ -12,7 +12,6 @@
 #define LIGHTNE_BASELINES_NRP_H_
 
 #include <cmath>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "la/rsvd.h"
 #include "la/sparse.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace lightne {
 
@@ -44,7 +44,7 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
   // N = D^{-1/2} A D^{-1/2}.
   std::vector<std::pair<uint64_t, double>> entries;
   entries.reserve(g.NumDirectedEdges());
-  std::mutex mu;
+  Mutex mu;
   ParallelForWorkers([&](int worker, int workers) {
     std::vector<std::pair<uint64_t, double>> local;
     const NodeId lo = static_cast<NodeId>(
@@ -58,7 +58,7 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
         local.push_back({PackEdge(u, v), static_cast<double>(w) / (su * sv)});
       });
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     entries.insert(entries.end(), local.begin(), local.end());
   });
   SparseMatrix norm_adj = SparseMatrix::FromEntries(n, n, std::move(entries));

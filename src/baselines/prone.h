@@ -12,7 +12,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "la/rsvd.h"
 #include "la/sparse.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace lightne {
@@ -61,7 +61,7 @@ SparseMatrix BuildProneMatrix(const G& g, double alpha,
   std::vector<std::pair<uint64_t, double>> entries;
   entries.reserve(g.NumDirectedEdges());
   // Sequential-friendly gather; entries order does not matter (sorted later).
-  std::mutex mu;
+  Mutex mu;
   ParallelForWorkers([&](int worker, int workers) {
     std::vector<std::pair<uint64_t, double>> local;
     const NodeId lo = static_cast<NodeId>(
@@ -78,7 +78,7 @@ SparseMatrix BuildProneMatrix(const G& g, double alpha,
         local.push_back({PackEdge(u, v), value});
       });
     }
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     entries.insert(entries.end(), local.begin(), local.end());
   });
   return SparseMatrix::FromEntries(n, n, std::move(entries));

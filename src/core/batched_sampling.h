@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/sparsifier.h"
+#include "util/thread_annotations.h"
 
 namespace lightne {
 
@@ -60,7 +61,7 @@ Result<SparsifierResult> BuildSparsifierBatched(const G& g,
   std::vector<internal::WalkTask> tasks;
   uint64_t drawn = 0;
   {
-    std::mutex mu;
+    Mutex mu;
     ParallelForWorkers([&](int worker, int workers) {
       std::vector<Sample> local_samples;
       std::vector<internal::WalkTask> local_tasks;
@@ -97,7 +98,7 @@ Result<SparsifierResult> BuildSparsifierBatched(const G& g,
           }
         });
       }
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       const uint32_t base = static_cast<uint32_t>(samples.size());
       for (auto& t : local_tasks) t.sample += base;
       samples.insert(samples.end(), local_samples.begin(),

@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_start_.notify_all();
+  cv_start_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -51,14 +51,14 @@ void ThreadPool::RunTask(const std::function<void(int)>& fn, int id) {
     }
     fn(id);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(failure_mu_);
+    MutexLock lock(failure_mu_);
     if (!has_failure_) {
       has_failure_ = true;
       failed_worker_ = id;
       failure_message_ = e.what();
     }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(failure_mu_);
+    MutexLock lock(failure_mu_);
     if (!has_failure_) {
       has_failure_ = true;
       failed_worker_ = id;
@@ -72,16 +72,18 @@ void ThreadPool::WorkerLoop(int id) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_start_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      // Condition reads sit directly in this scope (not in a predicate
+      // lambda) so the thread-safety analysis can see they are under mu_.
+      while (!shutdown_ && generation_ == seen) cv_start_.Wait(mu_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
     }
     RunTask(*job, id);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) cv_done_.notify_one();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) cv_done_.NotifyOne();
     }
   }
 }
@@ -91,16 +93,16 @@ void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
     RunTask(fn, 0);
   } else {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       job_ = &fn;
       pending_ = num_workers_ - 1;
       ++generation_;
     }
-    cv_start_.notify_all();
+    cv_start_.NotifyAll();
     RunTask(fn, 0);
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_done_.wait(lock, [&] { return pending_ == 0; });
+      MutexLock lock(mu_);
+      while (pending_ != 0) cv_done_.Wait(mu_);
       job_ = nullptr;
     }
   }
@@ -110,7 +112,7 @@ void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
   int worker = -1;
   std::string message;
   {
-    std::lock_guard<std::mutex> lock(failure_mu_);
+    MutexLock lock(failure_mu_);
     if (has_failure_) {
       failed = true;
       worker = failed_worker_;

@@ -14,13 +14,13 @@
 #ifndef LIGHTNE_PARALLEL_THREAD_POOL_H_
 #define LIGHTNE_PARALLEL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace lightne {
 
@@ -72,19 +72,23 @@ class ThreadPool {
   int num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  // Round-dispatch state. job_ points at the caller's std::function for the
+  // duration of one RunOnAll round; workers copy the pointer under mu_ and
+  // invoke through the copy outside the lock (the round's rendezvous keeps
+  // it alive until every worker is done).
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  const std::function<void(int)>* job_ LIGHTNE_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ LIGHTNE_GUARDED_BY(mu_) = 0;
+  int pending_ LIGHTNE_GUARDED_BY(mu_) = 0;
+  bool shutdown_ LIGHTNE_GUARDED_BY(mu_) = false;
 
-  // First failure of the current RunOnAll round, guarded by failure_mu_.
-  std::mutex failure_mu_;
-  bool has_failure_ = false;
-  int failed_worker_ = -1;
-  std::string failure_message_;
+  // First failure of the current RunOnAll round.
+  Mutex failure_mu_;
+  bool has_failure_ LIGHTNE_GUARDED_BY(failure_mu_) = false;
+  int failed_worker_ LIGHTNE_GUARDED_BY(failure_mu_) = -1;
+  std::string failure_message_ LIGHTNE_GUARDED_BY(failure_mu_);
 };
 
 }  // namespace lightne

@@ -2,11 +2,10 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace lightne {
 
@@ -33,11 +32,15 @@ struct PointState {
 }  // namespace
 
 struct FaultRegistry::Impl {
-  mutable std::shared_mutex mu;
-  // unique_ptr keeps PointState addresses stable across map growth.
-  std::map<std::string, std::unique_ptr<PointState>> points;
+  mutable SharedMutex mu;
+  // unique_ptr keeps PointState addresses stable across map growth. The map
+  // structure is guarded by mu (shared for lookups, exclusive for arming);
+  // the counters inside each PointState are atomics so ShouldFail can bump
+  // them under the shared lock from many threads at once.
+  std::map<std::string, std::unique_ptr<PointState>> points
+      LIGHTNE_GUARDED_BY(mu);
 
-  PointState& ArmLocked(const std::string& point) {
+  PointState& ArmLocked(const std::string& point) LIGHTNE_REQUIRES(mu) {
     auto& slot = points[point];
     if (slot == nullptr) slot = std::make_unique<PointState>();
     if (slot->kind == PolicyKind::kNone) {
@@ -59,7 +62,7 @@ FaultRegistry& FaultRegistry::Global() {
 
 void FaultRegistry::ArmAlwaysFail(const std::string& point) {
   Impl& i = impl();
-  std::unique_lock lock(i.mu);
+  WriterMutexLock lock(i.mu);
   PointState& s = i.ArmLocked(point);
   s.kind = PolicyKind::kAlways;
 }
@@ -67,7 +70,7 @@ void FaultRegistry::ArmAlwaysFail(const std::string& point) {
 void FaultRegistry::ArmFailOnNthHit(const std::string& point, uint64_t nth) {
   LIGHTNE_CHECK_GE(nth, 1u);
   Impl& i = impl();
-  std::unique_lock lock(i.mu);
+  WriterMutexLock lock(i.mu);
   PointState& s = i.ArmLocked(point);
   s.kind = PolicyKind::kNthHit;
   s.nth = nth;
@@ -78,7 +81,7 @@ void FaultRegistry::ArmFailWithProbability(const std::string& point, double p,
   LIGHTNE_CHECK_GE(p, 0.0);
   LIGHTNE_CHECK_LE(p, 1.0);
   Impl& i = impl();
-  std::unique_lock lock(i.mu);
+  WriterMutexLock lock(i.mu);
   PointState& s = i.ArmLocked(point);
   s.kind = PolicyKind::kProbability;
   s.probability = p;
@@ -87,7 +90,7 @@ void FaultRegistry::ArmFailWithProbability(const std::string& point, double p,
 
 void FaultRegistry::Disarm(const std::string& point) {
   Impl& i = impl();
-  std::unique_lock lock(i.mu);
+  WriterMutexLock lock(i.mu);
   auto it = i.points.find(point);
   if (it == i.points.end() || it->second->kind == PolicyKind::kNone) return;
   it->second->kind = PolicyKind::kNone;
@@ -96,7 +99,7 @@ void FaultRegistry::Disarm(const std::string& point) {
 
 void FaultRegistry::Reset() {
   Impl& i = impl();
-  std::unique_lock lock(i.mu);
+  WriterMutexLock lock(i.mu);
   int armed = 0;
   for (const auto& [name, state] : i.points) {
     if (state->kind != PolicyKind::kNone) ++armed;
@@ -110,7 +113,7 @@ void FaultRegistry::Reset() {
 
 uint64_t FaultRegistry::HitCount(const std::string& point) const {
   Impl& i = impl();
-  std::shared_lock lock(i.mu);
+  ReaderMutexLock lock(i.mu);
   auto it = i.points.find(point);
   return it == i.points.end()
              ? 0
@@ -119,7 +122,7 @@ uint64_t FaultRegistry::HitCount(const std::string& point) const {
 
 uint64_t FaultRegistry::FireCount(const std::string& point) const {
   Impl& i = impl();
-  std::shared_lock lock(i.mu);
+  ReaderMutexLock lock(i.mu);
   auto it = i.points.find(point);
   return it == i.points.end()
              ? 0
@@ -128,7 +131,7 @@ uint64_t FaultRegistry::FireCount(const std::string& point) const {
 
 bool FaultRegistry::ShouldFail(const char* point) {
   Impl& i = impl();
-  std::shared_lock lock(i.mu);
+  ReaderMutexLock lock(i.mu);
   auto it = i.points.find(point);
   if (it == i.points.end()) return false;
   PointState& s = *it->second;

@@ -27,8 +27,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Outcome of a fallible operation: a code plus an optional message.
-/// Cheap to copy when OK (empty message).
-class Status {
+/// Cheap to copy when OK (empty message). [[nodiscard]]: silently dropping
+/// a Status is a bug; consume it, propagate it, or cast to (void) with a
+/// comment. The repo linter enforces the same rule textually (rule
+/// `status`), so the contract holds even for compilers that do not warn.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -70,9 +73,10 @@ class Status {
   std::string msg_;
 };
 
-/// Either a value of type T or a non-OK Status.
+/// Either a value of type T or a non-OK Status. [[nodiscard]] like Status:
+/// an unexamined Result hides the error path.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from a value (the common success path).
   Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -1,0 +1,468 @@
+#!/usr/bin/env python3
+"""LightNE repo-invariant linter (stdlib only).
+
+Mechanically enforces the invariants that neither the compiler nor the test
+suite can guarantee — see DESIGN.md §9 ("Static-analysis contract"):
+
+  random     The determinism contract bans ambient randomness: no rand()/
+             std::rand/srand, no std::random_device, no std::mt19937, and no
+             time()-seeded anything outside src/util/random.h. All
+             randomness flows through the counter-seedable Rng so results
+             are a pure function of (seed, work item).
+  fastmath   No -ffast-math-style flags or optimize pragmas anywhere
+             (sources or CMake): value-changing FP transforms would break
+             the bit-identical kernel contract of DESIGN.md §8.
+  unordered  src/core, src/la, src/graph may not use std::unordered_{map,
+             set,multimap,multiset}: their iteration order is unspecified,
+             so any result-affecting traversal becomes nondeterministic.
+             Use std::map, sorted vectors, or the ConcurrentHashTable
+             (whose Extract() feeds a deterministic sort).
+  status     Every call to a Status/Result<T>-returning function must be
+             consumed (assigned, returned, tested, or explicitly cast to
+             (void)). Bare-statement drops lose the error path. This is the
+             textual twin of the [[nodiscard]] markings in util/status.h.
+  layering   Include hygiene: a module may include only itself and the
+             layers below it (util -> parallel -> {graph, la} -> data ->
+             core -> {baselines, eval}). In particular src/la may not
+             include src/core.
+  rawmutex   No raw std::mutex/std::shared_mutex/std::condition_variable
+             (or their lock RAII types) outside src/util/
+             thread_annotations.h: all locks must be the annotated wrappers
+             so Clang's -Wthread-safety sees every acquisition.
+
+Suppression: append a comment containing `lint-ok: <rule>` to the offending
+line (with a justification). Example:
+
+    std::time(nullptr));  // lint-ok: random (timestamp, not an RNG seed)
+
+Usage:
+    tools/lint/lightne_lint.py              # lint src/ tests/ bench/ examples/
+    tools/lint/lightne_lint.py PATH...      # lint specific files/dirs
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import os
+import re
+import sys
+from collections import namedtuple
+
+Finding = namedtuple("Finding", ["path", "line", "rule", "message"])
+
+RULES = ("random", "fastmath", "unordered", "status", "layering", "rawmutex")
+
+CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+DEFAULT_ROOTS = ("src", "tests", "bench", "examples")
+
+# Files exempt from specific rules (the one place each primitive may live).
+RANDOM_EXEMPT = ("src/util/random.h",)
+RAWMUTEX_EXEMPT = ("src/util/thread_annotations.h",)
+# Factory names declared in status.h (Status::Ok etc.) are never collected
+# as "Status-returning functions" for the status rule: flagging a bare
+# `Ok();` would be noise, and the real declarations live everywhere else.
+STATUS_COLLECT_SKIP = ("src/util/status.h",)
+
+# Module layering: each src/<dir> may include only the listed src/<dir>s.
+LAYERING = {
+    "util": {"util"},
+    "parallel": {"util", "parallel"},
+    "graph": {"util", "parallel", "graph"},
+    "la": {"util", "parallel", "la"},
+    "data": {"util", "parallel", "graph", "data"},
+    "core": {"util", "parallel", "graph", "data", "la", "core"},
+    "baselines": {"util", "parallel", "graph", "data", "la", "core",
+                  "baselines"},
+    "eval": {"util", "parallel", "graph", "data", "la", "eval"},
+}
+
+SUPPRESS_RE = re.compile(r"lint-ok:\s*([a-z]+)")
+
+
+def is_cmake(rel_path):
+    base = os.path.basename(rel_path)
+    return base == "CMakeLists.txt" or base.endswith(".cmake")
+
+
+def is_cpp(rel_path):
+    return rel_path.endswith(CPP_EXTENSIONS)
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal *contents* with spaces,
+    preserving newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        else:  # string or char
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def suppressed_lines(text):
+    """Maps 1-based line number -> set of rule names suppressed there."""
+    result = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for rule in SUPPRESS_RE.findall(line):
+            result.setdefault(lineno, set()).add(rule)
+    return result
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+class SourceFile:
+    def __init__(self, rel_path, raw):
+        self.rel_path = rel_path
+        self.raw = raw
+        self.stripped = strip_comments_and_strings(raw) if is_cpp(
+            rel_path) else raw
+        self.suppressed = suppressed_lines(raw)
+
+    def suppresses(self, lineno, rule):
+        return rule in self.suppressed.get(lineno, set())
+
+
+# --------------------------------------------------------------------------
+# random
+RANDOM_PATTERNS = (
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"(?<!:)\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+     "time()-seeded value"),
+)
+
+
+def check_random(f):
+    if f.rel_path in RANDOM_EXEMPT or not is_cpp(f.rel_path):
+        return
+    seen = set()
+    for pattern, label in RANDOM_PATTERNS:
+        for m in pattern.finditer(f.stripped):
+            lineno = line_of(f.stripped, m.start())
+            if (lineno, label) in seen:
+                continue
+            seen.add((lineno, label))
+            yield Finding(
+                f.rel_path, lineno, "random",
+                f"{label} is banned by the determinism contract; derive "
+                "randomness from util/random.h (Rng / ItemRng / "
+                "HashCombine64)")
+
+
+# --------------------------------------------------------------------------
+# fastmath
+FASTMATH_PATTERNS = (
+    re.compile(r"-ffast-math\b"),
+    re.compile(r"-funsafe-math-optimizations\b"),
+    re.compile(r"-fassociative-math\b"),
+    re.compile(r"-freciprocal-math\b"),
+    re.compile(r"#\s*pragma\s+(?:GCC|clang)\s+optimize\b"),
+    re.compile(r"#\s*pragma\s+clang\s+fp\b"),
+    re.compile(r"#\s*pragma\s+STDC\s+FP_CONTRACT\s+ON\b"),
+)
+
+
+def check_fastmath(f):
+    # CMake files are scanned raw (flags live inside quoted strings);
+    # C++ files are scanned with comments/strings stripped.
+    text = f.raw if is_cmake(f.rel_path) else f.stripped
+    for pattern in FASTMATH_PATTERNS:
+        for m in pattern.finditer(text):
+            yield Finding(
+                f.rel_path, line_of(text, m.start()), "fastmath",
+                f"'{m.group(0).strip()}' breaks the bit-identical kernel "
+                "contract (DESIGN.md §8); value-changing FP transforms are "
+                "banned")
+
+
+# --------------------------------------------------------------------------
+# unordered
+UNORDERED_RE = re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\b")
+UNORDERED_DIRS = ("src/core/", "src/la/", "src/graph/")
+
+
+def check_unordered(f):
+    if not f.rel_path.startswith(UNORDERED_DIRS) or not is_cpp(f.rel_path):
+        return
+    for m in UNORDERED_RE.finditer(f.stripped):
+        yield Finding(
+            f.rel_path, line_of(f.stripped, m.start()), "unordered",
+            f"{m.group(0)} has unspecified iteration order; result-affecting "
+            "paths must use std::map, sorted vectors, or "
+            "ConcurrentHashTable+sort")
+
+
+# --------------------------------------------------------------------------
+# status
+STATUS_DECL_RE = re.compile(
+    r"(?:^|[;{}]|\n)\s*(?:static\s+|inline\s+|constexpr\s+)*"
+    r"(?:Status|Result<[^;{}()=]+>)\s+([A-Za-z_]\w*)\s*\(",
+    re.MULTILINE)
+# An object/namespace chain like `foo.`, `it->second->`, `lightne::`,
+# `FaultRegistry::Global().` — i.e. the call really is the whole statement.
+CHAIN_RE = re.compile(
+    r"^(?:[A-Za-z_]\w*(?:\(\))?\s*(?:\.|->|::)\s*)*$")
+
+
+def collect_status_names(files):
+    """Names of functions declared to return Status or Result<T>."""
+    names = set()
+    for f in files:
+        if not is_cpp(f.rel_path) or f.rel_path in STATUS_COLLECT_SKIP:
+            continue
+        for m in STATUS_DECL_RE.finditer(f.stripped):
+            names.add(m.group(1))
+    return names
+
+
+def matching_paren(text, open_pos):
+    """Position just past the paren group opened at open_pos, or -1."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def check_status(f, status_names):
+    if not is_cpp(f.rel_path) or not status_names:
+        return
+    text = f.stripped
+    for name in status_names:
+        for m in re.finditer(r"\b" + re.escape(name) + r"\s*\(", text):
+            # Statement start: the last ; { or } before the call chain.
+            stmt_start = max(text.rfind(";", 0, m.start()),
+                             text.rfind("{", 0, m.start()),
+                             text.rfind("}", 0, m.start()))
+            prefix = text[stmt_start + 1:m.start()].strip()
+            # Preprocessor lines are not statements.
+            if "#" in prefix:
+                continue
+            if not CHAIN_RE.match(prefix):
+                continue  # assigned / returned / tested / wrapped — consumed
+            close = matching_paren(text, m.end() - 1)
+            if close < 0:
+                continue
+            rest = text[close:close + 2].lstrip()
+            if not rest.startswith(";"):
+                continue  # member access / operator — the value is used
+            yield Finding(
+                f.rel_path, line_of(text, m.start()), "status",
+                f"return value of {name}() (Status/Result) is dropped; "
+                "assign it, LIGHTNE_RETURN_IF_ERROR it, or cast to (void) "
+                "with a comment")
+
+
+# --------------------------------------------------------------------------
+# layering
+INCLUDE_RE = re.compile(r"#\s*include\s+\"([a-z_]+)/[^\"]+\"")
+
+
+def check_layering(f):
+    if not f.rel_path.startswith("src/") or not is_cpp(f.rel_path):
+        return
+    parts = f.rel_path.split("/")
+    if len(parts) < 3:
+        return
+    module = parts[1]
+    allowed = LAYERING.get(module)
+    if allowed is None:
+        return
+    # Raw text: include paths are string literals, which stripping blanks.
+    for m in INCLUDE_RE.finditer(f.raw):
+        target = m.group(1)
+        if target in LAYERING and target not in allowed:
+            yield Finding(
+                f.rel_path, line_of(f.raw, m.start()), "layering",
+                f"src/{module} may not include src/{target} (dependency "
+                "order: util -> parallel -> {graph, la} -> data -> core -> "
+                "{baselines, eval})")
+
+
+# --------------------------------------------------------------------------
+# rawmutex
+RAWMUTEX_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+RAWMUTEX_INCLUDE_RE = re.compile(
+    r"#\s*include\s+<(?:mutex|shared_mutex|condition_variable)>")
+
+
+def check_rawmutex(f):
+    if f.rel_path in RAWMUTEX_EXEMPT or not is_cpp(f.rel_path):
+        return
+    for pattern in (RAWMUTEX_TYPE_RE, RAWMUTEX_INCLUDE_RE):
+        for m in pattern.finditer(f.stripped):
+            yield Finding(
+                f.rel_path, line_of(f.stripped, m.start()), "rawmutex",
+                f"'{m.group(0)}' bypasses thread-safety analysis; use the "
+                "annotated Mutex/SharedMutex/CondVar wrappers from "
+                "util/thread_annotations.h")
+
+
+# --------------------------------------------------------------------------
+# Fixture trees under tools/lint/testdata/{bad,good}/ are miniature repos:
+# lint them as if rooted at their own top, so path-scoped rules (unordered,
+# layering, exemptions) apply to a fixture invoked directly by path.
+TESTDATA_RE = re.compile(r"(?:^|/)testdata/(?:bad|good)/(.+)$")
+
+
+def rule_path(rel):
+    m = TESTDATA_RE.search(rel)
+    return m.group(1) if m else rel
+
+
+def discover(root, paths=None):
+    """Yields repo-relative paths of lintable files under root."""
+    rels = []
+    if paths:
+        for p in paths:
+            ap = os.path.abspath(p)
+            if os.path.isdir(ap):
+                for dirpath, dirnames, filenames in os.walk(ap):
+                    dirnames[:] = sorted(
+                        d for d in dirnames if not d.startswith("."))
+                    for name in sorted(filenames):
+                        rels.append(
+                            os.path.relpath(os.path.join(dirpath, name),
+                                            root))
+            else:
+                rels.append(os.path.relpath(ap, root))
+    else:
+        for top in DEFAULT_ROOTS:
+            ap = os.path.join(root, top)
+            if os.path.isdir(ap):
+                rels.extend(discover_dir(root, ap))
+        rels.append("CMakeLists.txt")
+    seen = set()
+    for rel in rels:
+        rel = rel.replace(os.sep, "/")
+        if rel in seen:
+            continue
+        seen.add(rel)
+        if is_cpp(rel) or is_cmake(rel):
+            yield rel
+
+
+def discover_dir(root, ap):
+    for dirpath, dirnames, filenames in os.walk(ap):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith("."))
+        for name in sorted(filenames):
+            yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def load_files(root, rel_paths):
+    files = []
+    for rel in rel_paths:
+        full = os.path.join(root, rel)
+        if not os.path.isfile(full):
+            continue
+        try:
+            with open(full, encoding="utf-8", errors="replace") as fh:
+                files.append(SourceFile(rule_path(rel), fh.read()))
+        except OSError as e:
+            print(f"lightne_lint: cannot read {rel}: {e}", file=sys.stderr)
+    return files
+
+
+def lint_files(files):
+    """Runs every rule over the loaded files; returns unsuppressed findings."""
+    status_names = collect_status_names(files)
+    findings = []
+    for f in files:
+        for gen in (check_random(f), check_fastmath(f), check_unordered(f),
+                    check_status(f, status_names), check_layering(f),
+                    check_rawmutex(f)):
+            for finding in gen:
+                if not f.suppresses(finding.line, finding.rule):
+                    findings.append(finding)
+    findings.sort(key=lambda x: (x.path, x.line, x.rule))
+    return findings
+
+
+def scan_repo(root, paths=None):
+    return lint_files(load_files(root, discover(root, paths)))
+
+
+def repo_root():
+    return os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def main(argv):
+    args = argv[1:]
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if args and args[0].startswith("-"):
+        print(f"lightne_lint: unknown option {args[0]}", file=sys.stderr)
+        return 2
+    root = repo_root()
+    findings = scan_repo(root, args or None)
+    for f in findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}")
+    if findings:
+        print(f"lightne_lint: {len(findings)} finding(s) across "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,150 @@
+"""Tests for the repo-invariant linter.
+
+Fixtures live under testdata/{bad,good}/, each a miniature repo tree. Every
+bad fixture declares the rule it must trip in a leading `// expect-lint:
+<rule>` (or `# expect-lint:` for CMake) comment; the test fails if that rule
+does not fire on that file, or if any *other* file trips it, so both false
+negatives and false positives in a rule break the suite (registered as the
+`lint_selftest` ctest — a broken rule fails tier-1).
+"""
+
+import os
+import re
+import unittest
+
+import lightne_lint
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+BAD_ROOT = os.path.join(HERE, "testdata", "bad")
+GOOD_ROOT = os.path.join(HERE, "testdata", "good")
+
+EXPECT_RE = re.compile(r"expect-lint:\s*([a-z]+)")
+
+
+def expected_rules(root):
+    """Maps repo-relative fixture path -> rule it must trip."""
+    expectations = {}
+    for rel in lightne_lint.discover(root):
+        full = os.path.join(root, rel)
+        if not os.path.isfile(full):
+            continue
+        with open(full, encoding="utf-8") as fh:
+            m = EXPECT_RE.search(fh.read())
+        if m:
+            expectations[rel] = m.group(1)
+    return expectations
+
+
+class BadFixtures(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.findings = lightne_lint.scan_repo(BAD_ROOT)
+        cls.expected = expected_rules(BAD_ROOT)
+
+    def test_every_rule_has_a_bad_fixture(self):
+        self.assertEqual(set(self.expected.values()),
+                         set(lightne_lint.RULES),
+                         "each lint rule needs at least one bad fixture")
+
+    def test_each_bad_fixture_trips_its_rule(self):
+        for path, rule in self.expected.items():
+            with self.subTest(fixture=path):
+                hits = [f for f in self.findings
+                        if f.path == path and f.rule == rule]
+                self.assertTrue(
+                    hits, f"{path} should trip rule '{rule}' but did not")
+
+    def test_no_unexpected_rules_fire(self):
+        for f in self.findings:
+            with self.subTest(finding=f):
+                self.assertEqual(
+                    f.rule, self.expected.get(f.path),
+                    f"{f.path}:{f.line} tripped unexpected rule "
+                    f"'{f.rule}': {f.message}")
+
+
+class GoodFixtures(unittest.TestCase):
+    def test_good_tree_is_clean(self):
+        findings = lightne_lint.scan_repo(GOOD_ROOT)
+        self.assertEqual(
+            [], findings,
+            "good fixtures must produce zero findings:\n" +
+            "\n".join(f"{f.path}:{f.line}: [{f.rule}]" for f in findings))
+
+
+class StrippingInternals(unittest.TestCase):
+    def test_comments_and_strings_are_blanked(self):
+        stripped = lightne_lint.strip_comments_and_strings(
+            'int x = 1; // std::rand()\n'
+            'const char* s = "std::rand()";\n'
+            '/* std::mt19937 */ int y = 2;\n')
+        self.assertNotIn("rand", stripped)
+        self.assertNotIn("mt19937", stripped)
+        self.assertIn("int x = 1;", stripped)
+        self.assertIn("int y = 2;", stripped)
+
+    def test_newlines_survive_for_line_numbers(self):
+        raw = 'a /* multi\nline\ncomment */ b\n'
+        stripped = lightne_lint.strip_comments_and_strings(raw)
+        self.assertEqual(raw.count("\n"), stripped.count("\n"))
+
+    def test_escaped_quote_in_string(self):
+        stripped = lightne_lint.strip_comments_and_strings(
+            'f("a\\"b srand("); srand(1);\n')
+        self.assertEqual(stripped.count("srand"), 1)
+
+
+class StatusRuleInternals(unittest.TestCase):
+    def lint_source(self, body):
+        f = lightne_lint.SourceFile("src/graph/x.cc", body)
+        names = lightne_lint.collect_status_names([f])
+        return list(lightne_lint.check_status(f, names))
+
+    DECLS = "class Status {};\nStatus Op();\nStatus Other(int v);\n"
+
+    def test_bare_call_is_flagged(self):
+        findings = self.lint_source(self.DECLS + "void F() {\n  Op();\n}\n")
+        self.assertEqual(1, len(findings))
+        self.assertEqual("status", findings[0].rule)
+        self.assertEqual(5, findings[0].line)
+
+    def test_multiline_bare_call_is_flagged(self):
+        findings = self.lint_source(
+            self.DECLS + "void F() {\n  Other(\n      42);\n}\n")
+        self.assertEqual(1, len(findings))
+
+    def test_consumed_calls_are_not_flagged(self):
+        findings = self.lint_source(
+            self.DECLS +
+            "Status F() {\n"
+            "  Status s = Op();\n"
+            "  (void)Op();\n"
+            "  if (!Other(1).ok()) return Op();\n"
+            "  return Other(2);\n"
+            "}\n")
+        self.assertEqual([], findings)
+
+    def test_object_chain_drop_is_flagged(self):
+        body = (
+            "class Status {};\n"
+            "struct S { Status Op(); };\n"
+            "void F(S* s) {\n  s->Op();\n}\n")
+        findings = self.lint_source(body)
+        self.assertEqual(1, len(findings))
+        self.assertEqual(4, findings[0].line)
+
+
+class SuppressionInternals(unittest.TestCase):
+    def test_suppression_is_line_and_rule_scoped(self):
+        f = lightne_lint.SourceFile(
+            "src/util/x.cc",
+            "int a = std::rand();  // lint-ok: random (why)\n"
+            "int b = std::rand();\n")
+        findings = [x for x in lightne_lint.check_random(f)
+                    if not f.suppresses(x.line, x.rule)]
+        self.assertEqual(1, len(findings))
+        self.assertEqual(2, findings[0].line)
+
+
+if __name__ == "__main__":
+    unittest.main()

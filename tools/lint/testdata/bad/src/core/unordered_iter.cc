@@ -1,0 +1,10 @@
+// expect-lint: unordered
+#include <unordered_map>
+
+double SumWeights(const std::unordered_map<int, double>& weights) {
+  double total = 0;
+  // Iteration order is unspecified: accumulation order (and thus the FP
+  // result) varies run to run.
+  for (const auto& [key, value] : weights) total += value;
+  return total;
+}

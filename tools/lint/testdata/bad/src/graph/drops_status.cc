@@ -1,0 +1,14 @@
+// expect-lint: status
+#include <string>
+
+class Status {};
+class Saver {
+ public:
+  Status SaveCheckpoint(const std::string& path);
+};
+Status WriteManifest(const std::string& path);
+
+void Flush(Saver& saver) {
+  WriteManifest("manifest.json");
+  saver.SaveCheckpoint("model.bin");
+}

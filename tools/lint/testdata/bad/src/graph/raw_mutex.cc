@@ -1,0 +1,9 @@
+// expect-lint: rawmutex
+#include <mutex>
+
+std::mutex g_mu;
+
+void Touch(int* counter) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ++*counter;
+}

@@ -1,0 +1,8 @@
+// expect-lint: fastmath
+#pragma GCC optimize("fast-math")
+
+double Dot(const double* a, const double* b, int n) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}

@@ -1,0 +1,7 @@
+// expect-lint: layering
+#ifndef TESTDATA_BAD_INCLUDES_CORE_H_
+#define TESTDATA_BAD_INCLUDES_CORE_H_
+
+#include "core/lightne.h"
+
+#endif

@@ -1,0 +1,10 @@
+// expect-lint: random
+#include <cstdlib>
+#include <random>
+
+int AmbientRandomness() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  srand(static_cast<unsigned>(time(nullptr)));
+  return std::rand() + rand() % 7 + static_cast<int>(gen());
+}

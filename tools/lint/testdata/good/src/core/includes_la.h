@@ -1,0 +1,10 @@
+// Clean: core sits above la and graph in the layering, so these includes
+// are allowed.
+#ifndef TESTDATA_GOOD_INCLUDES_LA_H_
+#define TESTDATA_GOOD_INCLUDES_LA_H_
+
+#include "graph/csr.h"
+#include "la/kernels.h"
+#include "util/status.h"
+
+#endif

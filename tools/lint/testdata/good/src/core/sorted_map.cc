@@ -1,0 +1,11 @@
+// Clean: deterministic containers in a result-affecting path, and a comment
+// merely *mentioning* std::unordered_map does not trip the rule (comments
+// are stripped before scanning).
+#include <map>
+#include <vector>
+
+double SumWeights(const std::map<int, double>& weights) {
+  double total = 0;
+  for (const auto& [key, value] : weights) total += value;
+  return total;
+}

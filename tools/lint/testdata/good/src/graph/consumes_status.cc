@@ -1,0 +1,22 @@
+// Clean: every Status/Result-returning call is consumed.
+#include <string>
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+class Saver {
+ public:
+  Status SaveCheckpoint(const std::string& path);
+};
+Status WriteManifest(const std::string& path);
+
+Status Flush(Saver& saver) {
+  Status s = WriteManifest("manifest.json");
+  if (!s.ok()) return s;
+  if (!saver.SaveCheckpoint("model.bin").ok()) {
+    return saver.SaveCheckpoint("model.retry.bin");
+  }
+  (void)WriteManifest("manifest.shadow.json");  // best-effort shadow copy
+  return Status();
+}

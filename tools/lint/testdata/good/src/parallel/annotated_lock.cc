@@ -1,0 +1,12 @@
+// Clean: locking goes through the annotated wrappers, never raw std types.
+#include "util/thread_annotations.h"
+
+namespace {
+lightne::Mutex g_mu;
+int g_counter LIGHTNE_GUARDED_BY(g_mu) = 0;
+}  // namespace
+
+void Touch() {
+  lightne::MutexLock lock(g_mu);
+  ++g_counter;
+}

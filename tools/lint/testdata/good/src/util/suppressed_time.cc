@@ -1,0 +1,7 @@
+// Clean: a justified suppression silences the rule on that line only.
+#include <ctime>
+
+long long StampedNow() {
+  return static_cast<long long>(
+      std::time(nullptr));  // lint-ok: random (timestamp, not an RNG seed)
+}

@@ -1,0 +1,7 @@
+// Clean: all randomness derives from the counter-seedable Rng.
+#include "util/random.h"
+
+double DeterministicDraw(uint64_t seed, uint64_t item) {
+  lightne::Rng rng = lightne::ItemRng(seed, item);
+  return rng.Uniform();
+}
