@@ -13,13 +13,13 @@
 // LIGHTNE_BENCH_SCALE with a floor so the smoke run still exercises every
 // code path.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "data/generators.h"
 #include "graph/types.h"
 #include "la/kernels.h"
@@ -30,13 +30,6 @@
 
 namespace lightne::bench {
 namespace {
-
-double BenchScale() {
-  const char* env = std::getenv("LIGHTNE_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return (v > 0.0 && v <= 4.0) ? v : 1.0;
-}
 
 uint64_t Scaled(uint64_t n, uint64_t floor_value = 64) {
   const uint64_t s = static_cast<uint64_t>(static_cast<double>(n) * BenchScale());
@@ -53,21 +46,6 @@ struct ResultRow {
   double median_ms = 0.0;
   double gflops = -1.0;  // < 0 => omitted (no closed-form FLOP count)
 };
-
-template <typename Fn>
-double MedianMs(int runs, const Fn& fn) {
-  fn();  // warmup (first call also warms the scratch arena)
-  std::vector<double> ms;
-  ms.reserve(runs);
-  for (int r = 0; r < runs; ++r) {
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    const auto t1 = std::chrono::steady_clock::now();
-    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
-  }
-  std::sort(ms.begin(), ms.end());
-  return ms[ms.size() / 2];
-}
 
 std::vector<ResultRow> g_rows;
 

@@ -8,13 +8,34 @@
 #ifndef LIGHTNE_BENCH_BENCH_UTIL_H_
 #define LIGHTNE_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "data/datasets.h"
+#include "util/timer.h"
 
 namespace lightne::bench {
+
+/// Median wall milliseconds of `runs` calls of `fn` after one warmup call
+/// (the warmup also warms per-thread scratch arenas). Measured on the
+/// trace-layer clock — the repo's single monotonic clock — so bench numbers
+/// and pipeline trace spans can never disagree.
+template <typename Fn>
+double MedianMs(int runs, const Fn& fn) {
+  fn();
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    Timer t;
+    fn();
+    ms.push_back(t.Millis());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
 
 inline double BenchScale() {
   const char* env = std::getenv("LIGHTNE_BENCH_SCALE");

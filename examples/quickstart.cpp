@@ -1,7 +1,7 @@
 // Quickstart: embed a graph with LightNE in ~30 lines of API use.
 //
 //   quickstart [--edges FILE] [--dim 64] [--window 10] [--ratio 1.0]
-//              [--memory-budget-mb 0] [--out embedding.txt]
+//              [--memory-budget-mb 0] [--out embedding.txt] [--trace FILE]
 //
 // Without --edges, a small synthetic social network is generated. The
 // program prints the stage breakdown (sparsifier / randomized SVD / spectral
@@ -60,6 +60,8 @@ int main(int argc, char** argv) {
   // the run is flagged below instead of OOM-dying.
   opt.memory_budget_bytes =
       static_cast<uint64_t>(cli->GetInt("memory-budget-mb", 0)) << 20;
+  // Optional Chrome trace of this run (open in chrome://tracing / Perfetto).
+  opt.trace_path = cli->GetString("trace");
   auto result = RunLightNe(graph, opt);
   if (!result.ok()) {
     std::fprintf(stderr, "LightNE failed: %s\n",

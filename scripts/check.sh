@@ -63,3 +63,47 @@ assert "gemm_512_blocked_vs_naive_1t" in doc["speedups"]
 print(f"bench smoke OK: {len(doc['results'])} results, "
       f"gemm_512 speedup {doc['speedups']['gemm_512_blocked_vs_naive_1t']}x")
 EOF
+
+# Observability smoke: run the stage-breakdown bench at reduced scale and
+# validate both artifacts — the breakdown JSON (per-stage seconds, peak RSS,
+# metrics snapshot) and the Chrome trace-event JSON (DESIGN.md §10).
+BREAKDOWN_JSON="$(mktemp /tmp/bench_breakdown_smoke.XXXXXX.json)"
+TRACE_JSON="$(mktemp /tmp/bench_trace_smoke.XXXXXX.json)"
+trap 'rm -f "${SMOKE_JSON}" "${BREAKDOWN_JSON}" "${TRACE_JSON}"' EXIT
+LIGHTNE_BENCH_SCALE=0.1 \
+  "./${BINDIR}/bench/bench_time_breakdown" "${BREAKDOWN_JSON}" "${TRACE_JSON}"
+python3 - "${BREAKDOWN_JSON}" "${TRACE_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema", "bench_scale", "threads", "peak_rss_bytes", "runs",
+            "metrics"):
+    assert key in doc, f"BENCH_breakdown.json missing top-level key {key!r}"
+assert doc["schema"] == "lightne-breakdown-v1"
+assert doc["peak_rss_bytes"] > 0, "peak RSS must be positive"
+assert doc["runs"], "BENCH_breakdown.json has no runs"
+for run in doc["runs"]:
+    for key in ("method", "total_seconds", "stages"):
+        assert key in run, f"run missing key {key!r}: {run}"
+    assert run["stages"], f"run {run['method']} has no stages"
+    for stage in run["stages"]:
+        for key in ("name", "seconds", "depth"):
+            assert key in stage, f"stage missing key {key!r}: {stage}"
+        assert stage["seconds"] >= 0
+for key in ("counters", "gauges", "histograms"):
+    assert key in doc["metrics"], f"metrics snapshot missing {key!r}"
+assert doc["metrics"]["counters"].get("sparsifier/builds", 0) > 0
+
+with open(sys.argv[2]) as f:
+    trace = json.load(f)
+assert "traceEvents" in trace and trace["traceEvents"], "empty Chrome trace"
+for ev in trace["traceEvents"]:
+    for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+        assert key in ev, f"trace event missing key {key!r}: {ev}"
+    assert ev["ph"] == "X", f"expected complete ('X') events, got {ev['ph']}"
+    assert ev["ts"] >= 0 and ev["dur"] >= 0
+print(f"breakdown smoke OK: {len(doc['runs'])} runs, "
+      f"{len(trace['traceEvents'])} trace events, "
+      f"peak rss {doc['peak_rss_bytes'] // (1 << 20)} MiB")
+EOF

@@ -21,6 +21,7 @@
 #include "la/sparse.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/trace.h"
 
 namespace lightne {
 
@@ -41,6 +42,7 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
     return Status::InvalidArgument("embedding dim exceeds vertex count");
   }
   const NodeId n = g.NumVertices();
+  TraceSpan normalize_span("nrp/normalize");
   // N = D^{-1/2} A D^{-1/2}.
   std::vector<std::pair<uint64_t, double>> entries;
   entries.reserve(g.NumDirectedEdges());
@@ -62,7 +64,9 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
     entries.insert(entries.end(), local.begin(), local.end());
   });
   SparseMatrix norm_adj = SparseMatrix::FromEntries(n, n, std::move(entries));
+  normalize_span.End();
 
+  TraceSpan factorize_span("nrp/factorization");
   RandomizedSvdOptions ropt;
   ropt.rank = opt.dim;
   ropt.oversample = opt.svd_oversample;
@@ -70,11 +74,13 @@ Result<Matrix> RunNrp(const G& g, const NrpOptions& opt) {
   ropt.symmetric = true;
   ropt.seed = opt.seed + 5;
   auto svd_result = RandomizedSvd(norm_adj, ropt);
+  factorize_span.End();
   if (!svd_result.ok()) return svd_result.status();
   RandomizedSvdResult& svd = *svd_result;
 
   // Apply the PPR kernel to the spectrum (singular values of the symmetric
   // N are |eigenvalues|; the kernel is monotone on [0, 1]).
+  TraceSpan kernel_span("nrp/ppr_kernel");
   Matrix x = svd.u;
   std::vector<float> scale(opt.dim);
   for (uint64_t j = 0; j < opt.dim; ++j) {

@@ -5,6 +5,7 @@
 #define LIGHTNE_CORE_LIGHTNE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/netmf.h"
 #include "core/sparsifier.h"
@@ -15,6 +16,7 @@
 #include "util/memory.h"
 #include "util/status.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace lightne {
 
@@ -48,6 +50,11 @@ struct LightNeOptions {
   /// (see SparsifierOptions::memory_budget) and the pipeline returns
   /// kResourceExhausted instead of OOM-dying when nothing fits.
   uint64_t memory_budget_bytes = 0;
+  /// When non-empty, the spans recorded during this run (the "lightne" root,
+  /// its Table-5 stages, and their rSVD/propagation substages) are written
+  /// to this path as Chrome trace-event JSON on success. Export failure is
+  /// logged, never turned into a pipeline error.
+  std::string trace_path;
 };
 
 struct LightNeResult {
@@ -75,6 +82,11 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
   }
   LightNeResult result;
   MemoryBudget budget(opt.memory_budget_bytes);
+  // Everything below runs under a root span so trace exports show the stage
+  // spans (recorded by result.timing) nested inside one "lightne" event. On
+  // error paths the span and timer destructors unwind the nesting depth.
+  const uint64_t trace_mark = TraceRecorder::Global().Mark();
+  TraceSpan pipeline_span("lightne");
 
   // ---- Stage 1: parallel sparsifier construction -------------------------
   result.timing.Start("sparsifier");
@@ -148,8 +160,17 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
     result.embedding = std::move(*propagated);
   }
   result.timing.Stop();
+  pipeline_span.End();
   result.degraded = result.sparsifier_stats.degraded;
   result.peak_reserved_bytes = budget.peak_reserved_bytes();
+  if (!opt.trace_path.empty()) {
+    const Status written = TraceRecorder::WriteChromeTrace(
+        TraceRecorder::Global().EventsSince(trace_mark), opt.trace_path);
+    if (!written.ok()) {
+      LIGHTNE_LOG_WARN("pipeline trace not written to %s: %s",
+                       opt.trace_path.c_str(), written.message().c_str());
+    }
+  }
   return result;
 }
 

@@ -34,6 +34,7 @@
 #include "parallel/reduce.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace lightne {
@@ -81,9 +82,23 @@ struct SparsifierResult {
   bool capacity_capped = false;
   /// The C actually used (== the configured/log(n) one unless degraded).
   double downsample_constant_used = 0.0;
+  /// Total sparsifier matrix mass (sum of all entries, diagonal and mirrored
+  /// off-diagonal) in 2^-20 fixed point, rounded per accepted sample. The
+  /// per-sample rounding makes the sum order-independent, so this value is
+  /// bit-identical across worker counts — the measurement channel for the
+  /// edge-count-conservation property test.
+  uint64_t mass_fp20 = 0;
 };
 
 namespace internal {
+
+/// Fixed-point scale for the sparsifier mass counter (2^20 ulps per unit).
+inline constexpr double kMassFpScale = 1048576.0;
+
+/// Rounds a per-sample weight contribution to 2^-20 fixed point.
+inline uint64_t MassFp(double w) {
+  return static_cast<uint64_t>(w * kMassFpScale + 0.5);
+}
 
 /// p_e = min(1, C A_uv (1/d_u + 1/d_v)) for edge (u, v) of weight `w` under
 /// degree downsampling (weighted degrees; w = 1 on unweighted graphs).
@@ -110,7 +125,7 @@ template <GraphView G, typename Sink>
 bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
                        double per_unit_weight, double c, uint64_t seed,
                        NodeId u, Sink&& sink, uint64_t* drawn,
-                       uint64_t* accepted) {
+                       uint64_t* accepted, uint64_t* mass_fp) {
   bool ok = true;
   MapNeighborsWeighted(g, u, [&](NodeId v, float weight) {
     if (!ok) return;
@@ -135,6 +150,9 @@ bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
         return;
       }
       ++*accepted;
+      // Total matrix contribution of this sample is 2/p_e whether or not it
+      // hit the diagonal (off-diagonal entries are mirrored at extraction).
+      *mass_fp += MassFp(2.0 / pe);
     }
   });
   return ok;
@@ -146,25 +164,28 @@ template <GraphView G>
 bool RunPerEdgeSampling(const G& g, const SparsifierOptions& opt,
                         double per_edge, double c, uint64_t seed,
                         ConcurrentHashTable<double>* table, uint64_t* drawn,
-                        uint64_t* accepted) {
+                        uint64_t* accepted, uint64_t* mass_fp) {
   const NodeId n = g.NumVertices();
   std::atomic<uint64_t> drawn_total{0};
   std::atomic<uint64_t> accepted_total{0};
+  std::atomic<uint64_t> mass_total{0};
   ParallelFor(
       0, n,
       [&](uint64_t ui) {
         if (table->overflowed()) return;
-        uint64_t local_drawn = 0, local_accepted = 0;
+        uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
         SampleVertexEdges(
             g, opt, per_edge, c, seed, static_cast<NodeId>(ui),
             [&](uint64_t key, double w) { return table->Upsert(key, w); },
-            &local_drawn, &local_accepted);
+            &local_drawn, &local_accepted, &local_mass);
         drawn_total.fetch_add(local_drawn, std::memory_order_relaxed);
         accepted_total.fetch_add(local_accepted, std::memory_order_relaxed);
+        mass_total.fetch_add(local_mass, std::memory_order_relaxed);
       },
       /*grain=*/16);
   *drawn = drawn_total.load();
   *accepted = accepted_total.load();
+  *mass_fp = mass_total.load();
   return !table->overflowed();
 }
 
@@ -174,16 +195,17 @@ template <GraphView G>
 void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
                                 double per_edge, double c, uint64_t seed,
                                 WorkerBuffers* buffers, uint64_t* drawn,
-                                uint64_t* accepted) {
+                                uint64_t* accepted, uint64_t* mass_fp) {
   const NodeId n = g.NumVertices();
   std::atomic<uint64_t> drawn_total{0};
   std::atomic<uint64_t> accepted_total{0};
+  std::atomic<uint64_t> mass_total{0};
   ParallelForWorkers([&](int worker, int workers) {
     const NodeId lo =
         static_cast<NodeId>(static_cast<uint64_t>(n) * worker / workers);
     const NodeId hi =
         static_cast<NodeId>(static_cast<uint64_t>(n) * (worker + 1) / workers);
-    uint64_t local_drawn = 0, local_accepted = 0;
+    uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
     for (NodeId u = lo; u < hi; ++u) {
       SampleVertexEdges(
           g, opt, per_edge, c, seed, u,
@@ -191,13 +213,15 @@ void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
             buffers->Add(worker, key, w);
             return true;
           },
-          &local_drawn, &local_accepted);
+          &local_drawn, &local_accepted, &local_mass);
     }
     drawn_total.fetch_add(local_drawn, std::memory_order_relaxed);
     accepted_total.fetch_add(local_accepted, std::memory_order_relaxed);
+    mass_total.fetch_add(local_mass, std::memory_order_relaxed);
   });
   *drawn = drawn_total.load();
   *accepted = accepted_total.load();
+  *mass_fp = mass_total.load();
 }
 
 /// Mirrors canonical upper-triangle (key, weight) entries back to a full
@@ -238,6 +262,28 @@ inline double ExtrapolateDistinct(double upserts, double distinct,
   }
   const double support = 0.5 * (lo + hi);
   return support * (1.0 - std::exp(-scale * upserts / support));
+}
+
+/// Publishes a completed build into the process metrics registry. Only the
+/// final successful pass is counted (pilot and overflowed passes are
+/// excluded), so the sampler counters stay deterministic per build.
+inline void RecordSparsifierMetrics(const SparsifierResult& r,
+                                    uint64_t table_capacity) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.GetCounter("sparsifier/builds")->Increment();
+  m.GetCounter("sparsifier/samples_drawn")->Add(r.samples_drawn);
+  m.GetCounter("sparsifier/samples_accepted")->Add(r.samples_accepted);
+  m.GetCounter("sparsifier/mass_fp20")->Add(r.mass_fp20);
+  m.GetCounter("sparsifier/table_rebuilds")
+      ->Add(static_cast<uint64_t>(r.attempts - 1));
+  m.GetCounter("sparsifier/budget_tightenings")
+      ->Add(static_cast<uint64_t>(r.budget_tightenings));
+  m.GetGauge("sparsifier/distinct_entries")->Set(r.distinct_entries);
+  m.GetGauge("sparsifier/table_bytes")->Set(r.table_bytes);
+  if (table_capacity > 0) {
+    m.GetGauge("sparsifier/table_occupancy_pct")
+        ->Set(100 * r.distinct_entries / table_capacity);
+  }
 }
 
 }  // namespace internal
@@ -289,12 +335,13 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
   // --- alternative strategy: per-worker lists + sparse histogram ---------
   if (opt.aggregation == AggregationStrategy::kSortHistogram) {
     WorkerBuffers buffers(NumWorkers());
-    uint64_t drawn = 0, accepted = 0;
+    uint64_t drawn = 0, accepted = 0, mass = 0;
     internal::RunPerEdgeSamplingBuffered(g, opt, per_edge, c, opt.seed,
-                                         &buffers, &drawn, &accepted);
+                                         &buffers, &drawn, &accepted, &mass);
     SparsifierResult result;
     result.samples_drawn = drawn;
     result.samples_accepted = accepted;
+    result.mass_fp20 = mass;
     result.table_bytes = buffers.MemoryBytes();  // peak footprint
     std::vector<std::pair<uint64_t, double>> canonical = buffers.Collapse();
     result.distinct_entries = canonical.size();
@@ -302,6 +349,7 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     result.matrix =
         SparseMatrix::FromEntries(n, n, internal::MirrorCanonical(
                                             std::move(canonical)));
+    internal::RecordSparsifierMetrics(result, /*table_capacity=*/0);
     return result;
   }
 
@@ -323,10 +371,11 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
         budget, ConcurrentHashTable<double>::ProjectedMemoryBytes(pilot_hint));
     if (pilot_reservation.ok()) {
       ConcurrentHashTable<double> pilot(pilot_hint);
-      uint64_t pilot_drawn = 0, pilot_accepted = 0;
+      uint64_t pilot_drawn = 0, pilot_accepted = 0, pilot_mass = 0;
       if (internal::RunPerEdgeSampling(g, opt, per_edge / kPilotScale, c,
                                        opt.seed ^ 0x9107ull, &pilot,
-                                       &pilot_drawn, &pilot_accepted)) {
+                                       &pilot_drawn, &pilot_accepted,
+                                       &pilot_mass)) {
         distinct_estimate = internal::ExtrapolateDistinct(
             static_cast<double>(pilot_accepted),
             static_cast<double>(pilot.NumEntries()), kPilotScale);
@@ -412,9 +461,9 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
           ") exceeds the remaining memory budget after degradation");
     }
     ConcurrentHashTable<double> table(capacity_hint);
-    uint64_t drawn = 0, accepted = 0;
+    uint64_t drawn = 0, accepted = 0, mass = 0;
     const bool ok = internal::RunPerEdgeSampling(
-        g, opt, per_edge, c, opt.seed, &table, &drawn, &accepted);
+        g, opt, per_edge, c, opt.seed, &table, &drawn, &accepted, &mass);
     if (!ok) {
       LIGHTNE_LOG_WARN(
           "sparsifier hash table overflowed (capacity %llu); retrying at 2x",
@@ -425,6 +474,7 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     SparsifierResult result;
     result.samples_drawn = drawn;
     result.samples_accepted = accepted;
+    result.mass_fp20 = mass;
     result.distinct_entries = table.NumEntries();
     result.table_bytes = table.MemoryBytes();
     result.attempts = attempt;
@@ -434,6 +484,7 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     result.downsample_constant_used = c;
     result.matrix = SparseMatrix::FromEntries(
         n, n, internal::MirrorCanonical(table.Extract()));
+    internal::RecordSparsifierMetrics(result, table.capacity());
     return result;
   }
   return Status::ResourceExhausted(

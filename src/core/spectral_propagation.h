@@ -21,7 +21,9 @@
 #include "la/matrix.h"
 #include "la/special.h"
 #include "parallel/parallel_for.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace lightne {
 
@@ -97,7 +99,9 @@ Result<Matrix> SpectralPropagate(const G& g, const Matrix& x,
   }
   if (opt.order <= 1) return x;
   const uint64_t total = x.rows() * x.cols();
+  MetricsRegistry::Global().GetCounter("propagation/terms")->Add(opt.order);
 
+  TraceSpan chebyshev_span("propagation/chebyshev");
   Matrix t0 = x;                                 // T_0
   Matrix t1 = internal::MultiplyMop(g, x, opt.mu);
   {
@@ -133,7 +137,9 @@ Result<Matrix> SpectralPropagate(const G& g, const Matrix& x,
     diff.data()[k] = x.data()[k] - conv.data()[k];
   });
   Matrix mm = internal::MultiplyAPlusI(g, diff);
+  chebyshev_span.End();
   if (!opt.svd_smoothing) return mm;
+  TraceSpan smoothing_span("propagation/smoothing");
   return DenseSvdSmoothing(mm);  // Result<Matrix>: propagates SVD failure
 }
 

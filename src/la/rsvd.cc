@@ -7,6 +7,8 @@
 #include "parallel/parallel_for.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace lightne {
 
@@ -33,6 +35,7 @@ Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
     at = &at_storage;
   }
 
+  TraceSpan sketch_span("rsvd/sketch");
   // Line 2: sample Gaussian random matrices O and P.   // vsRngGaussian
   Matrix o = Matrix::Gaussian(n, q, opt.seed);
   Matrix p = Matrix::Gaussian(q, q, opt.seed + 1);
@@ -41,6 +44,7 @@ Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
   Matrix y = at->Multiply(o);
   // Line 4: orthonormalize Y.         // LAPACKE_sgeqrf, LAPACKE_sorgqr
   Orthonormalize(&y);
+  sketch_span.End();
 
   // Optional subspace (power) iterations for tougher spectra. The blocked
   // kernels invoked each step (Spmm, the TSQR panel products, and later
@@ -48,12 +52,16 @@ Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
   // thread's ScratchArena, so every iteration after the first reuses warm
   // workspace instead of reallocating (parallel/scratch.h).
   for (uint64_t it = 0; it < opt.power_iters; ++it) {
+    TraceSpan iter_span("rsvd/power_iter");
     Matrix z = a.Multiply(y);
     Orthonormalize(&z);
     y = at->Multiply(z);
     Orthonormalize(&y);
   }
+  MetricsRegistry::Global().GetCounter("rsvd/power_iters")
+      ->Add(opt.power_iters);
 
+  TraceSpan project_span("rsvd/project");
   // Line 5: B = A Y.                                    // mkl_sparse_s_mm
   Matrix b = a.Multiply(y);
   // Line 6: Z = B P.                                    // cblas_sgemm
@@ -62,11 +70,15 @@ Result<RandomizedSvdResult> RandomizedSvd(const SparseMatrix& a,
   Orthonormalize(&z);
   // Line 8: C = Z^T B.                                  // cblas_sgemm
   Matrix c = GemmTN(z, b);
+  project_span.End();
   // Line 9: SVD of the small matrix C = U S V^T.        // LAPACKE_sgesvd
+  TraceSpan small_span("rsvd/small_svd");
   Result<SvdResult> small_result = JacobiSvd(c);
+  small_span.End();
   if (!small_result.ok()) return small_result.status();
   SvdResult& small = *small_result;
   // Line 10: return (Z U, S, Y V).                      // cblas_sgemm
+  TraceSpan recover_span("rsvd/recover");
   Matrix zu = Gemm(z, small.u);
   Matrix yv = Gemm(y, small.v);
 

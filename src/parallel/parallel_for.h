@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "parallel/thread_pool.h"
+#include "util/metrics.h"
 
 namespace lightne {
 
@@ -69,9 +70,21 @@ void ParallelFor(uint64_t begin, uint64_t end, F&& fn, uint64_t grain = 1024) {
   uint64_t chunk = n / (static_cast<uint64_t>(pool.num_workers()) * 8);
   if (chunk < grain) chunk = grain;
   const uint64_t num_chunks = (n + chunk - 1) / chunk;
+  // Pool-utilization metrics, pooled path only (the inline path above stays
+  // untouched so SequentialRegion runs cost nothing extra). The histogram
+  // shows how evenly the self-scheduled chunks spread over workers.
+  static Counter* loops =
+      MetricsRegistry::Global().GetCounter("parallel/loops");
+  static Counter* chunks_handed =
+      MetricsRegistry::Global().GetCounter("parallel/chunks");
+  static Histogram* chunks_per_worker = MetricsRegistry::Global().GetHistogram(
+      "parallel/chunks_per_worker", {0, 1, 2, 4, 8, 16, 32, 64, 128});
+  loops->Increment();
+  chunks_handed->Add(num_chunks);
   std::atomic<uint64_t> next{0};
   pool.RunOnAll([&](int /*worker*/) {
     internal::InParallelRegionGuard guard;
+    uint64_t taken = 0;
     for (;;) {
       uint64_t c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
@@ -79,7 +92,9 @@ void ParallelFor(uint64_t begin, uint64_t end, F&& fn, uint64_t grain = 1024) {
       uint64_t hi = lo + chunk;
       if (hi > end) hi = end;
       for (uint64_t i = lo; i < hi; ++i) fn(i);
+      ++taken;
     }
+    chunks_per_worker->Observe(static_cast<double>(taken));
   });
 }
 

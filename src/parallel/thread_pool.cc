@@ -6,6 +6,7 @@
 #include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace lightne {
 
@@ -29,6 +30,8 @@ ThreadPool& ThreadPool::Global() {
 
 ThreadPool::ThreadPool(int num_workers) : num_workers_(num_workers) {
   LIGHTNE_CHECK_GE(num_workers_, 1);
+  MetricsRegistry::Global().GetGauge("pool/workers")
+      ->Set(static_cast<uint64_t>(num_workers_));
   threads_.reserve(num_workers_ - 1);
   for (int id = 1; id < num_workers_; ++id) {
     threads_.emplace_back([this, id] { WorkerLoop(id); });
@@ -89,6 +92,12 @@ void ThreadPool::WorkerLoop(int id) {
 }
 
 void ThreadPool::RunOnAll(const std::function<void(int)>& fn) {
+  // Pointers are stable for the process lifetime; look them up once.
+  static Counter* rounds = MetricsRegistry::Global().GetCounter("pool/rounds");
+  static Counter* tasks =
+      MetricsRegistry::Global().GetCounter("pool/tasks_run");
+  rounds->Increment();
+  tasks->Add(static_cast<uint64_t>(num_workers_));
   if (num_workers_ == 1) {
     RunTask(fn, 0);
   } else {

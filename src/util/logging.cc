@@ -51,7 +51,8 @@ void LogV(LogLevel level, const char* fmt, std::va_list args) {
   // Format into one buffer so the write is a single call (thread-safe lines).
   char body[2048];
   std::vsnprintf(body, sizeof(body), fmt, args);
-  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto now = std::chrono::system_clock::now()  // lint-ok: timer (timestamp)
+                 .time_since_epoch();
   double secs = std::chrono::duration<double>(now).count();
   char line[2200];
   std::snprintf(line, sizeof(line), "[lightne %s %.3f] %s\n", LevelTag(level),

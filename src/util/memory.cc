@@ -5,7 +5,24 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace lightne {
+
+namespace {
+
+// Governor metrics. Gauges describe the most recently active budget
+// (last-writer-wins by design); counters accumulate across every budget the
+// process creates.
+void RecordReservation(uint64_t limit, uint64_t reserved_now) {
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.GetCounter("memory/reservations")->Increment();
+  m.GetGauge("memory/budget_limit_bytes")->Set(limit);
+  m.GetGauge("memory/reserved_bytes")->Set(reserved_now);
+  m.GetGauge("memory/peak_reserved_bytes")->UpdateMax(reserved_now);
+}
+
+}  // namespace
 
 uint64_t CurrentRssBytes() {
   std::FILE* f = std::fopen("/proc/self/statm", "r");
@@ -50,11 +67,15 @@ bool MemoryBudget::TryReserve(uint64_t bytes) {
            !peak_.compare_exchange_weak(peak, now,
                                         std::memory_order_relaxed)) {
     }
+    RecordReservation(0, now);
     return true;
   }
   uint64_t used = reserved_.load(std::memory_order_relaxed);
   for (;;) {
-    if (bytes > limit_ || used > limit_ - bytes) return false;
+    if (bytes > limit_ || used > limit_ - bytes) {
+      MetricsRegistry::Global().GetCounter("memory/rejections")->Increment();
+      return false;
+    }
     if (reserved_.compare_exchange_weak(used, used + bytes,
                                         std::memory_order_relaxed)) {
       const uint64_t now = used + bytes;
@@ -63,13 +84,16 @@ bool MemoryBudget::TryReserve(uint64_t bytes) {
              !peak_.compare_exchange_weak(peak, now,
                                           std::memory_order_relaxed)) {
       }
+      RecordReservation(limit_, now);
       return true;
     }
   }
 }
 
 void MemoryBudget::Release(uint64_t bytes) {
-  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  const uint64_t now =
+      reserved_.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  MetricsRegistry::Global().GetGauge("memory/reserved_bytes")->Set(now);
 }
 
 BudgetReservation::BudgetReservation(MemoryBudget* budget, uint64_t bytes) {

@@ -1,0 +1,202 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+#include "util/thread_annotations.h"
+
+namespace lightne {
+
+namespace metrics_internal {
+
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace metrics_internal
+
+// ----------------------------------------------------------- Histogram ----
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), num_buckets_(bounds_.size() + 1) {
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+      static_cast<size_t>(metrics_internal::kShards) * num_buckets_);
+  Reset();
+}
+
+std::vector<uint64_t> Histogram::Counts() const {
+  std::vector<uint64_t> merged(num_buckets_, 0);
+  for (int s = 0; s < metrics_internal::kShards; ++s) {
+    for (size_t b = 0; b < num_buckets_; ++b) {
+      merged[b] += counts_[static_cast<size_t>(s) * num_buckets_ + b].load(
+          std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : Counts()) total += c;
+  return total;
+}
+
+void Histogram::Reset() {
+  const size_t n = static_cast<size_t>(metrics_internal::kShards) *
+                   num_buckets_;
+  for (size_t i = 0; i < n; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------ Snapshot ----
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+uint64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0 : it->second;
+}
+
+namespace {
+
+void AppendJsonUintMap(const std::map<std::string, uint64_t>& m,
+                       std::string* out) {
+  *out += "{";
+  bool first = true;
+  for (const auto& [name, value] : m) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "\"" + name + "\": " + std::to_string(value);
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": ";
+  AppendJsonUintMap(counters, &out);
+  out += ", \"gauges\": ";
+  AppendJsonUintMap(gauges, &out);
+  out += ", \"histograms\": {";
+  bool first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + name + "\": {\"bounds\": [";
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%g", i ? ", " : "", h.bounds[i]);
+      out += buf;
+    }
+    out += "], \"counts\": [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += "counter   " + name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += "gauge     " + name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += "histogram " + name + " n=" + std::to_string(h.total) + " [";
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += " ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ Registry ----
+
+struct MetricsRegistry::Impl {
+  mutable Mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      LIGHTNE_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges LIGHTNE_GUARDED_BY(mu);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      LIGHTNE_GUARDED_BY(mu);
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  auto& slot = i.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  auto& slot = i.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  auto& slot = i.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  MutexLock lock(i.mu);
+  for (const auto& [name, c] : i.counters) {
+    snap.counters[name] = c->Value();
+  }
+  for (const auto& [name, g] : i.gauges) {
+    snap.gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : i.histograms) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->Counts();
+    for (uint64_t c : hs.counts) hs.total += c;
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetForTest() {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  for (auto& [name, c] : i.counters) c->Reset();
+  for (auto& [name, g] : i.gauges) g->Reset();
+  for (auto& [name, h] : i.histograms) h->Reset();
+}
+
+}  // namespace lightne

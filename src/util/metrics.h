@@ -1,0 +1,185 @@
+// Process-wide metrics registry (DESIGN.md §10, "Observability contract"):
+// named counters, gauges, and fixed-bucket histograms.
+//
+// Storage is sharded per thread (each writer hits its own cache line) and
+// merged on Snapshot(). Because counter and histogram merges are integer
+// sums — associative and commutative — a snapshot of a *deterministic*
+// counter (one whose per-item increments are a pure function of the run
+// seed, e.g. the sparsifier's samples_drawn) is bit-identical between a
+// 1-worker run (SequentialRegion) and an N-worker run. Gauges are
+// last-writer-wins single atomics; they report configuration and high-water
+// facts (pool size, memory budget), not accumulations.
+//
+// Naming convention: "subsystem/metric", e.g. "sparsifier/samples_drawn",
+// "pool/rounds", "memory/peak_reserved_bytes". Metric objects are created on
+// first Get*() and live for the process lifetime; the returned pointers are
+// stable and safe to cache in function-local statics on hot paths.
+//
+// Determinism caveat for non-integer observations: histograms bucket-count
+// doubles but never sum them, and "mass"-style totals are accumulated as
+// per-item-rounded fixed-point integers (see the sparsifier's mass_fp20
+// counter), so every snapshot value is an integer sum and order-independent.
+#ifndef LIGHTNE_UTIL_METRICS_H_
+#define LIGHTNE_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lightne {
+
+namespace metrics_internal {
+/// Number of storage shards per counter/histogram. Threads map onto shards
+/// by a dense thread index mod kShards; with the pool's worker count
+/// typically at or below this, writers almost never share a line.
+inline constexpr int kShards = 16;
+/// Dense per-thread shard index in [0, kShards).
+int ThisThreadShard();
+}  // namespace metrics_internal
+
+/// Monotonically increasing uint64 counter, per-thread sharded.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    shards_[metrics_internal::ThisThreadShard()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over shards (wraps mod 2^64; order-independent, so deterministic
+  /// for deterministic increment streams regardless of worker count).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Zeroes the counter. Not safe concurrently with Add (test-only).
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[metrics_internal::kShards];
+};
+
+/// Last-writer-wins uint64 gauge (single atomic): configuration values and
+/// high-water marks, not accumulations.
+class Gauge {
+ public:
+  void Set(uint64_t value) { v_.store(value, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `value` if larger (high-water-mark semantics).
+  void UpdateMax(uint64_t value) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (value > cur &&
+           !v_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Fixed-bucket histogram of double observations, per-thread sharded.
+/// Bucket i counts observations <= bounds[i] (first matching bound); the
+/// implicit last bucket counts everything above the largest bound. Only
+/// counts are kept (integer merges), never sums of the observed doubles.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value) {
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    counts_[static_cast<size_t>(metrics_internal::ThisThreadShard()) *
+                num_buckets_ +
+            b]
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Merged per-bucket counts (size bounds().size() + 1).
+  std::vector<uint64_t> Counts() const;
+
+  /// Total observation count (sum of Counts()).
+  uint64_t TotalCount() const;
+
+  /// Zeroes all buckets. Not safe concurrently with Observe (test-only).
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  size_t num_buckets_;  // bounds_.size() + 1
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // kShards * num_buckets_
+};
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;  // size bounds.size() + 1
+  uint64_t total = 0;
+};
+
+/// Point-in-time view of every registered metric. std::map keys make the
+/// iteration (and any serialization) deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Value of a counter, or 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Value of a gauge, or 0 when absent.
+  uint64_t GaugeValue(const std::string& name) const;
+
+  /// Deterministic JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"bounds": [...], "counts": [...]}}}.
+  std::string ToJson() const;
+  /// Human-readable multi-line listing, sorted by name.
+  std::string ToString() const;
+};
+
+/// The process-wide registry. Get*() creates on first use and returns a
+/// stable pointer; metrics are never removed.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Creates with the given bounds on first use; later calls return the
+  /// existing histogram regardless of `upper_bounds`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric in place (registered pointers stay
+  /// valid). Not safe concurrently with writers; intended for tests that
+  /// need a clean slate between runs.
+  void ResetForTest();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_METRICS_H_

@@ -1,12 +1,20 @@
 // Wall-clock timers, including the named stage timer used to reproduce the
 // paper's running-time breakdown (Table 5).
+//
+// Both are built on TraceClock (util/trace.h) — the repo's single monotonic
+// clock — and StageTimer additionally records each completed stage as a
+// span into TraceRecorder::Global(), so every pipeline/baseline that keeps
+// a Table-5 breakdown automatically contributes to the exported trace. The
+// `timer` lint rule bans raw std::chrono clock reads outside the trace
+// layer, so a bench number and a trace span can never disagree.
 #ifndef LIGHTNE_UTIL_TIMER_H_
 #define LIGHTNE_UTIL_TIMER_H_
 
-#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/trace.h"
 
 namespace lightne {
 
@@ -15,38 +23,80 @@ class Timer {
  public:
   Timer() { Restart(); }
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() { start_us_ = TraceClock::NowMicros(); }
 
   /// Seconds elapsed since construction / last Restart().
   double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(TraceClock::NowMicros() - start_us_) * 1e-6;
   }
 
   double Millis() const { return Seconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  uint64_t start_us_ = 0;
 };
 
 /// Accumulates named stage durations, in insertion order. Used by the
 /// LightNE pipeline to report the Table-5 style breakdown (sparsifier
 /// construction / randomized SVD / spectral propagation).
+///
+/// Each Start()/Stop() pair also records the stage as a TraceSpan-style
+/// event (same clock, same nesting bookkeeping), so stages started through
+/// a StageTimer appear in Chrome traces and breakdown tables. Stages must
+/// start and stop on one thread; a still-running stage is closed (and
+/// recorded) by the destructor, so error paths never leak nesting depth.
 class StageTimer {
  public:
+  StageTimer() = default;
+  ~StageTimer() { Stop(); }
+
+  // Movable so pipeline result structs can carry their timing out; a
+  // moved-from timer is empty and records nothing further.
+  StageTimer(StageTimer&& other) noexcept
+      : current_(std::move(other.current_)),
+        start_us_(other.start_us_),
+        depth_(other.depth_),
+        running_(other.running_),
+        stages_(std::move(other.stages_)) {
+    other.running_ = false;
+    other.stages_.clear();
+  }
+  StageTimer& operator=(StageTimer&& other) noexcept {
+    if (this != &other) {
+      Stop();
+      current_ = std::move(other.current_);
+      start_us_ = other.start_us_;
+      depth_ = other.depth_;
+      running_ = other.running_;
+      stages_ = std::move(other.stages_);
+      other.running_ = false;
+      other.stages_.clear();
+    }
+    return *this;
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
   /// Ends the current stage (if any) and begins a new named stage.
   void Start(std::string name) {
     Stop();
     current_ = std::move(name);
-    timer_.Restart();
+    start_us_ = TraceClock::NowMicros();
+    depth_ = trace_internal::ThreadDepth()++;
     running_ = true;
   }
 
-  /// Ends the current stage, recording its duration.
+  /// Ends the current stage, recording its duration (and its trace event).
   void Stop() {
     if (!running_) return;
-    stages_.emplace_back(std::move(current_), timer_.Seconds());
     running_ = false;
+    const uint64_t end_us = TraceClock::NowMicros();
+    --trace_internal::ThreadDepth();
+    stages_.emplace_back(current_,
+                         static_cast<double>(end_us - start_us_) * 1e-6);
+    TraceRecorder::Global().Record({std::move(current_), start_us_,
+                                    end_us - start_us_,
+                                    trace_internal::ThreadTraceId(), depth_});
   }
 
   /// (stage name, seconds) pairs in the order the stages ran.
@@ -71,8 +121,9 @@ class StageTimer {
   }
 
  private:
-  Timer timer_;
   std::string current_;
+  uint64_t start_us_ = 0;
+  uint32_t depth_ = 0;
   bool running_ = false;
   std::vector<std::pair<std::string, double>> stages_;
 };

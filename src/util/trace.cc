@@ -1,0 +1,204 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+
+#include "util/thread_annotations.h"
+
+namespace lightne {
+
+namespace trace_internal {
+
+uint32_t& ThreadDepth() {
+  thread_local uint32_t depth = 0;
+  return depth;
+}
+
+uint32_t ThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace trace_internal
+
+// Bound on buffered events: a pipeline run records dozens of spans, so this
+// only bites a long-lived process that never exports; beyond it we count
+// drops instead of growing without bound.
+static constexpr uint64_t kMaxEvents = 1u << 20;
+
+struct TraceRecorder::Impl {
+  std::atomic<bool> enabled{true};
+  std::atomic<uint64_t> dropped{0};
+  mutable Mutex mu;
+  std::vector<TraceEvent> events LIGHTNE_GUARDED_BY(mu);
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::Impl& TraceRecorder::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+void TraceRecorder::set_enabled(bool enabled) {
+  impl().enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::enabled() const {
+  return impl().enabled.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  Impl& i = impl();
+  if (!i.enabled.load(std::memory_order_relaxed)) return;
+  MutexLock lock(i.mu);
+  if (i.events.size() >= kMaxEvents) {
+    i.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  i.events.push_back(std::move(event));
+}
+
+uint64_t TraceRecorder::Mark() const {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  return i.events.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::EventsSince(uint64_t mark) const {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  if (mark >= i.events.size()) return {};
+  return {i.events.begin() + static_cast<ptrdiff_t>(mark), i.events.end()};
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  return impl().dropped.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  Impl& i = impl();
+  MutexLock lock(i.mu);
+  i.events.clear();
+  i.dropped.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Minimal JSON string escape (span names are internal ASCII identifiers;
+// quotes/backslashes/control bytes are the only hazards).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status TraceRecorder::WriteChromeTrace(const std::vector<TraceEvent>& events,
+                                       const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file for writing: " + path);
+  }
+  std::fprintf(f, "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+  for (size_t k = 0; k < events.size(); ++k) {
+    const TraceEvent& e = events[k];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %llu, "
+                 "\"dur\": %llu, \"pid\": 1, \"tid\": %u, "
+                 "\"args\": {\"depth\": %u}}%s\n",
+                 JsonEscape(e.name).c_str(),
+                 static_cast<unsigned long long>(e.start_us),
+                 static_cast<unsigned long long>(e.dur_us), e.tid, e.depth,
+                 k + 1 < events.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  if (std::fclose(f) != 0) {
+    return Status::IOError("error closing trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+std::string TraceRecorder::BreakdownTable(
+    const std::vector<TraceEvent>& events) {
+  // Events arrive in completion order (children before parents). Re-sort by
+  // (tid, start, longer-first) so a parent precedes its children and
+  // siblings run in start order, then indent by recorded depth.
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TraceEvent& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     if (a->start_us != b->start_us) {
+                       return a->start_us < b->start_us;
+                     }
+                     return a->dur_us > b->dur_us;
+                   });
+  uint64_t top_level_total_us = 0;
+  for (const TraceEvent* e : sorted) {
+    if (e->depth == 0) top_level_total_us += e->dur_us;
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-44s %12s %8s\n", "stage", "wall",
+                "share");
+  out += line;
+  for (const TraceEvent* e : sorted) {
+    std::string label(static_cast<size_t>(e->depth) * 2, ' ');
+    label += e->name;
+    if (label.size() > 43) label.resize(43);
+    const double secs = static_cast<double>(e->dur_us) * 1e-6;
+    const double share =
+        top_level_total_us > 0
+            ? 100.0 * static_cast<double>(e->dur_us) /
+                  static_cast<double>(top_level_total_us)
+            : 0.0;
+    std::snprintf(line, sizeof(line), "%-44s %11.3fs %7.1f%%\n",
+                  label.c_str(), secs, share);
+    out += line;
+  }
+  return out;
+}
+
+double TraceRecorder::SecondsFor(const std::vector<TraceEvent>& events,
+                                 const std::string& name) {
+  uint64_t us = 0;
+  for (const TraceEvent& e : events) {
+    if (e.name == name) us += e.dur_us;
+  }
+  return static_cast<double>(us) * 1e-6;
+}
+
+}  // namespace lightne

@@ -1,0 +1,182 @@
+// Pipeline stage tracing (DESIGN.md §10, "Observability contract").
+//
+// A TraceSpan is a scoped stage timer: construction stamps a start time on
+// the repo's monotonic clock, destruction records a completed event (name,
+// start, duration, thread, nesting depth) into the process-wide
+// TraceRecorder. Spans nest lexically per thread, so a recorded trace is a
+// forest of stages per thread — exportable as Chrome trace-event JSON
+// (chrome://tracing / Perfetto "X" complete events) or as a plain-text
+// breakdown table for terminal consumption.
+//
+// This header also owns TraceClock, the ONE monotonic clock in the repo:
+// util/timer.h's Timer/StageTimer and bench/bench_util.h's measurement
+// helpers are all built on it, so a bench number and a trace span can never
+// disagree about what "now" means. The `timer` lint rule
+// (tools/lint/lightne_lint.py) bans raw std::chrono clock reads everywhere
+// else.
+//
+// Determinism: trace *timings* are inherently nondeterministic; the
+// deterministic observability channel is the metrics registry
+// (util/metrics.h). The recorder only promises that the *set and nesting*
+// of span names for a fixed pipeline configuration is reproducible.
+#ifndef LIGHTNE_UTIL_TRACE_H_
+#define LIGHTNE_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lightne {
+
+/// The repo's monotonic clock. Microsecond ticks relative to a process-wide
+/// epoch (captured on first use), so trace timestamps are small, positive,
+/// and directly usable as Chrome trace-event `ts` values.
+class TraceClock {
+ public:
+  /// Microseconds since the process trace epoch.
+  static uint64_t NowMicros() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch())
+            .count());
+  }
+
+  /// Seconds since the process trace epoch.
+  static double NowSeconds() {
+    return static_cast<double>(NowMicros()) * 1e-6;
+  }
+
+ private:
+  static std::chrono::steady_clock::time_point Epoch() {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+  }
+};
+
+/// One completed span. `start_us`/`dur_us` are on the TraceClock epoch;
+/// `tid` is a dense per-process thread index (0 = first thread that traced);
+/// `depth` is the lexical span-nesting depth on that thread at entry.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t tid = 0;
+  uint32_t depth = 0;
+};
+
+namespace trace_internal {
+/// Lexical span-nesting depth of the current thread.
+uint32_t& ThreadDepth();
+/// Dense per-process index of the current thread (assigned on first call).
+uint32_t ThreadTraceId();
+}  // namespace trace_internal
+
+/// Process-wide recorder of completed spans. Recording is lock-protected but
+/// spans are stage-granular (dozens per pipeline run, not per-sample), so
+/// the lock is never hot. The event buffer is capped (kMaxEvents); events
+/// past the cap are counted as dropped rather than growing without bound.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Recording toggle. Enabled by default; disabling makes span destruction
+  /// a no-op (spans still measure time for their callers).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Appends a completed event. Called by TraceSpan/StageTimer.
+  void Record(TraceEvent event);
+
+  /// Sequence mark: the number of events recorded so far. Capture before a
+  /// run, pass to EventsSince to slice out just that run's events.
+  uint64_t Mark() const;
+
+  /// Events recorded at or after `mark`, in record order (which is
+  /// completion order; parents complete after their children).
+  std::vector<TraceEvent> EventsSince(uint64_t mark = 0) const;
+
+  /// Events dropped because the buffer cap was reached.
+  uint64_t dropped_events() const;
+
+  /// Empties the buffer and resets the drop count (marks from before Clear
+  /// are invalidated). Not safe concurrently with Record.
+  void Clear();
+
+  /// Serializes events as Chrome trace-event JSON ("X" complete events,
+  /// `{"traceEvents": [...]}` envelope) to `path`.
+  static Status WriteChromeTrace(const std::vector<TraceEvent>& events,
+                                 const std::string& path);
+
+  /// Renders events as an indented plain-text breakdown table (one row per
+  /// span, children indented under parents, seconds + share of the
+  /// top-level total).
+  static std::string BreakdownTable(const std::vector<TraceEvent>& events);
+
+  /// Sum of seconds over events whose name equals `name` (repeats add up).
+  static double SecondsFor(const std::vector<TraceEvent>& events,
+                           const std::string& name);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+ private:
+  TraceRecorder() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII scoped stage timer. Nesting is tracked per thread; the span records
+/// itself into TraceRecorder::Global() on destruction (unless recording is
+/// disabled). Movable so result structs can carry one; moved-from spans do
+/// not record.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name)
+      : name_(std::move(name)),
+        start_us_(TraceClock::NowMicros()),
+        depth_(trace_internal::ThreadDepth()++),
+        active_(true) {}
+
+  TraceSpan(TraceSpan&& other) noexcept
+      : name_(std::move(other.name_)),
+        start_us_(other.start_us_),
+        depth_(other.depth_),
+        active_(other.active_) {
+    other.active_ = false;
+  }
+  TraceSpan& operator=(TraceSpan&&) = delete;
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// Seconds elapsed since construction (whether or not still active).
+  double Seconds() const {
+    return static_cast<double>(TraceClock::NowMicros() - start_us_) * 1e-6;
+  }
+
+  /// Ends the span early (records it now; idempotent).
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    --trace_internal::ThreadDepth();
+    TraceRecorder::Global().Record(
+        {std::move(name_), start_us_, TraceClock::NowMicros() - start_us_,
+         trace_internal::ThreadTraceId(), depth_});
+  }
+
+ private:
+  std::string name_;
+  uint64_t start_us_;
+  uint32_t depth_;
+  bool active_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_TRACE_H_

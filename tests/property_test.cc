@@ -13,8 +13,10 @@
 #include "graph/csr.h"
 #include "graph/edge_map.h"
 #include "graph/pagerank.h"
+#include "graph/weighted_csr.h"
 #include "la/qr.h"
 #include "la/rsvd.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace lightne {
@@ -174,6 +176,81 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4u, true, 0.0),
                       std::make_tuple(4u, false, 0.0),
                       std::make_tuple(6u, true, 2.0)));
+
+// ----------------------------------------- sampler mass conservation --------
+
+// Every accepted path sample contributes exactly 2/p_e of matrix mass
+// (canonical entry + mirror, or a double-weighted diagonal), and the
+// sparsifier/mass_fp20 counter accumulates that same quantity rounded to
+// 2^-20 fixed point per sample. So for any weighted graph: (a) the counter
+// is bit-identical between a forced 1-worker run and a pool-parallel run,
+// and (b) the extracted matrix's total mass equals the counter up to
+// per-sample rounding (<= 2^-21 each).
+class SamplerMassConservation
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+WeightedCsrGraph RandomWeightedGraph(uint64_t seed) {
+  EdgeList skeleton = GenerateErdosRenyi(400, 3000, seed);
+  WeightedEdgeList list;
+  list.num_vertices = skeleton.num_vertices;
+  Rng rng(seed * 131 + 7);
+  for (auto [u, v] : skeleton.edges) {
+    list.Add(u, v, 0.25f + 4.0f * static_cast<float>(rng.Uniform()));
+  }
+  return WeightedCsrGraph::FromEdges(std::move(list));
+}
+
+TEST_P(SamplerMassConservation, CounterMatchesMatrixMassAndWorkerCount) {
+  const auto [seed, downsample] = GetParam();
+  const WeightedCsrGraph g = RandomWeightedGraph(seed);
+  SparsifierOptions opt;
+  opt.num_samples = 300000;
+  opt.window = 4;
+  opt.downsample = downsample;
+  opt.seed = seed + 3;
+
+  MetricsRegistry::Global().ResetForTest();
+  auto parallel_run = BuildSparsifier(g, opt);
+  ASSERT_TRUE(parallel_run.ok());
+  const uint64_t parallel_mass =
+      MetricsRegistry::Global().Snapshot().CounterValue(
+          "sparsifier/mass_fp20");
+  EXPECT_EQ(parallel_mass, parallel_run->mass_fp20);
+
+  MetricsRegistry::Global().ResetForTest();
+  uint64_t serial_mass = 0;
+  {
+    SequentialRegion seq;
+    auto serial_run = BuildSparsifier(g, opt);
+    ASSERT_TRUE(serial_run.ok());
+    serial_mass = serial_run->mass_fp20;
+  }
+  EXPECT_EQ(MetricsRegistry::Global().Snapshot().CounterValue(
+                "sparsifier/mass_fp20"),
+            serial_mass);
+  // (a) order-independent fixed-point sum: bit-identical across schedules.
+  EXPECT_EQ(parallel_mass, serial_mass);
+
+  // (b) the counter measures exactly the matrix's total mass, up to the
+  // per-sample rounding of at most 2^-21 per accepted sample (plus the
+  // float cast each aggregated entry takes on extraction).
+  double matrix_mass = 0;
+  for (double row_sum : parallel_run->matrix.RowSums()) {
+    matrix_mass += row_sum;
+  }
+  const double counter_mass =
+      static_cast<double>(parallel_mass) / internal::kMassFpScale;
+  const double rounding_budget =
+      static_cast<double>(parallel_run->samples_accepted) /
+      (2.0 * internal::kMassFpScale);
+  EXPECT_NEAR(matrix_mass, counter_mass,
+              rounding_budget + 1e-5 * counter_mass);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SamplerMassConservation,
+                         ::testing::Combine(::testing::Values(3ull, 12ull,
+                                                              25ull),
+                                            ::testing::Bool()));
 
 // ------------------------------------------- spectral propagation filter ----
 

@@ -29,6 +29,11 @@ suite can guarantee — see DESIGN.md §9 ("Static-analysis contract"):
              (or their lock RAII types) outside src/util/
              thread_annotations.h: all locks must be the annotated wrappers
              so Clang's -Wthread-safety sees every acquisition.
+  timer      No raw std::chrono clocks (steady_clock/system_clock/
+             high_resolution_clock) outside src/util/timer.h and
+             src/util/trace.h: all timing goes through Timer/StageTimer/
+             TraceSpan so bench numbers and pipeline traces share one
+             monotonic clock (DESIGN.md §10).
 
 Suppression: append a comment containing `lint-ok: <rule>` to the offending
 line (with a justification). Example:
@@ -48,7 +53,8 @@ from collections import namedtuple
 
 Finding = namedtuple("Finding", ["path", "line", "rule", "message"])
 
-RULES = ("random", "fastmath", "unordered", "status", "layering", "rawmutex")
+RULES = ("random", "fastmath", "unordered", "status", "layering", "rawmutex",
+         "timer")
 
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 DEFAULT_ROOTS = ("src", "tests", "bench", "examples")
@@ -56,6 +62,7 @@ DEFAULT_ROOTS = ("src", "tests", "bench", "examples")
 # Files exempt from specific rules (the one place each primitive may live).
 RANDOM_EXEMPT = ("src/util/random.h",)
 RAWMUTEX_EXEMPT = ("src/util/thread_annotations.h",)
+TIMER_EXEMPT = ("src/util/timer.h", "src/util/trace.h")
 # Factory names declared in status.h (Status::Ok etc.) are never collected
 # as "Status-returning functions" for the status rule: flagging a bare
 # `Ok();` would be noise, and the real declarations live everywhere else.
@@ -357,6 +364,23 @@ def check_rawmutex(f):
 
 
 # --------------------------------------------------------------------------
+# timer
+TIMER_RE = re.compile(
+    r"\bstd::chrono::(?:steady_clock|system_clock|high_resolution_clock)\b")
+
+
+def check_timer(f):
+    if f.rel_path in TIMER_EXEMPT or not is_cpp(f.rel_path):
+        return
+    for m in TIMER_RE.finditer(f.stripped):
+        yield Finding(
+            f.rel_path, line_of(f.stripped, m.start()), "timer",
+            f"'{m.group(0)}' bypasses the trace-layer clock; time with "
+            "Timer/StageTimer (util/timer.h) or TraceSpan (util/trace.h) so "
+            "bench numbers and pipeline traces agree")
+
+
+# --------------------------------------------------------------------------
 # Fixture trees under tools/lint/testdata/{bad,good}/ are miniature repos:
 # lint them as if rooted at their own top, so path-scoped rules (unordered,
 # layering, exemptions) apply to a fixture invoked directly by path.
@@ -428,7 +452,7 @@ def lint_files(files):
     for f in files:
         for gen in (check_random(f), check_fastmath(f), check_unordered(f),
                     check_status(f, status_names), check_layering(f),
-                    check_rawmutex(f)):
+                    check_rawmutex(f), check_timer(f)):
             for finding in gen:
                 if not f.suppresses(finding.line, finding.rule):
                     findings.append(finding)

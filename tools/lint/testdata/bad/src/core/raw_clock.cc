@@ -1,0 +1,8 @@
+// expect-lint: timer
+#include <chrono>
+
+double ElapsedMs() {
+  auto t0 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}

@@ -1,0 +1,16 @@
+// The designated home of the raw monotonic clock: the timer rule exempts
+// src/util/trace.h (and src/util/timer.h, whose Timer wraps this clock).
+#ifndef TESTDATA_GOOD_SRC_UTIL_TRACE_H_
+#define TESTDATA_GOOD_SRC_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+
+inline uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#endif  // TESTDATA_GOOD_SRC_UTIL_TRACE_H_
