@@ -1,0 +1,445 @@
+// Machine-readable sampler perf baseline (DESIGN.md §11).
+//
+// Measures the sparsifier ingestion hot path on a skewed RMAT graph —
+// combiner+edge-balanced scheduling vs the direct shared-table path at the
+// same worker count — plus the walk-step primitives (CSR, compressed naive
+// vs decode cursor, weighted prefix-scan vs alias table), and writes a JSON
+// trajectory artifact (default BENCH_sampler.json, overridable as argv[1]).
+// `scripts/bench_baseline.sh` re-runs this at scale 1.0 and commits the
+// result; scripts/check.sh runs a reduced-scale smoke and validates the
+// schema.
+//
+// The headline rows isolate aggregation cost: window=1 degenerates
+// PathSampling to returning the edge endpoints (no walk steps), so the pass
+// is RNG + key canonicalization + aggregation — the component the combiner
+// rewrites. The window=10 rows measure the full pipeline mix. Sampling rows
+// time internal::RunPerEdgeSampling into a pre-allocated table (cleared
+// between runs) so table sizing/extraction are excluded from the medians.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/sparsifier.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/walk_cursor.h"
+#include "graph/weighted_csr.h"
+#include "graph/weights.h"
+#include "parallel/parallel_for.h"
+#include "util/random.h"
+
+namespace lightne::bench {
+namespace {
+
+struct ResultRow {
+  std::string name;     // stable key, e.g. "sampler_w1_combiner_mt"
+  std::string kind;     // sampling | walk
+  std::string variant;  // direct | combiner | csr | naive | cursor | ...
+  int threads = 1;
+  int runs = 0;
+  double median_ms = 0.0;
+  double rate_per_sec = 0.0;  // samples/sec or steps/sec
+  std::string unit;           // "samples" | "steps"
+};
+
+std::vector<ResultRow> g_rows;
+
+double FindMs(const std::string& name) {
+  for (const ResultRow& r : g_rows) {
+    if (r.name == name) return r.median_ms;
+  }
+  return -1.0;
+}
+
+void PrintRow(const ResultRow& r) {
+  std::printf("  %-30s %4d thread(s)  %10.3f ms  %12.3e %s/s\n",
+              r.name.c_str(), r.threads, r.median_ms, r.rate_per_sec,
+              r.unit.c_str());
+}
+
+// ---------------------------------------------------------------- sampling
+
+struct SamplingConfig {
+  uint32_t window;
+  bool combiner;
+  uint64_t num_samples;
+};
+
+// Times one ingestion pass (table cleared between runs) and records an
+// events/sec row where the event count is the pass's accepted samples.
+void RecordSamplingRow(const std::string& name, const CsrGraph& g,
+                       const SamplingConfig& cfg, bool sequential, int runs) {
+  SparsifierOptions opt;
+  opt.num_samples = cfg.num_samples;
+  opt.window = cfg.window;
+  opt.downsample = false;  // every draw is accepted: pure ingestion load
+  opt.seed = 7;
+  opt.combiner = cfg.combiner;
+  const double per_edge =
+      static_cast<double>(opt.num_samples) / g.Volume();
+  // Size the table generously once so no run overflows and re-allocation
+  // stays out of the timing loop.
+  ConcurrentHashTable<double> table(g.NumDirectedEdges() + 1024);
+  internal::SamplerPassStats stats;
+  auto pass = [&] {
+    table.Clear();
+    internal::SamplerPassStats run_stats;
+    if (!internal::RunPerEdgeSampling(g, opt, per_edge, /*c=*/1.0, opt.seed,
+                                      &table, &run_stats)) {
+      std::fprintf(stderr, "%s: table overflowed\n", name.c_str());
+      std::exit(1);
+    }
+    stats = run_stats;
+  };
+  ResultRow row;
+  row.name = name;
+  row.kind = "sampling";
+  row.variant = cfg.combiner ? "combiner" : "direct";
+  if (sequential) {
+    SequentialRegion guard;
+    row.median_ms = MedianMs(runs, pass);
+    row.threads = 1;
+  } else {
+    row.median_ms = MedianMs(runs, pass);
+    row.threads = NumWorkers();
+  }
+  row.runs = runs;
+  row.unit = "samples";
+  row.rate_per_sec =
+      static_cast<double>(stats.accepted) / (row.median_ms / 1000.0);
+  PrintRow(row);
+  g_rows.push_back(std::move(row));
+}
+
+// ------------------------------------------------------------------- walks
+
+// Walk starts with degree >= 1, fixed across variants.
+std::vector<NodeId> WalkStarts(const CsrGraph& g, uint64_t count) {
+  std::vector<NodeId> starts;
+  starts.reserve(count);
+  Rng rng(1234);
+  while (starts.size() < count) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    if (g.Degree(v) > 0) starts.push_back(v);
+  }
+  return starts;
+}
+
+// Per-draw primitive rows: several short walks per start.
+constexpr uint64_t kWalksPerStart = 8;
+constexpr uint64_t kStepsPerWalk = 8;
+
+// The sparsifier's actual walk pattern (PathSampling, Algo 1): every edge
+// (u, v) starts kAttemptsPerEdge attempts, each splitting window-1 steps
+// between a walk from u and a walk from v. ~2/(window-1) of all draws land
+// on the current edge's endpoints and consecutive edges share u, so those
+// blocks stay resident in the decode cursor while interior steps scatter.
+constexpr uint64_t kAttemptsPerEdge = 4;
+constexpr uint64_t kPathWindow = 10;
+
+// All undirected edges in CSR order — the order the sparsifier walks them.
+std::vector<std::pair<NodeId, NodeId>> PathEdges(const CsrGraph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.NumUndirectedEdges());
+  for (NodeId u = 0; u < g.NumVertices(); ++u) {
+    for (const NodeId v : g.Neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+// Times the PathSampling pattern over the edge stream via one-step
+// `step(v, rng) -> next`, accumulating endpoints into a checksum so the
+// loops cannot be dead-code eliminated. Both variants consume one RNG draw
+// per step, so they walk identical trajectories.
+template <typename StepFn>
+void RecordPathWalkRow(const std::string& name, const std::string& variant,
+                       const std::vector<std::pair<NodeId, NodeId>>& edges,
+                       int runs, const StepFn& step) {
+  uint64_t checksum = 0;
+  auto pass = [&] {
+    Rng rng(99);
+    uint64_t local = 0;
+    for (const auto& [u, v] : edges) {
+      for (uint64_t a = 0; a < kAttemptsPerEdge; ++a) {
+        const uint64_t s = rng.UniformInt(kPathWindow);
+        NodeId x = u;
+        for (uint64_t k = 0; k < s; ++k) x = step(x, rng);
+        NodeId y = v;
+        for (uint64_t k = s + 1; k < kPathWindow; ++k) y = step(y, rng);
+        local += x + y;
+      }
+    }
+    checksum += local;
+  };
+  ResultRow row;
+  row.name = name;
+  row.kind = "walk";
+  row.variant = variant;
+  {
+    SequentialRegion guard;
+    row.median_ms = MedianMs(runs, pass);
+  }
+  row.threads = 1;
+  row.runs = runs;
+  row.unit = "steps";
+  const double total_steps = static_cast<double>(edges.size()) *
+                             static_cast<double>(kAttemptsPerEdge) *
+                             static_cast<double>(kPathWindow - 1);
+  row.rate_per_sec = total_steps / (row.median_ms / 1000.0);
+  PrintRow(row);
+  if (checksum == 0xdeadbeef) std::printf("(unlikely checksum)\n");
+  g_rows.push_back(std::move(row));
+}
+
+// Times kWalksPerStart walks of kStepsPerWalk steps from every start via
+// `fn(start, steps, rng) -> end`, accumulating endpoints into a checksum so
+// the walk loops cannot be dead-code eliminated.
+template <typename Fn>
+void RecordWalkRow(const std::string& name, const std::string& variant,
+                   const std::vector<NodeId>& starts, int runs,
+                   const Fn& fn) {
+  uint64_t checksum = 0;
+  auto pass = [&] {
+    Rng rng(99);
+    uint64_t local = 0;
+    for (const NodeId s : starts) {
+      for (uint64_t a = 0; a < kWalksPerStart; ++a) {
+        local += fn(s, kStepsPerWalk, rng);
+      }
+    }
+    checksum += local;
+  };
+  ResultRow row;
+  row.name = name;
+  row.kind = "walk";
+  row.variant = variant;
+  {
+    SequentialRegion guard;
+    row.median_ms = MedianMs(runs, pass);
+  }
+  row.threads = 1;
+  row.runs = runs;
+  row.unit = "steps";
+  const double total_steps = static_cast<double>(starts.size()) *
+                             static_cast<double>(kWalksPerStart) *
+                             static_cast<double>(kStepsPerWalk);
+  row.rate_per_sec = total_steps / (row.median_ms / 1000.0);
+  PrintRow(row);
+  if (checksum == 0xdeadbeef) std::printf("(unlikely checksum)\n");
+  g_rows.push_back(std::move(row));
+}
+
+// ------------------------------------------------------------------- JSON
+
+void WriteJson(const std::string& path, const CsrGraph& g,
+               const SparsifierResult& direct_e2e,
+               const SparsifierResult& combiner_e2e) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  const char* sha = std::getenv("LIGHTNE_GIT_SHA");
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"lightne-sampler-v1\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", sha ? sha : "unknown");
+  std::fprintf(f, "  \"workers\": %d,\n", NumWorkers());
+  std::fprintf(f, "  \"bench_scale\": %.3f,\n", BenchScale());
+  std::fprintf(f, "  \"timestamp_unix\": %lld,\n",
+               static_cast<long long>(
+                   std::time(nullptr)));  // lint-ok: random (timestamp
+                                          // field, not an RNG seed)
+  std::fprintf(f,
+               "  \"graph\": {\"vertices\": %llu, \"directed_edges\": %llu},\n",
+               static_cast<unsigned long long>(g.NumVertices()),
+               static_cast<unsigned long long>(g.NumDirectedEdges()));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const ResultRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", \"variant\": "
+                 "\"%s\", \"threads\": %d, \"runs\": %d, \"median_ms\": "
+                 "%.4f, \"rate_per_sec\": %.1f, \"unit\": \"%s\"}%s\n",
+                 r.name.c_str(), r.kind.c_str(), r.variant.c_str(), r.threads,
+                 r.runs, r.median_ms, r.rate_per_sec, r.unit.c_str(),
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // End-to-end combiner effectiveness at the paper's window (w=10, with
+  // downsampling), from two full BuildSparsifier runs.
+  const double hit_rate =
+      combiner_e2e.samples_accepted > 0
+          ? static_cast<double>(combiner_e2e.combiner_hits) /
+                static_cast<double>(combiner_e2e.samples_accepted)
+          : 0.0;
+  std::fprintf(f, "  \"combiner\": {\n");
+  std::fprintf(f, "    \"samples_accepted\": %llu,\n",
+               static_cast<unsigned long long>(combiner_e2e.samples_accepted));
+  std::fprintf(f, "    \"hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(f, "    \"direct_table_upserts\": %llu,\n",
+               static_cast<unsigned long long>(direct_e2e.table_upserts));
+  std::fprintf(f, "    \"combiner_table_upserts\": %llu,\n",
+               static_cast<unsigned long long>(combiner_e2e.table_upserts));
+  std::fprintf(f, "    \"combiner_flushes\": %llu,\n",
+               static_cast<unsigned long long>(combiner_e2e.combiner_flushes));
+  std::fprintf(f, "    \"table_batch_upserts\": %llu\n",
+               static_cast<unsigned long long>(
+                   combiner_e2e.table_batch_upserts));
+  std::fprintf(f, "  },\n");
+  auto ratio = [&](const char* num, const char* den) {
+    const double a = FindMs(num), b = FindMs(den);
+    return (a > 0 && b > 0) ? a / b : -1.0;
+  };
+  // The acceptance ratio this repo tracks: combiner+scheduling vs the
+  // direct shared-table path, same worker count, skewed-key microbench.
+  std::fprintf(f, "  \"speedups\": {\n");
+  std::fprintf(f, "    \"sampler_w1_combiner_vs_direct_mt\": %.3f,\n",
+               ratio("sampler_w1_direct_mt", "sampler_w1_combiner_mt"));
+  std::fprintf(f, "    \"sampler_w1_combiner_vs_direct_1t\": %.3f,\n",
+               ratio("sampler_w1_direct_1t", "sampler_w1_combiner_1t"));
+  std::fprintf(f, "    \"sampler_w10_combiner_vs_direct_mt\": %.3f,\n",
+               ratio("sampler_w10_direct_mt", "sampler_w10_combiner_mt"));
+  std::fprintf(f, "    \"walk_cursor_vs_naive_compressed\": %.3f,\n",
+               ratio("walk_compressed_naive", "walk_compressed_cursor"));
+  std::fprintf(f, "    \"walk_alias_vs_prefix_weighted\": %.3f\n",
+               ratio("walk_weighted_prefix", "walk_weighted_alias"));
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf(
+      "\nwrote %s (%zu results, w1 combiner-vs-direct mt %.2fx)\n",
+      path.c_str(), g_rows.size(),
+      ratio("sampler_w1_direct_mt", "sampler_w1_combiner_mt"));
+}
+
+}  // namespace
+}  // namespace lightne::bench
+
+int main(int argc, char** argv) {
+  using namespace lightne::bench;
+  using namespace lightne;
+  const std::string out = argc > 1 ? argv[1] : "BENCH_sampler.json";
+  std::printf("LightNE sampler perf baseline (scale %.2f, %d workers)\n\n",
+              BenchScale(), NumWorkers());
+
+  const uint64_t edges = std::max<uint64_t>(
+      static_cast<uint64_t>(600000 * BenchScale()), 20000);
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(14, edges, 2026));
+  const CompressedGraph cg = CompressedGraph::FromCsr(g);
+  std::printf("RMAT scale 14: %u vertices, %llu directed edges\n\n",
+              g.NumVertices(),
+              static_cast<unsigned long long>(g.NumDirectedEdges()));
+
+  // --- sampling ingestion (the tentpole rows) -----------------------------
+  std::printf("Sampling ingestion (window=1: aggregation-bound)\n");
+  // 16 samples per edge matches the paper's regime of M >> m and gives the
+  // run-length key stream the combiner is built for (n_e back-to-back
+  // samples of each edge).
+  const uint64_t m_w1 = 16 * g.NumDirectedEdges();
+  RecordSamplingRow("sampler_w1_direct_1t", g, {1, false, m_w1}, true, 3);
+  RecordSamplingRow("sampler_w1_combiner_1t", g, {1, true, m_w1}, true, 3);
+  RecordSamplingRow("sampler_w1_direct_mt", g, {1, false, m_w1}, false, 5);
+  RecordSamplingRow("sampler_w1_combiner_mt", g, {1, true, m_w1}, false, 5);
+
+  std::printf("\nSampling ingestion (window=10: full pipeline mix)\n");
+  const uint64_t m_w10 = 2 * g.NumDirectedEdges();
+  RecordSamplingRow("sampler_w10_direct_mt", g, {10, false, m_w10}, false, 3);
+  RecordSamplingRow("sampler_w10_combiner_mt", g, {10, true, m_w10}, false, 3);
+
+  // --- walk-step primitives ----------------------------------------------
+  std::printf(
+      "\nWalk steps (single thread; compressed rows replay the "
+      "PathSampling edge stream)\n");
+  const uint64_t num_starts = std::max<uint64_t>(
+      static_cast<uint64_t>(40000 * BenchScale()), 2000);
+  const std::vector<NodeId> starts = WalkStarts(g, num_starts);
+
+  RecordWalkRow("walk_csr", "csr", starts, 5,
+                [&](NodeId s, uint64_t steps, Rng& rng) {
+                  return WeightedRandomWalk(g, s, steps, rng);
+                });
+  // Compressed rows replay PathSampling's edge-stream pattern so the
+  // decode cursor is measured on the traffic it was built for.
+  const std::vector<std::pair<NodeId, NodeId>> path_edges = PathEdges(g);
+  RecordPathWalkRow("walk_compressed_naive", "naive", path_edges, 3,
+                    [&](NodeId v, Rng& rng) {
+                      return cg.Neighbor(v, rng.UniformInt(cg.Degree(v)));
+                    });
+  {
+    WalkContext<CompressedGraph> ctx;  // reused across walks, as the
+                                       // sparsifier's per-worker context is
+    RecordPathWalkRow("walk_compressed_cursor", "cursor", path_edges, 5,
+                      [&](NodeId v, Rng& rng) {
+                        return SampleNeighborProportional(cg, ctx, v, rng);
+                      });
+    const double draws =
+        static_cast<double>(ctx.cursor.hits() + ctx.cursor.misses());
+    std::printf("  (cursor hit rate %.3f over %.0f probed draws)\n",
+                draws > 0 ? static_cast<double>(ctx.cursor.hits()) / draws
+                          : 0.0,
+                draws);
+  }
+
+  // Weighted draws: same topology with weights 1 + (u+v) % 8, skewed enough
+  // that prefix-scan binary search depth matters on hubs.
+  WeightedEdgeList wlist;
+  wlist.num_vertices = g.NumVertices();
+  g.MapEdges([&](NodeId u, NodeId v) {
+    if (u < v) {
+      wlist.Add(u, v, 1.0f + static_cast<float>((u + v) % 8));
+    }
+  });
+  WeightedCsrGraph wg = WeightedCsrGraph::FromEdges(std::move(wlist));
+  const std::vector<NodeId>& wstarts = starts;  // same vertex ids, deg >= 1
+  RecordWalkRow("walk_weighted_prefix", "prefix_scan", wstarts, 3,
+                [&](NodeId s, uint64_t steps, Rng& rng) {
+                  NodeId v = s;
+                  for (uint64_t k = 0; k < steps; ++k) {
+                    v = wg.SampleNeighborPrefixScan(v, rng);
+                  }
+                  return v;
+                });
+  wg.BuildAliasTable();
+  RecordWalkRow("walk_weighted_alias", "alias", wstarts, 5,
+                [&](NodeId s, uint64_t steps, Rng& rng) {
+                  NodeId v = s;
+                  for (uint64_t k = 0; k < steps; ++k) {
+                    v = wg.SampleNeighborAlias(v, rng);
+                  }
+                  return v;
+                });
+
+  // --- end-to-end combiner accounting (window=10, downsampling on) --------
+  std::printf("\nEnd-to-end accounting (BuildSparsifier, w=10)\n");
+  SparsifierOptions e2e;
+  e2e.num_samples = m_w10;
+  e2e.window = 10;
+  e2e.seed = 5;
+  e2e.combiner = false;
+  auto direct_e2e = BuildSparsifier(g, e2e);
+  e2e.combiner = true;
+  auto combiner_e2e = BuildSparsifier(g, e2e);
+  if (!direct_e2e.ok() || !combiner_e2e.ok()) {
+    std::fprintf(stderr, "end-to-end sparsifier build failed\n");
+    return 1;
+  }
+  std::printf("  accepted %llu, combiner hit rate %.3f, upserts %llu -> %llu\n",
+              static_cast<unsigned long long>(combiner_e2e->samples_accepted),
+              combiner_e2e->samples_accepted
+                  ? static_cast<double>(combiner_e2e->combiner_hits) /
+                        static_cast<double>(combiner_e2e->samples_accepted)
+                  : 0.0,
+              static_cast<unsigned long long>(direct_e2e->table_upserts),
+              static_cast<unsigned long long>(combiner_e2e->table_upserts));
+
+  WriteJson(out, g, *direct_e2e, *combiner_e2e);
+  return 0;
+}

@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
-# Regenerates the committed kernel perf baseline (BENCH_kernels.json).
+# Regenerates the committed perf baselines (BENCH_kernels.json and
+# BENCH_sampler.json).
 #
-# Builds the release preset, runs bench_kernels_baseline at full scale, and
-# writes the JSON artifact at the repo root with the current git sha stamped
-# in. Perf PRs re-run this and commit the result so the kernel trajectory is
-# visible in version control. Usage: scripts/bench_baseline.sh [out.json]
+# Builds the release preset, runs bench_kernels_baseline and
+# bench_sampler_baseline at full scale, and writes the JSON artifacts at the
+# repo root with the current git sha stamped in. Perf PRs re-run this and
+# commit the results so the kernel and sampler trajectories are visible in
+# version control. Usage: scripts/bench_baseline.sh [kernels.json] [sampler.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_kernels.json}"
+SAMPLER_OUT="${2:-BENCH_sampler.json}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake --preset release
-cmake --build --preset release -j "${JOBS}" --target bench_kernels_baseline
+cmake --build --preset release -j "${JOBS}" \
+  --target bench_kernels_baseline --target bench_sampler_baseline
 
-LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
-  ./build/bench/bench_kernels_baseline "${OUT}"
+SHA="$(git rev-parse --short=12 HEAD)"
+LIGHTNE_GIT_SHA="${SHA}" ./build/bench/bench_kernels_baseline "${OUT}"
+LIGHTNE_GIT_SHA="${SHA}" ./build/bench/bench_sampler_baseline "${SAMPLER_OUT}"

@@ -64,12 +64,45 @@ print(f"bench smoke OK: {len(doc['results'])} results, "
       f"gemm_512 speedup {doc['speedups']['gemm_512_blocked_vs_naive_1t']}x")
 EOF
 
+# Sampler hot-path smoke: run the sampler perf baseline at reduced scale
+# under the sanitizer build (exercising the combiner, UpsertBatch, decode
+# cursor and alias paths end to end) and validate the JSON schema.
+SAMPLER_JSON="$(mktemp /tmp/bench_sampler_smoke.XXXXXX.json)"
+trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}"' EXIT
+LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
+  "./${BINDIR}/bench/bench_sampler_baseline" "${SAMPLER_JSON}"
+python3 - "${SAMPLER_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema", "schema_version", "git_sha", "workers", "bench_scale",
+            "graph", "results", "combiner", "speedups"):
+    assert key in doc, f"BENCH_sampler.json missing top-level key {key!r}"
+assert doc["schema"] == "lightne-sampler-v1"
+assert doc["results"], "BENCH_sampler.json has no results"
+for row in doc["results"]:
+    for key in ("name", "kind", "variant", "threads", "runs", "median_ms",
+                "rate_per_sec", "unit"):
+        assert key in row, f"result row missing key {key!r}: {row}"
+    assert row["median_ms"] > 0, f"non-positive median in {row['name']}"
+for key in ("samples_accepted", "hit_rate", "direct_table_upserts",
+            "combiner_table_upserts", "combiner_flushes",
+            "table_batch_upserts"):
+    assert key in doc["combiner"], f"combiner block missing {key!r}"
+assert doc["combiner"]["samples_accepted"] > 0
+assert "sampler_w1_combiner_vs_direct_mt" in doc["speedups"]
+print(f"sampler smoke OK: {len(doc['results'])} results, "
+      f"w1 combiner speedup "
+      f"{doc['speedups']['sampler_w1_combiner_vs_direct_mt']}x")
+EOF
+
 # Observability smoke: run the stage-breakdown bench at reduced scale and
 # validate both artifacts — the breakdown JSON (per-stage seconds, peak RSS,
 # metrics snapshot) and the Chrome trace-event JSON (DESIGN.md §10).
 BREAKDOWN_JSON="$(mktemp /tmp/bench_breakdown_smoke.XXXXXX.json)"
 TRACE_JSON="$(mktemp /tmp/bench_trace_smoke.XXXXXX.json)"
-trap 'rm -f "${SMOKE_JSON}" "${BREAKDOWN_JSON}" "${TRACE_JSON}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}" "${BREAKDOWN_JSON}" "${TRACE_JSON}"' EXIT
 LIGHTNE_BENCH_SCALE=0.1 \
   "./${BINDIR}/bench/bench_time_breakdown" "${BREAKDOWN_JSON}" "${TRACE_JSON}"
 python3 - "${BREAKDOWN_JSON}" "${TRACE_JSON}" <<'EOF'

@@ -34,6 +34,10 @@ struct LightNeOptions {
   uint64_t num_samples = 0;
   /// Edge downsampling (§3.2). Off = plain NetSMF sampling.
   bool downsample = true;
+  /// Per-worker software combiner in front of the sampler's shared hash
+  /// table (see SparsifierOptions::combiner). Counters and the sparsity
+  /// pattern are bit-identical either way; off = the direct-upsert path.
+  bool sampler_combiner = true;
   /// C in the downsampling probability; 0 = log(n).
   double downsample_constant = 0.0;
   /// Spectral-propagation enhancement (step 2). The paper disables it on the
@@ -101,6 +105,7 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
   sopt.downsample_constant = opt.downsample_constant;
   sopt.seed = opt.seed;
   sopt.memory_budget = budget.limited() ? &budget : nullptr;
+  sopt.combiner = opt.sampler_combiner;
   auto sparsifier = BuildSparsifier(g, sopt);
   if (!sparsifier.ok()) return sparsifier.status();
   SparseMatrix matrix = std::move(sparsifier->matrix);

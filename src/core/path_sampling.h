@@ -18,13 +18,23 @@ namespace lightne {
 
 /// One PathSampling draw (Algo 1). `r` must be >= 1. Walk steps pick
 /// neighbors proportional to edge weight (uniform on unweighted graphs).
+/// The WalkContext carries per-worker decode state (graph/walk_cursor.h);
+/// it never touches the RNG, so draws are bit-identical with or without a
+/// reused context.
+template <GraphView G>
+std::pair<NodeId, NodeId> PathSample(const G& g, WalkContext<G>& ctx, NodeId u,
+                                     NodeId v, uint64_t r, Rng& rng) {
+  const uint64_t s = rng.UniformInt(r);  // uniform in [0, r-1]
+  const NodeId u_end = WeightedRandomWalk(g, ctx, u, s, rng);
+  const NodeId v_end = WeightedRandomWalk(g, ctx, v, r - 1 - s, rng);
+  return {u_end, v_end};
+}
+
 template <GraphView G>
 std::pair<NodeId, NodeId> PathSample(const G& g, NodeId u, NodeId v,
                                      uint64_t r, Rng& rng) {
-  const uint64_t s = rng.UniformInt(r);  // uniform in [0, r-1]
-  const NodeId u_end = WeightedRandomWalk(g, u, s, rng);
-  const NodeId v_end = WeightedRandomWalk(g, v, r - 1 - s, rng);
-  return {u_end, v_end};
+  WalkContext<G> ctx;
+  return PathSample(g, ctx, u, v, r, rng);
 }
 
 }  // namespace lightne

@@ -22,16 +22,22 @@
 #ifndef LIGHTNE_CORE_SPARSIFIER_H_
 #define LIGHTNE_CORE_SPARSIFIER_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <optional>
+#include <vector>
 
 #include "core/aggregation.h"
 #include "core/path_sampling.h"
 #include "graph/graph_view.h"
+#include "graph/walk_cursor.h"
 #include "graph/weights.h"
 #include "la/sparse.h"
+#include "parallel/combiner.h"
 #include "parallel/concurrent_hash_table.h"
 #include "parallel/reduce.h"
+#include "parallel/scan.h"
 #include "util/logging.h"
 #include "util/memory.h"
 #include "util/metrics.h"
@@ -64,6 +70,15 @@ struct SparsifierOptions {
   /// kResourceExhausted is returned only when no degradation fits. Null or
   /// unlimited = the exact paper behavior.
   MemoryBudget* memory_budget = nullptr;
+  /// Per-worker software combiner in front of the shared hash table
+  /// (parallel/combiner.h). Pre-aggregates repeated keys locally so only
+  /// distinct-ish records pay a global atomic + cache miss. Off = every
+  /// accepted sample upserts the shared table directly (the pre-combiner
+  /// behavior, kept as the equivalence/bench reference). Integer counters
+  /// and the distinct-key set are bit-identical either way.
+  bool combiner = true;
+  /// log2 of the per-worker combiner slot count (13 -> 8192 slots, 128 KiB).
+  uint32_t combiner_log2_slots = 13;
 };
 
 struct SparsifierResult {
@@ -88,6 +103,16 @@ struct SparsifierResult {
   /// bit-identical across worker counts — the measurement channel for the
   /// edge-count-conservation property test.
   uint64_t mass_fp20 = 0;
+  /// Records delivered to the shared hash table by the final pass. Without
+  /// the combiner this equals samples_accepted; with it, duplicates merged
+  /// locally never reach the table, so the ratio is the combiner's win.
+  uint64_t table_upserts = 0;
+  /// Combiner records merged into a resident entry (0 with combiner off).
+  uint64_t combiner_hits = 0;
+  /// Combiner Flush() drains (one per worker per pass, plus retries).
+  uint64_t combiner_flushes = 0;
+  /// UpsertBatch calls issued by combiner flushes/evictions.
+  uint64_t table_batch_upserts = 0;
 };
 
 namespace internal {
@@ -124,8 +149,9 @@ double DownsampleProbability(const G& g, NodeId u, NodeId v, double c,
 template <GraphView G, typename Sink>
 bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
                        double per_unit_weight, double c, uint64_t seed,
-                       NodeId u, Sink&& sink, uint64_t* drawn,
-                       uint64_t* accepted, uint64_t* mass_fp) {
+                       NodeId u, WalkContext<G>& ctx, Sink&& sink,
+                       uint64_t* drawn, uint64_t* accepted,
+                       uint64_t* mass_fp) {
   bool ok = true;
   MapNeighborsWeighted(g, u, [&](NodeId v, float weight) {
     if (!ok) return;
@@ -142,7 +168,7 @@ bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
     for (uint64_t i = 0; i < ne; ++i) {
       const uint64_t r = 1 + rng.UniformInt(opt.window);
       if (opt.downsample && !rng.Bernoulli(pe)) continue;
-      auto [a, b] = PathSample(g, u, v, r, rng);
+      auto [a, b] = PathSample(g, ctx, u, v, r, rng);
       const uint64_t key = a <= b ? PackEdge(a, b) : PackEdge(b, a);
       const double w = (a == b ? 2.0 : 1.0) / pe;
       if (!sink(key, w)) {
@@ -158,44 +184,130 @@ bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
   return ok;
 }
 
+/// Exact integer counters of one sampling pass. `drawn`, `accepted` and
+/// `mass_fp` are bit-identical across worker counts and combiner settings;
+/// the remaining fields describe how the records reached the shared table.
+struct SamplerPassStats {
+  uint64_t drawn = 0;
+  uint64_t accepted = 0;
+  uint64_t mass_fp = 0;
+  uint64_t table_upserts = 0;   // records delivered to the shared table
+  uint64_t combiner_hits = 0;
+  uint64_t combiner_flushes = 0;
+  uint64_t batch_upserts = 0;
+};
+
+/// Degree-aware scheduling: partitions [0, n) into `chunks` contiguous
+/// vertex ranges of roughly equal incident-edge count (each vertex costs
+/// degree + 1 units, so empty vertices still advance the partition). The
+/// uniform-vertex grain this replaces let one hub-heavy range dominate a
+/// pass on power-law graphs. Boundaries are a pure function of the graph and
+/// `chunks` — no dynamic claiming — so the per-worker grouping of work (and
+/// therefore every floating-point sum grouped per worker) is deterministic
+/// for a fixed worker count.
+template <GraphView G>
+std::vector<NodeId> EdgeBalancedBoundaries(const G& g, uint64_t chunks) {
+  const NodeId n = g.NumVertices();
+  LIGHTNE_CHECK_GE(chunks, 1u);
+  std::vector<uint64_t> before(n);  // work units strictly before vertex v
+  ParallelFor(0, n, [&](uint64_t v) {
+    before[v] = g.Degree(static_cast<NodeId>(v)) + 1;
+  });
+  const uint64_t total = ParallelScanExclusive(before.data(), n);
+  std::vector<NodeId> bounds(chunks + 1);
+  bounds[0] = 0;
+  bounds[chunks] = n;
+  for (uint64_t cidx = 1; cidx < chunks; ++cidx) {
+    const uint64_t target = total / chunks * cidx;
+    // First vertex whose preceding work reaches the target; monotone in
+    // cidx, so the ranges are contiguous and non-overlapping.
+    bounds[cidx] = static_cast<NodeId>(
+        std::lower_bound(before.begin(), before.end(), target) -
+        before.begin());
+  }
+  return bounds;
+}
+
 /// One full pass of Algorithm 2 into the shared hash table (the paper's
 /// strategy). Returns false if the table overflowed mid-run.
+///
+/// Scheduling: edge-balanced chunks (kChunksPerWorker per worker) assigned
+/// statically round-robin — worker w takes chunks w, w+W, w+2W, ... — so
+/// which vertices share a worker (and a combiner) is a deterministic
+/// function of (graph, worker count), not of thread timing. Each worker owns
+/// one WalkContext (compressed-graph decode cursor) and, when enabled, one
+/// SamplerCombiner flushed at pass end.
 template <GraphView G>
 bool RunPerEdgeSampling(const G& g, const SparsifierOptions& opt,
                         double per_edge, double c, uint64_t seed,
-                        ConcurrentHashTable<double>* table, uint64_t* drawn,
-                        uint64_t* accepted, uint64_t* mass_fp) {
+                        ConcurrentHashTable<double>* table,
+                        SamplerPassStats* stats) {
   const NodeId n = g.NumVertices();
+  constexpr uint64_t kChunksPerWorker = 8;
+  const uint64_t workers_hint =
+      (InParallelRegion() || NumWorkers() <= 1) ? 1 : NumWorkers();
+  const uint64_t chunks = std::max<uint64_t>(
+      1, std::min<uint64_t>(n, workers_hint * kChunksPerWorker));
+  const std::vector<NodeId> bounds = EdgeBalancedBoundaries(g, chunks);
   std::atomic<uint64_t> drawn_total{0};
   std::atomic<uint64_t> accepted_total{0};
   std::atomic<uint64_t> mass_total{0};
-  ParallelFor(
-      0, n,
-      [&](uint64_t ui) {
-        if (table->overflowed()) return;
-        uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
-        SampleVertexEdges(
-            g, opt, per_edge, c, seed, static_cast<NodeId>(ui),
-            [&](uint64_t key, double w) { return table->Upsert(key, w); },
-            &local_drawn, &local_accepted, &local_mass);
-        drawn_total.fetch_add(local_drawn, std::memory_order_relaxed);
-        accepted_total.fetch_add(local_accepted, std::memory_order_relaxed);
-        mass_total.fetch_add(local_mass, std::memory_order_relaxed);
-      },
-      /*grain=*/16);
-  *drawn = drawn_total.load();
-  *accepted = accepted_total.load();
-  *mass_fp = mass_total.load();
+  std::atomic<uint64_t> upserts_total{0};
+  std::atomic<uint64_t> hits_total{0};
+  std::atomic<uint64_t> flushes_total{0};
+  std::atomic<uint64_t> batches_total{0};
+  ParallelForWorkers([&](int worker, int workers) {
+    WalkContext<G> ctx;
+    std::optional<SamplerCombiner> combiner;
+    if (opt.combiner) combiner.emplace(table, opt.combiner_log2_slots);
+    uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
+    uint64_t local_direct = 0;
+    bool ok = true;
+    auto sink = [&](uint64_t key, double w) {
+      if (combiner) return combiner->Add(key, w);
+      ++local_direct;
+      return table->Upsert(key, w);
+    };
+    for (uint64_t chunk = static_cast<uint64_t>(worker);
+         ok && chunk < chunks; chunk += static_cast<uint64_t>(workers)) {
+      if (table->overflowed()) break;
+      for (NodeId u = bounds[chunk]; ok && u < bounds[chunk + 1]; ++u) {
+        ok = SampleVertexEdges(g, opt, per_edge, c, seed, u, ctx, sink,
+                               &local_drawn, &local_accepted, &local_mass);
+      }
+    }
+    if (combiner) {
+      combiner->Flush();  // overflow surfaces via table->overflowed()
+      const SamplerCombiner::Stats& cs = combiner->stats();
+      local_direct = cs.flushed_records;
+      hits_total.fetch_add(cs.hits, std::memory_order_relaxed);
+      flushes_total.fetch_add(cs.flushes, std::memory_order_relaxed);
+      batches_total.fetch_add(cs.batch_upserts, std::memory_order_relaxed);
+    }
+    drawn_total.fetch_add(local_drawn, std::memory_order_relaxed);
+    accepted_total.fetch_add(local_accepted, std::memory_order_relaxed);
+    mass_total.fetch_add(local_mass, std::memory_order_relaxed);
+    upserts_total.fetch_add(local_direct, std::memory_order_relaxed);
+  });
+  stats->drawn = drawn_total.load();
+  stats->accepted = accepted_total.load();
+  stats->mass_fp = mass_total.load();
+  stats->table_upserts = upserts_total.load();
+  stats->combiner_hits = hits_total.load();
+  stats->combiner_flushes = flushes_total.load();
+  stats->batch_upserts = batches_total.load();
   return !table->overflowed();
 }
 
 /// One full pass of Algorithm 2 into per-worker record buffers (the
 /// considered alternative — GBBS sparse histogram, §4.2). Never fails.
+/// Buffers are strictly per-worker, so the combiner would add nothing here;
+/// the pass still gets the decode cursor and per-worker counters.
 template <GraphView G>
 void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
                                 double per_edge, double c, uint64_t seed,
-                                WorkerBuffers* buffers, uint64_t* drawn,
-                                uint64_t* accepted, uint64_t* mass_fp) {
+                                WorkerBuffers* buffers,
+                                SamplerPassStats* stats) {
   const NodeId n = g.NumVertices();
   std::atomic<uint64_t> drawn_total{0};
   std::atomic<uint64_t> accepted_total{0};
@@ -205,10 +317,11 @@ void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
         static_cast<NodeId>(static_cast<uint64_t>(n) * worker / workers);
     const NodeId hi =
         static_cast<NodeId>(static_cast<uint64_t>(n) * (worker + 1) / workers);
+    WalkContext<G> ctx;
     uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
     for (NodeId u = lo; u < hi; ++u) {
       SampleVertexEdges(
-          g, opt, per_edge, c, seed, u,
+          g, opt, per_edge, c, seed, u, ctx,
           [&](uint64_t key, double w) {
             buffers->Add(worker, key, w);
             return true;
@@ -219,9 +332,9 @@ void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
     accepted_total.fetch_add(local_accepted, std::memory_order_relaxed);
     mass_total.fetch_add(local_mass, std::memory_order_relaxed);
   });
-  *drawn = drawn_total.load();
-  *accepted = accepted_total.load();
-  *mass_fp = mass_total.load();
+  stats->drawn = drawn_total.load();
+  stats->accepted = accepted_total.load();
+  stats->mass_fp = mass_total.load();
 }
 
 /// Mirrors canonical upper-triangle (key, weight) entries back to a full
@@ -278,6 +391,10 @@ inline void RecordSparsifierMetrics(const SparsifierResult& r,
       ->Add(static_cast<uint64_t>(r.attempts - 1));
   m.GetCounter("sparsifier/budget_tightenings")
       ->Add(static_cast<uint64_t>(r.budget_tightenings));
+  m.GetCounter("sparsifier/table_upserts")->Add(r.table_upserts);
+  m.GetCounter("sparsifier/combiner_hits")->Add(r.combiner_hits);
+  m.GetCounter("sparsifier/combiner_flushes")->Add(r.combiner_flushes);
+  m.GetCounter("sparsifier/table_batch_upserts")->Add(r.table_batch_upserts);
   m.GetGauge("sparsifier/distinct_entries")->Set(r.distinct_entries);
   m.GetGauge("sparsifier/table_bytes")->Set(r.table_bytes);
   if (table_capacity > 0) {
@@ -335,13 +452,13 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
   // --- alternative strategy: per-worker lists + sparse histogram ---------
   if (opt.aggregation == AggregationStrategy::kSortHistogram) {
     WorkerBuffers buffers(NumWorkers());
-    uint64_t drawn = 0, accepted = 0, mass = 0;
+    internal::SamplerPassStats stats;
     internal::RunPerEdgeSamplingBuffered(g, opt, per_edge, c, opt.seed,
-                                         &buffers, &drawn, &accepted, &mass);
+                                         &buffers, &stats);
     SparsifierResult result;
-    result.samples_drawn = drawn;
-    result.samples_accepted = accepted;
-    result.mass_fp20 = mass;
+    result.samples_drawn = stats.drawn;
+    result.samples_accepted = stats.accepted;
+    result.mass_fp20 = stats.mass_fp;
     result.table_bytes = buffers.MemoryBytes();  // peak footprint
     std::vector<std::pair<uint64_t, double>> canonical = buffers.Collapse();
     result.distinct_entries = canonical.size();
@@ -371,13 +488,12 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
         budget, ConcurrentHashTable<double>::ProjectedMemoryBytes(pilot_hint));
     if (pilot_reservation.ok()) {
       ConcurrentHashTable<double> pilot(pilot_hint);
-      uint64_t pilot_drawn = 0, pilot_accepted = 0, pilot_mass = 0;
+      internal::SamplerPassStats pilot_stats;
       if (internal::RunPerEdgeSampling(g, opt, per_edge / kPilotScale, c,
                                        opt.seed ^ 0x9107ull, &pilot,
-                                       &pilot_drawn, &pilot_accepted,
-                                       &pilot_mass)) {
+                                       &pilot_stats)) {
         distinct_estimate = internal::ExtrapolateDistinct(
-            static_cast<double>(pilot_accepted),
+            static_cast<double>(pilot_stats.accepted),
             static_cast<double>(pilot.NumEntries()), kPilotScale);
         // The Poissonized model assumes uniform cell intensities; skewed
         // sampling (power-law graphs) makes it underestimate, so pad by a
@@ -390,7 +506,7 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
         distinct_estimate = std::min(distinct_estimate, expected_accepted);
         LIGHTNE_LOG_DEBUG(
             "pilot: %llu accepted, %llu distinct -> estimate %.0f distinct",
-            static_cast<unsigned long long>(pilot_accepted),
+            static_cast<unsigned long long>(pilot_stats.accepted),
             static_cast<unsigned long long>(pilot.NumEntries()),
             distinct_estimate);
       }
@@ -461,9 +577,9 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
           ") exceeds the remaining memory budget after degradation");
     }
     ConcurrentHashTable<double> table(capacity_hint);
-    uint64_t drawn = 0, accepted = 0, mass = 0;
-    const bool ok = internal::RunPerEdgeSampling(
-        g, opt, per_edge, c, opt.seed, &table, &drawn, &accepted, &mass);
+    internal::SamplerPassStats stats;
+    const bool ok = internal::RunPerEdgeSampling(g, opt, per_edge, c,
+                                                 opt.seed, &table, &stats);
     if (!ok) {
       LIGHTNE_LOG_WARN(
           "sparsifier hash table overflowed (capacity %llu); retrying at 2x",
@@ -472,9 +588,13 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
       continue;
     }
     SparsifierResult result;
-    result.samples_drawn = drawn;
-    result.samples_accepted = accepted;
-    result.mass_fp20 = mass;
+    result.samples_drawn = stats.drawn;
+    result.samples_accepted = stats.accepted;
+    result.mass_fp20 = stats.mass_fp;
+    result.table_upserts = stats.table_upserts;
+    result.combiner_hits = stats.combiner_hits;
+    result.combiner_flushes = stats.combiner_flushes;
+    result.table_batch_upserts = stats.batch_upserts;
     result.distinct_entries = table.NumEntries();
     result.table_bytes = table.MemoryBytes();
     result.attempts = attempt;

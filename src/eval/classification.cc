@@ -8,6 +8,7 @@
 #include "parallel/parallel_for.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"
 
 namespace lightne {
 
@@ -38,6 +39,34 @@ void LoadFeature(const Matrix& features, NodeId v, bool normalize,
   (*x)[d] = 1.0f;
 }
 
+// One Hogwild SGD step (Recht et al., 2011): reads and updates every label's
+// weight row for node `v` without synchronization. Concurrent workers racing
+// on `weights` is the documented design trade-off — conflicting updates are
+// sparse and perturb SGD less than locking would cost — so ThreadSanitizer
+// instrumentation is disabled for this function. Nothing else in here may
+// touch shared mutable state.
+LIGHTNE_NO_SANITIZE_THREAD
+void HogwildStep(const Matrix& features, const MultiLabels& labels, NodeId v,
+                 bool normalize, uint32_t num_labels, uint64_t dim, float lr,
+                 float decay, float* weights) {
+  std::vector<float> x;
+  LoadFeature(features, v, normalize, &x);
+  auto lv = labels.LabelsOf(v);
+  size_t li = 0;
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    while (li < lv.size() && lv[li] < l) ++li;
+    const float y = (li < lv.size() && lv[li] == l) ? 1.0f : 0.0f;
+    float* w = weights + static_cast<size_t>(l) * dim;
+    double dot = 0;
+    for (uint64_t j = 0; j < dim; ++j) dot += w[j] * x[j];
+    const float g = static_cast<float>(Sigmoid(dot)) - y;
+    const float step = lr * g;
+    for (uint64_t j = 0; j < dim; ++j) {
+      w[j] = decay * w[j] - step * x[j];
+    }
+  }
+}
+
 }  // namespace
 
 OneVsRestLogReg OneVsRestLogReg::Train(const Matrix& features,
@@ -62,28 +91,14 @@ OneVsRestLogReg OneVsRestLogReg::Train(const Matrix& features,
     const float lr = static_cast<float>(opt.learning_rate /
                                         (1.0 + 0.5 * epoch));
     const float decay = static_cast<float>(1.0 - opt.learning_rate * opt.l2);
-    // Hogwild-style: concurrent unsynchronized updates are benign for SGD.
+    // Hogwild-style: concurrent unsynchronized updates are benign for SGD
+    // (see HogwildStep, which carries the TSan opt-out for that race).
     ParallelFor(
         0, order.size(),
         [&](uint64_t i) {
-          const NodeId v = order[i];
-          std::vector<float> x;
-          LoadFeature(features, v, model.normalize_, &x);
-          auto lv = labels.LabelsOf(v);
-          size_t li = 0;
-          for (uint32_t l = 0; l < model.num_labels_; ++l) {
-            while (li < lv.size() && lv[li] < l) ++li;
-            const float y = (li < lv.size() && lv[li] == l) ? 1.0f : 0.0f;
-            float* w = model.weights_.data() +
-                       static_cast<size_t>(l) * model.dim_;
-            double dot = 0;
-            for (uint64_t j = 0; j < model.dim_; ++j) dot += w[j] * x[j];
-            const float g = static_cast<float>(Sigmoid(dot)) - y;
-            const float step = lr * g;
-            for (uint64_t j = 0; j < model.dim_; ++j) {
-              w[j] = decay * w[j] - step * x[j];
-            }
-          }
+          HogwildStep(features, labels, order[i], model.normalize_,
+                      model.num_labels_, model.dim_, lr, decay,
+                      model.weights_.data());
         },
         /*grain=*/16);
   }

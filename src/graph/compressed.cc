@@ -85,6 +85,58 @@ CompressedGraph CompressedGraph::FromCsr(const CsrGraph& g,
   return cg;
 }
 
+NodeId CompressedGraph::DecodeCursor::Get(const CompressedGraph& g, NodeId v,
+                                          uint64_t i) {
+  const uint64_t d = g.degrees_[v];
+  LIGHTNE_CHECK_LT(i, d);
+  const uint64_t b = i / g.block_size_;
+  const uint64_t within = i - b * g.block_size_;
+  // A draw's decode cost is proportional to `within`: cheap draws (the bulk
+  // on an avg-degree graph) cost fewer cycles than a cache probe, so they
+  // decode inline without touching — or evicting — any entry.
+  if (within <= kDirectWithin) {
+    return g.Neighbor(v, i);
+  }
+  // Direct-mapped slot for (v, b). Multiplicative mix on the packed key;
+  // taking high bits keeps distinct blocks of the same hub from colliding.
+  const uint64_t key = (static_cast<uint64_t>(v) << 20) ^ b;
+  Entry& e = entries_[(key * 0x9E3779B97F4A7C15ull) >> (64 - kLog2Entries)];
+  if (v == e.v && b == e.block && within < e.filled) {
+    ++hits_;
+    return e.buf[within];
+  }
+  ++misses_;
+  if (v != e.v || b != e.block) {
+    // Evict whatever lived here and anchor on the requested block; the
+    // decoded prefix restarts empty.
+    const uint8_t* region = g.bytes_.data() + g.vertex_offset_[v];
+    e.next = region + BlockStart(region, g.NumBlocks(d), b);
+    e.v = v;
+    e.block = b;
+    e.filled = 0;
+    if (e.buf.size() < g.block_size_) e.buf.resize(g.block_size_);
+  }
+  decoded_varints_ += within + 1 - e.filled;
+  // Locals keep the decode loop in registers; the byte-stream reads would
+  // otherwise force the entry fields back to memory every iteration.
+  uint64_t filled = e.filled;
+  int64_t running = e.running;
+  const uint8_t* p = e.next;
+  NodeId* buf = e.buf.data();
+  if (filled == 0) {
+    running = static_cast<int64_t>(v) + DecodeZigzag(&p);
+    buf[filled++] = static_cast<NodeId>(running);
+  }
+  while (filled <= within) {
+    running += static_cast<int64_t>(DecodeVarint(&p));
+    buf[filled++] = static_cast<NodeId>(running);
+  }
+  e.filled = filled;
+  e.running = running;
+  e.next = p;
+  return buf[within];
+}
+
 NodeId CompressedGraph::Neighbor(NodeId v, uint64_t i) const {
   const uint64_t d = degrees_[v];
   LIGHTNE_CHECK_LT(i, d);

@@ -46,6 +46,53 @@ class CompressedGraph {
   /// offset table, then decodes at most block_size varints.
   NodeId Neighbor(NodeId v, uint64_t i) const;
 
+  /// Amortized-O(1) random access for walk loops: a small direct-mapped
+  /// cache of lazily-decoded blocks, keyed by (vertex, block). A draw's
+  /// decode cost is proportional to its offset within the block, so cheap
+  /// draws (within <= kDirectWithin — the bulk of traffic on an average-
+  /// degree graph) decode inline and never evict anything; expensive draws
+  /// anchor their block in the cache, decoding up to the requested index —
+  /// never more work than Neighbor, plus one hash — and later draws of a
+  /// resident block are array reads, extending the decoded prefix only
+  /// when a larger index is asked for. Random walks visit vertices with
+  /// probability proportional to degree, so the expensive draws
+  /// concentrate on exactly the hub blocks that stay resident. 128 entries
+  /// * one block of NodeIds ~= 48 KiB, L1/L2-resident alongside the
+  /// sampler combiner. Entries cache pointers into the graph's byte
+  /// stream: a cursor must not outlive its graph and must always be used
+  /// with the same graph. Returns exactly Neighbor(v, i) — walks draw
+  /// identical endpoints with or without a cursor.
+  class DecodeCursor {
+   public:
+    NodeId Get(const CompressedGraph& g, NodeId v, uint64_t i);
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t decoded_varints() const { return decoded_varints_; }
+
+   private:
+    static constexpr uint32_t kLog2Entries = 7;  // 128 direct-mapped slots
+    // Draws this close to a block start decode inline instead of entering
+    // the cache: their cost is a handful of varints, below the bookkeeping
+    // cost, and filling entries with them would evict expensive blocks.
+    static constexpr uint64_t kDirectWithin = 8;
+    static constexpr uint64_t kNoVertex = ~0ull;
+
+    struct Entry {
+      uint64_t v = kNoVertex;         // vertex id (kNoVertex = empty)
+      uint64_t block = 0;
+      uint64_t filled = 0;            // decoded prefix length of the block
+      const uint8_t* next = nullptr;  // byte position after buf[filled - 1]
+      int64_t running = 0;            // last decoded neighbor id
+      std::vector<NodeId> buf;        // decoded prefix, size >= filled
+    };
+
+    Entry entries_[uint64_t{1} << kLog2Entries];
+    uint64_t hits_ = 0;    // served without decoding a varint
+    uint64_t misses_ = 0;  // had to extend or (re-)anchor an entry
+    uint64_t decoded_varints_ = 0;  // varints decoded into entries
+  };
+
   /// Applies fn(neighbor) over v's full (sorted) neighbor list.
   template <typename F>
   void MapNeighbors(NodeId v, F&& fn) const {

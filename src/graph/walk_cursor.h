@@ -1,0 +1,46 @@
+// Per-walk decode state threaded through the walk primitives.
+//
+// Random-walk steps resolve Neighbor(v, i): O(1) on raw CSR, but O(block)
+// on the parallel-byte compressed format — every step of every walk
+// re-decoded its block from scratch, which made the compressed sampler pay
+// a varint tax the paper's time breakdown attributes to the sampling stage.
+// WalkContext<G> is the representation-specific cursor a caller stack-
+// allocates once per worker and passes down the walk call chain: for most
+// graphs it is empty (zero-cost), for CompressedGraph it carries a
+// DecodeCursor so repeated draws at the same vertex/block are served from
+// the decoded prefix (amortized O(1), see CompressedGraph::DecodeCursor).
+//
+// Contract: WalkContext never touches the RNG and Neighbor() returns
+// exactly g.Neighbor(v, i), so walks draw bit-identical endpoints with or
+// without a context — it is purely a decode cache. A context must not
+// outlive its graph and must always be used with the same graph.
+#ifndef LIGHTNE_GRAPH_WALK_CURSOR_H_
+#define LIGHTNE_GRAPH_WALK_CURSOR_H_
+
+#include "graph/compressed.h"
+#include "graph/graph_view.h"
+#include "graph/types.h"
+
+namespace lightne {
+
+/// Default context: direct Neighbor access, no state.
+template <typename G>
+struct WalkContext {
+  NodeId Neighbor(const G& g, NodeId v, uint64_t i) {
+    return g.Neighbor(v, i);
+  }
+};
+
+/// Compressed graphs carry a decode cursor per context.
+template <>
+struct WalkContext<CompressedGraph> {
+  CompressedGraph::DecodeCursor cursor;
+
+  NodeId Neighbor(const CompressedGraph& g, NodeId v, uint64_t i) {
+    return cursor.Get(g, v, i);
+  }
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_GRAPH_WALK_CURSOR_H_

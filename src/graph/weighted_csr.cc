@@ -68,4 +68,54 @@ WeightedCsrGraph WeightedCsrGraph::FromEdges(WeightedEdgeList list) {
   return g;
 }
 
+void WeightedCsrGraph::BuildAliasTable() {
+  if (!alias_prob_.empty()) return;
+  alias_prob_.resize(weights_.size());
+  alias_idx_.resize(weights_.size());
+  ParallelFor(
+      0, num_vertices_,
+      [&](uint64_t v) {
+        const uint64_t lo = offsets_[v];
+        const uint64_t d = offsets_[v + 1] - lo;
+        if (d == 0) return;
+        // Vose's method: scale probabilities by d, then pair each column
+        // whose scaled mass is < 1 ("small") with one that is >= 1
+        // ("large"), donating the large column's excess. Two index stacks,
+        // O(d) time, numerically safe: residual error only ever shifts mass
+        // between the paired columns.
+        const double total = weighted_degree_[v];
+        std::vector<double> scaled(d);
+        std::vector<NodeId> small, large;
+        small.reserve(d);
+        large.reserve(d);
+        for (uint64_t i = 0; i < d; ++i) {
+          scaled[i] = static_cast<double>(weights_[lo + i]) *
+                      static_cast<double>(d) / total;
+          (scaled[i] < 1.0 ? small : large).push_back(static_cast<NodeId>(i));
+        }
+        while (!small.empty() && !large.empty()) {
+          const NodeId s = small.back();
+          const NodeId l = large.back();
+          small.pop_back();
+          alias_prob_[lo + s] = scaled[s];
+          alias_idx_[lo + s] = l;
+          scaled[l] -= 1.0 - scaled[s];
+          if (scaled[l] < 1.0) {
+            large.pop_back();
+            small.push_back(l);
+          }
+        }
+        // Leftovers (in exact arithmetic these have mass exactly 1).
+        for (const NodeId i : large) {
+          alias_prob_[lo + i] = 1.0;
+          alias_idx_[lo + i] = i;
+        }
+        for (const NodeId i : small) {
+          alias_prob_[lo + i] = 1.0;
+          alias_idx_[lo + i] = i;
+        }
+      },
+      /*grain=*/64);
+}
+
 }  // namespace lightne

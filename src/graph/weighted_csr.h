@@ -82,9 +82,22 @@ class WeightedCsrGraph {
     }
   }
 
-  /// Samples a neighbor with probability proportional to its edge weight
-  /// (binary search over the per-vertex cumulative weights, O(log degree)).
+  /// Samples a neighbor with probability proportional to its edge weight.
+  /// O(1) via the alias table when BuildAliasTable() has run, otherwise a
+  /// binary search over the per-vertex cumulative weights (O(log degree)).
+  /// Both paths consume exactly one rng.Uniform() per draw, so code that
+  /// replays a seeded RNG stream sees the same consumption either way (the
+  /// drawn neighbors differ between methods for the same roll — only the
+  /// distribution and the RNG cursor are contractual).
   NodeId SampleNeighbor(NodeId v, Rng& rng) const {
+    if (!alias_prob_.empty()) return SampleNeighborAlias(v, rng);
+    return SampleNeighborPrefixScan(v, rng);
+  }
+
+  /// The O(log degree) reference sampler (inverse CDF over the cumulative
+  /// weights). Kept callable directly so tests and benches can compare the
+  /// alias path against it.
+  NodeId SampleNeighborPrefixScan(NodeId v, Rng& rng) const {
     const uint64_t lo = offsets_[v], hi = offsets_[v + 1];
     LIGHTNE_CHECK_GT(hi, lo);
     const double roll = rng.Uniform() * (cumulative_[hi - 1]);
@@ -101,12 +114,37 @@ class WeightedCsrGraph {
     return neighbors_[a];
   }
 
+  /// O(1) weighted draw via the Walker/Vose alias table. Requires
+  /// BuildAliasTable(). A single Uniform() supplies both the column index
+  /// (integer part of u * d) and the accept/alias coin (fractional part) —
+  /// the standard one-draw alias trick, which is what keeps the RNG
+  /// consumption identical to the prefix-scan path.
+  NodeId SampleNeighborAlias(NodeId v, Rng& rng) const {
+    const uint64_t lo = offsets_[v], d = offsets_[v + 1] - offsets_[v];
+    LIGHTNE_CHECK_GT(d, 0u);
+    const double x = rng.Uniform() * static_cast<double>(d);
+    uint64_t i = static_cast<uint64_t>(x);
+    if (i >= d) i = d - 1;  // guard the u ~ 1.0 rounding edge
+    const double frac = x - static_cast<double>(i);
+    const uint64_t k = lo + i;
+    return frac < alias_prob_[k] ? neighbors_[k]
+                                 : neighbors_[lo + alias_idx_[k]];
+  }
+
+  /// Precomputes the Walker/Vose alias table (parallel over vertices,
+  /// O(degree) work and 12 extra bytes per directed edge). Idempotent.
+  void BuildAliasTable();
+
+  bool has_alias_table() const { return !alias_prob_.empty(); }
+
   uint64_t SizeBytes() const {
     return offsets_.size() * sizeof(uint64_t) +
            neighbors_.size() * sizeof(NodeId) +
            weights_.size() * sizeof(float) +
            cumulative_.size() * sizeof(double) +
-           weighted_degree_.size() * sizeof(double);
+           weighted_degree_.size() * sizeof(double) +
+           alias_prob_.size() * sizeof(double) +
+           alias_idx_.size() * sizeof(NodeId);
   }
 
  private:
@@ -117,6 +155,11 @@ class WeightedCsrGraph {
   std::vector<float> weights_;
   std::vector<double> cumulative_;       // per-vertex running weight sums
   std::vector<double> weighted_degree_;  // per vertex
+  // Alias table (empty until BuildAliasTable): per edge slot k, accept
+  // probability of the resident column and the in-adjacency index drawn on
+  // rejection.
+  std::vector<double> alias_prob_;
+  std::vector<NodeId> alias_idx_;
 };
 
 }  // namespace lightne

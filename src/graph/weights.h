@@ -5,11 +5,20 @@
 // all three. Crucially, the unweighted specializations consume the RNG
 // identically to the pre-weighted code, so results on unweighted graphs are
 // unchanged.
+//
+// The sampling and walk entry points come in two flavors: the plain
+// (g, v, rng) form, and a hot-path form threading a WalkContext<G> decode
+// cursor (graph/walk_cursor.h) so compressed-graph walks stop re-decoding
+// neighbor blocks on every step. Both flavors consume the RNG identically
+// and return identical vertices; the plain form simply runs on a throwaway
+// context.
 #ifndef LIGHTNE_GRAPH_WEIGHTS_H_
 #define LIGHTNE_GRAPH_WEIGHTS_H_
 
 #include "graph/graph_view.h"
+#include "graph/walk_cursor.h"
 #include "graph/weighted_csr.h"
+#include "util/check.h"
 #include "util/random.h"
 
 namespace lightne {
@@ -34,23 +43,40 @@ void MapNeighborsWeighted(const WeightedCsrGraph& g, NodeId v, F&& fn) {
 }
 
 /// Samples a neighbor of v with probability proportional to edge weight.
+/// v must have degree >= 1 (checked: a zero-degree draw would silently
+/// index past the adjacency, exactly the UB RandomNeighbor already guards).
 template <GraphView G>
-NodeId SampleNeighborProportional(const G& g, NodeId v, Rng& rng) {
-  return g.Neighbor(v, rng.UniformInt(g.Degree(v)));
+NodeId SampleNeighborProportional(const G& g, WalkContext<G>& ctx, NodeId v,
+                                  Rng& rng) {
+  const uint64_t d = g.Degree(v);
+  LIGHTNE_CHECK_GT(d, 0u);
+  return ctx.Neighbor(g, v, rng.UniformInt(d));
 }
-inline NodeId SampleNeighborProportional(const WeightedCsrGraph& g, NodeId v,
-                                         Rng& rng) {
+inline NodeId SampleNeighborProportional(const WeightedCsrGraph& g,
+                                         WalkContext<WeightedCsrGraph>& /*ctx*/,
+                                         NodeId v, Rng& rng) {
   return g.SampleNeighbor(v, rng);
+}
+template <typename G>
+NodeId SampleNeighborProportional(const G& g, NodeId v, Rng& rng) {
+  WalkContext<G> ctx;
+  return SampleNeighborProportional(g, ctx, v, rng);
 }
 
 /// A weighted random-walk step / walk (degenerates to the uniform walk on
 /// unweighted graphs).
 template <typename G>
-NodeId WeightedRandomWalk(const G& g, NodeId v, uint64_t steps, Rng& rng) {
+NodeId WeightedRandomWalk(const G& g, WalkContext<G>& ctx, NodeId v,
+                          uint64_t steps, Rng& rng) {
   for (uint64_t s = 0; s < steps; ++s) {
-    v = SampleNeighborProportional(g, v, rng);
+    v = SampleNeighborProportional(g, ctx, v, rng);
   }
   return v;
+}
+template <typename G>
+NodeId WeightedRandomWalk(const G& g, NodeId v, uint64_t steps, Rng& rng) {
+  WalkContext<G> ctx;
+  return WeightedRandomWalk(g, ctx, v, steps, rng);
 }
 
 }  // namespace lightne

@@ -1,0 +1,181 @@
+// Thread-local software combiner for the sampler ingestion path (§4.2).
+//
+// The sparsifier's shared ConcurrentHashTable is sized for the *distinct*
+// sampled pairs, which on skewed (power-law) graphs is far below the number
+// of accepted samples: hub pairs and diagonal entries are hit over and over.
+// Paying a global atomic CAS/xadd — and, worse, a near-guaranteed cache miss
+// into a table of cache-line-sized slots — for every one of those duplicates
+// is the dominant cost of the aggregation stage. A SamplerCombiner is a
+// small, fixed-size, open-addressing cache owned by ONE worker that
+// pre-aggregates (key, weight) records while they are hot: a repeated key
+// collapses into a local double add in L1/L2, and only evicted or flushed
+// entries ever reach the shared table — in batches, through
+// ConcurrentHashTable::UpsertBatch, whose hash-prefetch stage software-
+// pipelines the probe cache misses.
+//
+// Determinism contract (DESIGN.md §11): the combiner never drops, duplicates
+// or reorders *records across keys it has not merged* — the multiset of
+// per-key weight contributions reaching the table is exactly the direct
+// path's multiset, pre-summed in resident groups. Integer-domain quantities
+// (samples drawn/accepted, the fixed-point mass counter, the distinct-key
+// set and hence NumEntries) are therefore bit-identical with the combiner on
+// or off, for any worker count. Table *values* are double sums whose
+// grouping depends on residency, exactly as the direct path's grouping
+// already depends on the atomic arrival schedule: combining is
+// determinism-neutral — both paths agree to reassociation (~1 ulp), and the
+// float-valued extracted matrix is identical in practice.
+//
+// Sizing arithmetic: an Entry is 16 bytes, so kDefaultLog2Slots = 13 gives
+// 8192 slots = 128 KiB per worker — larger than L1d, comfortably inside
+// per-core L2, and big enough that the hot set of an RMAT-skewed key stream
+// (hubs plus diagonal) stays resident. The eviction policy is displace-at-
+// home: when a probe window is full of other keys, the home slot is evicted
+// to the flush batch and the new key takes its place, so a newly-hot key
+// claims residency in O(1) instead of thrashing the window.
+#ifndef LIGHTNE_PARALLEL_COMBINER_H_
+#define LIGHTNE_PARALLEL_COMBINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "parallel/concurrent_hash_table.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace lightne {
+
+class SamplerCombiner {
+ public:
+  /// 8192 slots * 16 B = 128 KiB per worker; see the sizing note above.
+  static constexpr uint32_t kDefaultLog2Slots = 13;
+  /// Linear-probe window before the home slot is evicted.
+  static constexpr uint32_t kProbeWindow = 8;
+  /// Records per UpsertBatch flush (one batch is 1 KiB of records).
+  static constexpr uint32_t kFlushBatch = 64;
+
+  /// Exact operation counts, kept locally (no shared-metric traffic on the
+  /// hot path); the sparsifier aggregates them into its pass stats.
+  struct Stats {
+    uint64_t records = 0;          // Add() calls
+    uint64_t hits = 0;             // merged into a resident entry
+    uint64_t evictions = 0;        // displaced a resident entry
+    uint64_t flushes = 0;          // Flush() drains
+    uint64_t flushed_records = 0;  // records handed to the shared table
+    uint64_t batch_upserts = 0;    // UpsertBatch calls issued
+  };
+
+  explicit SamplerCombiner(ConcurrentHashTable<double>* table,
+                           uint32_t log2_slots = kDefaultLog2Slots)
+      : table_(table), mask_((1u << log2_slots) - 1) {
+    LIGHTNE_CHECK_GE(log2_slots, 4u);
+    LIGHTNE_CHECK_LE(log2_slots, 24u);
+    slots_ = std::make_unique<Entry[]>(uint64_t{1} << log2_slots);
+    for (uint32_t i = 0; i <= mask_; ++i) slots_[i].key = kEmptyKey;
+  }
+
+  /// Adds `w` under `key`, merging locally when the key is resident.
+  /// Returns false only when a displaced batch was rejected by the shared
+  /// table (overflow) — same failure semantics as a direct Upsert.
+  bool Add(uint64_t key, double w) {
+    LIGHTNE_CHECK_NE(key, kEmptyKey);
+    ++stats_.records;
+    // Run-length fast path: the sampler draws n_e samples of one edge
+    // back-to-back, so consecutive records usually repeat the last key.
+    // Self-validating — if the remembered slot was displaced or flushed its
+    // key no longer matches and we fall through to the probe.
+    Entry& last = slots_[last_slot_];
+    if (last.key == key) {
+      last.value += w;
+      ++stats_.hits;
+      return true;
+    }
+    uint64_t h = key;
+    const uint32_t home = static_cast<uint32_t>(SplitMix64(h)) & mask_;
+    for (uint32_t probe = 0; probe < kProbeWindow; ++probe) {
+      const uint32_t slot = (home + probe) & mask_;
+      Entry& e = slots_[slot];
+      if (e.key == key) {
+        e.value += w;
+        ++stats_.hits;
+        last_slot_ = slot;
+        return true;
+      }
+      if (e.key == kEmptyKey) {
+        e.key = key;
+        e.value = w;
+        last_slot_ = slot;
+        return true;
+      }
+    }
+    // Window full of other keys: displace the home entry so the incoming
+    // (presumably newly hot) key becomes resident immediately.
+    Entry& victim = slots_[home];
+    ++stats_.evictions;
+    const bool ok = Emit(victim.key, victim.value);
+    victim.key = key;
+    victim.value = w;
+    last_slot_ = home;
+    return ok;
+  }
+
+  /// Drains every resident entry and the pending batch to the shared table.
+  /// Must be called before the table is read. Returns false on overflow.
+  bool Flush() {
+    ++stats_.flushes;
+    bool ok = true;
+    for (uint32_t i = 0; i <= mask_; ++i) {
+      Entry& e = slots_[i];
+      if (e.key == kEmptyKey) continue;
+      ok = Emit(e.key, e.value) && ok;
+      e.key = kEmptyKey;
+    }
+    ok = FlushBatch() && ok;
+    return ok;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// Bytes held by the slot cache (monitoring; the flush batch is on-object).
+  uint64_t MemoryBytes() const {
+    return (uint64_t{mask_} + 1) * sizeof(Entry);
+  }
+
+  SamplerCombiner(const SamplerCombiner&) = delete;
+  SamplerCombiner& operator=(const SamplerCombiner&) = delete;
+
+ private:
+  static constexpr uint64_t kEmptyKey = ConcurrentHashTable<double>::kEmptyKey;
+
+  struct Entry {
+    uint64_t key;
+    double value;
+  };
+
+  bool Emit(uint64_t key, double value) {
+    batch_[batch_size_++] = {key, value};
+    ++stats_.flushed_records;
+    if (batch_size_ == kFlushBatch) return FlushBatch();
+    return true;
+  }
+
+  bool FlushBatch() {
+    if (batch_size_ == 0) return true;
+    ++stats_.batch_upserts;
+    const bool ok = table_->UpsertBatch(batch_, batch_size_);
+    batch_size_ = 0;
+    return ok;
+  }
+
+  ConcurrentHashTable<double>* table_;
+  uint32_t mask_;
+  uint32_t last_slot_ = 0;  // slot of the most recent Add (fast-path guess)
+  std::unique_ptr<Entry[]> slots_;
+  std::pair<uint64_t, double> batch_[kFlushBatch];
+  uint32_t batch_size_ = 0;
+  Stats stats_;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_PARALLEL_COMBINER_H_

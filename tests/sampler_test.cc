@@ -1,0 +1,361 @@
+// Sampler hot-path tests (DESIGN.md §11): combiner-vs-direct equivalence
+// (bit-identical integer counters, 1-ulp matrix values), the alias-table
+// sampler's exact distribution and RNG-consumption contract against the
+// prefix-scan reference, the compressed-graph decode cursor against naive
+// Neighbor, and the edge-balanced scheduling partition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/sparsifier.h"
+#include "data/generators.h"
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/walk_cursor.h"
+#include "graph/weighted_csr.h"
+#include "graph/weights.h"
+#include "parallel/parallel_for.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace lightne {
+namespace {
+
+CsrGraph SamplerGraph() {
+  return CsrGraph::FromEdges(GenerateRmat(10, 8000, 42));
+}
+
+SparsifierOptions BaseOptions() {
+  SparsifierOptions opt;
+  opt.num_samples = 300000;
+  opt.window = 6;
+  opt.seed = 123;
+  return opt;
+}
+
+// Floats within `ulps` representable steps of each other (same sign; the
+// matrix values here are all positive sums of positive weights).
+bool FloatWithinUlps(float a, float b, int32_t ulps) {
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  return std::abs(ia - ib) <= ulps;
+}
+
+void ExpectEquivalentSparsifiers(const SparsifierResult& a,
+                                 const SparsifierResult& b) {
+  // Integer-domain quantities: bit-identical (the determinism contract).
+  EXPECT_EQ(a.samples_drawn, b.samples_drawn);
+  EXPECT_EQ(a.samples_accepted, b.samples_accepted);
+  EXPECT_EQ(a.mass_fp20, b.mass_fp20);
+  EXPECT_EQ(a.distinct_entries, b.distinct_entries);
+  // The sparsity pattern is the distinct-key set, also exact.
+  ASSERT_EQ(a.matrix.nnz(), b.matrix.nnz());
+  EXPECT_EQ(a.matrix.col_indices(), b.matrix.col_indices());
+  // Values are double sums in different groupings rounded to float: within
+  // 1 ulp (in practice identical — the 29 extra double bits absorb the
+  // reassociation).
+  const auto& av = a.matrix.values();
+  const auto& bv = b.matrix.values();
+  for (size_t i = 0; i < av.size(); ++i) {
+    ASSERT_TRUE(FloatWithinUlps(av[i], bv[i], 1))
+        << "entry " << i << ": " << av[i] << " vs " << bv[i];
+  }
+}
+
+// ------------------------------------------- combiner / direct equivalence ----
+
+TEST(CombinerTest, CombinerMatchesDirectPath) {
+  const CsrGraph g = SamplerGraph();
+  SparsifierOptions direct = BaseOptions();
+  direct.combiner = false;
+  SparsifierOptions combined = BaseOptions();
+  combined.combiner = true;
+  auto rd = BuildSparsifier(g, direct);
+  auto rc = BuildSparsifier(g, combined);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rc.ok());
+  ExpectEquivalentSparsifiers(*rd, *rc);
+  // Accounting: the direct path upserts once per accepted sample; the
+  // combiner path upserts once per non-merged record, and every accepted
+  // sample is either merged or flushed.
+  EXPECT_EQ(rd->table_upserts, rd->samples_accepted);
+  EXPECT_EQ(rd->combiner_hits, 0u);
+  EXPECT_EQ(rc->table_upserts + rc->combiner_hits, rc->samples_accepted);
+  EXPECT_LT(rc->table_upserts, rc->samples_accepted);
+  EXPECT_GT(rc->combiner_hits, 0u);
+  EXPECT_GT(rc->combiner_flushes, 0u);
+  EXPECT_GT(rc->table_batch_upserts, 0u);
+}
+
+TEST(CombinerTest, TinyCombinerEvictionStormStaysExact) {
+  // A 16-slot combiner evicts constantly; the multiset of records reaching
+  // the table must still be a grouping of the direct path's.
+  const CsrGraph g = SamplerGraph();
+  SparsifierOptions direct = BaseOptions();
+  direct.combiner = false;
+  SparsifierOptions tiny = BaseOptions();
+  tiny.combiner = true;
+  tiny.combiner_log2_slots = 4;
+  auto rd = BuildSparsifier(g, direct);
+  auto rt = BuildSparsifier(g, tiny);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(rt.ok());
+  ExpectEquivalentSparsifiers(*rd, *rt);
+}
+
+TEST(CombinerTest, CountersBitIdenticalAcrossWorkerCounts) {
+  const CsrGraph g = SamplerGraph();
+  for (const bool use_combiner : {false, true}) {
+    SparsifierOptions opt = BaseOptions();
+    opt.combiner = use_combiner;
+    Result<SparsifierResult> serial = [&] {
+      SequentialRegion seq;
+      return BuildSparsifier(g, opt);
+    }();
+    auto parallel = BuildSparsifier(g, opt);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    ExpectEquivalentSparsifiers(*serial, *parallel);
+  }
+}
+
+TEST(CombinerTest, CombinerWorksAcrossRepresentations) {
+  // The compressed path adds the decode cursor on top of the combiner; both
+  // representations must agree with each other (they draw identical walk
+  // endpoints) and with the direct path.
+  const CsrGraph csr = SamplerGraph();
+  const CompressedGraph cg = CompressedGraph::FromCsr(csr);
+  SparsifierOptions opt = BaseOptions();
+  opt.combiner = true;
+  auto rcsr = BuildSparsifier(csr, opt);
+  auto rcomp = BuildSparsifier(cg, opt);
+  ASSERT_TRUE(rcsr.ok());
+  ASSERT_TRUE(rcomp.ok());
+  EXPECT_EQ(rcsr->samples_drawn, rcomp->samples_drawn);
+  EXPECT_EQ(rcsr->samples_accepted, rcomp->samples_accepted);
+  EXPECT_EQ(rcsr->mass_fp20, rcomp->mass_fp20);
+  EXPECT_EQ(rcsr->distinct_entries, rcomp->distinct_entries);
+  EXPECT_EQ(rcsr->matrix.col_indices(), rcomp->matrix.col_indices());
+}
+
+TEST(CombinerTest, MetricsSurfaceCombinerCounters) {
+  const CsrGraph g = SamplerGraph();
+  MetricsRegistry::Global().ResetForTest();
+  SparsifierOptions opt = BaseOptions();
+  opt.combiner = true;
+  auto r = BuildSparsifier(g, opt);
+  ASSERT_TRUE(r.ok());
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("sparsifier/table_upserts"), r->table_upserts);
+  EXPECT_EQ(snap.CounterValue("sparsifier/combiner_hits"), r->combiner_hits);
+  EXPECT_EQ(snap.CounterValue("sparsifier/combiner_flushes"),
+            r->combiner_flushes);
+  EXPECT_EQ(snap.CounterValue("sparsifier/table_batch_upserts"),
+            r->table_batch_upserts);
+}
+
+// --------------------------------------------------- alias-table sampling ----
+
+WeightedCsrGraph SkewedWeightedGraph() {
+  // A star plus a ring: vertex 0 has a wide, heavily skewed adjacency
+  // (weights 1, 2, ..., d) — the worst case for prefix-scan sampling and a
+  // good exactness test for Vose initialization.
+  WeightedEdgeList list;
+  list.num_vertices = 64;
+  for (NodeId v = 1; v < 64; ++v) {
+    list.Add(0, v, static_cast<float>(v));
+    list.Add(v, v % 63 + 1, 1.0f);
+  }
+  return WeightedCsrGraph::FromEdges(std::move(list));
+}
+
+TEST(AliasTableTest, DrawFrequenciesTrackWeights) {
+  WeightedCsrGraph g = SkewedWeightedGraph();
+  g.BuildAliasTable();
+  ASSERT_TRUE(g.has_alias_table());
+  // Frequencies of 200k alias draws at the hub must track the (heavily
+  // skewed) weights: the Vose construction preserves each column's exact
+  // mass, so any systematic deviation is an initialization bug.
+  const NodeId hub = 0;
+  const uint64_t d = g.Degree(hub);
+  std::vector<uint64_t> counts(65, 0);
+  Rng rng(7);
+  const uint64_t draws = 200000;
+  for (uint64_t s = 0; s < draws; ++s) ++counts[g.SampleNeighbor(hub, rng)];
+  for (uint64_t i = 0; i < d; ++i) {
+    const NodeId nbr = g.Neighbor(hub, i);
+    const double expect = static_cast<double>(draws) *
+                          static_cast<double>(g.Weight(hub, i)) /
+                          g.WeightedDegree(hub);
+    // 6-sigma Poisson band.
+    EXPECT_NEAR(static_cast<double>(counts[nbr]), expect,
+                6.0 * std::sqrt(expect) + 6.0)
+        << "neighbor " << nbr;
+  }
+}
+
+TEST(AliasTableTest, AliasAndPrefixScanAgreeOnDistribution) {
+  // Same graph, same number of draws: both samplers must converge to the
+  // same per-neighbor frequencies (they are different maps of the same
+  // uniform variate, so per-draw results differ — only distributions match).
+  WeightedCsrGraph g = SkewedWeightedGraph();
+  const NodeId hub = 0;
+  const uint64_t draws = 200000;
+  std::vector<uint64_t> scan_counts(65, 0), alias_counts(65, 0);
+  Rng rng_scan(11);
+  for (uint64_t s = 0; s < draws; ++s) {
+    ++scan_counts[g.SampleNeighborPrefixScan(hub, rng_scan)];
+  }
+  g.BuildAliasTable();
+  Rng rng_alias(13);
+  for (uint64_t s = 0; s < draws; ++s) {
+    ++alias_counts[g.SampleNeighborAlias(hub, rng_alias)];
+  }
+  for (NodeId v = 0; v < 65; ++v) {
+    const double a = static_cast<double>(alias_counts[v]);
+    const double b = static_cast<double>(scan_counts[v]);
+    EXPECT_NEAR(a, b, 6.0 * std::sqrt(std::max(a, b)) + 6.0) << "nbr " << v;
+  }
+}
+
+TEST(AliasTableTest, RngConsumptionMatchesPrefixScan) {
+  // The shared contract: both samplers consume exactly one Uniform() per
+  // draw, so seeded streams stay aligned whichever sampler runs.
+  WeightedCsrGraph g = SkewedWeightedGraph();
+  g.BuildAliasTable();
+  Rng rng_scan(99), rng_alias(99);
+  for (int s = 0; s < 1000; ++s) {
+    const NodeId v = static_cast<NodeId>(s % g.NumVertices());
+    (void)g.SampleNeighborPrefixScan(v, rng_scan);
+    (void)g.SampleNeighborAlias(v, rng_alias);
+    ASSERT_EQ(rng_scan.Next(), rng_alias.Next()) << "diverged at draw " << s;
+  }
+}
+
+TEST(AliasTableTest, WeightedWalkStillWorksWithAliasTable) {
+  WeightedCsrGraph g = SkewedWeightedGraph();
+  g.BuildAliasTable();
+  Rng rng(5);
+  for (int s = 0; s < 100; ++s) {
+    const NodeId end = WeightedRandomWalk(g, NodeId{0}, 10, rng);
+    EXPECT_LT(end, g.NumVertices());
+  }
+}
+
+// ------------------------------------------------------------ degree guard ----
+
+TEST(WeightsDeathTest, SampleNeighborProportionalChecksDegree) {
+  // Vertex 3 is isolated: sampling from it must trip the degree check, not
+  // silently index past the adjacency.
+  EdgeList list;
+  list.num_vertices = 4;
+  list.Add(0, 1);
+  list.Add(1, 2);
+  const CsrGraph g = CsrGraph::FromEdges(list);
+  Rng rng(1);
+  EXPECT_DEATH(SampleNeighborProportional(g, NodeId{3}, rng), "CHECK failed");
+}
+
+// ------------------------------------------------------------ decode cursor ----
+
+TEST(DecodeCursorTest, MatchesNaiveNeighborOnRmat) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 3));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  CompressedGraph::DecodeCursor cursor;
+  Rng rng(17);
+  // Mixed access pattern: bursts at one vertex (the walk-loop common case)
+  // interleaved with jumps, covering re-anchors, block switches and the
+  // lazy prefix extension.
+  for (int burst = 0; burst < 2000; ++burst) {
+    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    const uint64_t d = g.Degree(v);
+    if (d == 0) continue;
+    const int len = 1 + static_cast<int>(rng.UniformInt(6));
+    for (int k = 0; k < len; ++k) {
+      const uint64_t i = rng.UniformInt(d);
+      ASSERT_EQ(cursor.Get(g, v, i), g.Neighbor(v, i))
+          << "v=" << v << " i=" << i;
+    }
+  }
+  EXPECT_GT(cursor.hits() + cursor.misses(), 0u);
+  EXPECT_GT(cursor.hits(), 0u);  // bursts must actually reuse the prefix
+}
+
+TEST(DecodeCursorTest, SequentialScanIsMostlyHits) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(8, 4000, 9));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  CompressedGraph::DecodeCursor cursor;
+  // Descending scan of each vertex: the first access decodes the whole
+  // block, every later one is a prefix hit.
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    const uint64_t d = g.Degree(v);
+    for (uint64_t i = d; i-- > 0;) {
+      ASSERT_EQ(cursor.Get(g, v, i), g.Neighbor(v, i));
+    }
+  }
+  EXPECT_GT(cursor.hits(), cursor.misses());
+}
+
+TEST(DecodeCursorTest, WalkContextMatchesPlainWalks) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(9, 6000, 21));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  WalkContext<CompressedGraph> ctx;
+  for (uint64_t s = 0; s < 500; ++s) {
+    Rng rng_a(s), rng_b(s);
+    const NodeId start = static_cast<NodeId>(s % g.NumVertices());
+    if (g.Degree(start) == 0) continue;
+    const NodeId with_ctx = WeightedRandomWalk(g, ctx, start, 8, rng_a);
+    const NodeId without = WeightedRandomWalk(g, start, 8, rng_b);
+    ASSERT_EQ(with_ctx, without) << "walk " << s;
+  }
+}
+
+// -------------------------------------------------- edge-balanced schedule ----
+
+TEST(SchedulingTest, EdgeBalancedBoundariesPartitionAndBalance) {
+  const CsrGraph g = SamplerGraph();
+  const uint64_t chunks = 32;
+  const std::vector<NodeId> bounds =
+      internal::EdgeBalancedBoundaries(g, chunks);
+  ASSERT_EQ(bounds.size(), chunks + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), g.NumVertices());
+  uint64_t total = 0, max_degree = 0;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    total += g.Degree(v) + 1;
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  uint64_t max_chunk = 0;
+  for (uint64_t cidx = 0; cidx < chunks; ++cidx) {
+    ASSERT_LE(bounds[cidx], bounds[cidx + 1]);
+    uint64_t work = 0;
+    for (NodeId v = bounds[cidx]; v < bounds[cidx + 1]; ++v) {
+      work += g.Degree(v) + 1;
+    }
+    max_chunk = std::max(max_chunk, work);
+  }
+  // A chunk can exceed the ideal share by at most one vertex's work (the
+  // boundary vertex is indivisible).
+  EXPECT_LE(max_chunk, total / chunks + max_degree + 1);
+}
+
+TEST(SchedulingTest, BoundariesHandleDegenerateShapes) {
+  // chunks > vertices and a graph with an isolated-vertex tail.
+  EdgeList list;
+  list.num_vertices = 5;
+  list.Add(0, 1);
+  const CsrGraph g = CsrGraph::FromEdges(list);
+  const std::vector<NodeId> bounds = internal::EdgeBalancedBoundaries(g, 4);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), 5u);
+  for (size_t i = 0; i + 1 < bounds.size(); ++i) {
+    EXPECT_LE(bounds[i], bounds[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace lightne
