@@ -27,6 +27,7 @@
 #include "la/rsvd.h"
 #include "la/sparse.h"
 #include "parallel/parallel_for.h"
+#include "util/artifact_io.h"
 
 namespace lightne::bench {
 namespace {
@@ -191,11 +192,14 @@ void BenchRsvd() {
 // --------------------------------------------------------------- JSON emit
 
 void WriteJson(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  // Atomic write-tmp -> fsync -> rename: a crash or disk-full mid-write
+  // never replaces a previous baseline file with torn JSON.
+  AtomicFileWriter writer;
+  if (!writer.Open(path).ok()) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
+  std::FILE* f = writer.stream();
   const char* sha = std::getenv("LIGHTNE_GIT_SHA");
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema_version\": 1,\n");
@@ -240,7 +244,10 @@ void WriteJson(const std::string& path) {
                    : -1.0);
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
-  std::fclose(f);
+  if (!writer.Commit().ok()) {
+    std::fprintf(stderr, "cannot commit %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf("\nwrote %s (%zu results, gemm_512 blocked-vs-naive %.2fx)\n",
               path.c_str(), g_rows.size(),
               (naive > 0 && blocked > 0) ? naive / blocked : -1.0);

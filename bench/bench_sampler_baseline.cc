@@ -31,6 +31,7 @@
 #include "graph/weighted_csr.h"
 #include "graph/weights.h"
 #include "parallel/parallel_for.h"
+#include "util/artifact_io.h"
 #include "util/random.h"
 
 namespace lightne::bench {
@@ -241,11 +242,14 @@ void RecordWalkRow(const std::string& name, const std::string& variant,
 void WriteJson(const std::string& path, const CsrGraph& g,
                const SparsifierResult& direct_e2e,
                const SparsifierResult& combiner_e2e) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
+  // Atomic write-tmp -> fsync -> rename: a crash or disk-full mid-write
+  // never replaces a previous baseline file with torn JSON.
+  AtomicFileWriter writer;
+  if (!writer.Open(path).ok()) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     std::exit(1);
   }
+  std::FILE* f = writer.stream();
   const char* sha = std::getenv("LIGHTNE_GIT_SHA");
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"schema\": \"lightne-sampler-v1\",\n");
@@ -313,7 +317,10 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                ratio("walk_weighted_prefix", "walk_weighted_alias"));
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
-  std::fclose(f);
+  if (!writer.Commit().ok()) {
+    std::fprintf(stderr, "cannot commit %s\n", path.c_str());
+    std::exit(1);
+  }
   std::printf(
       "\nwrote %s (%zu results, w1 combiner-vs-direct mt %.2fx)\n",
       path.c_str(), g_rows.size(),

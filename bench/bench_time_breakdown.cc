@@ -22,6 +22,7 @@
 #include "bench_util.h"
 #include "core/lightne.h"
 #include "parallel/parallel_for.h"
+#include "util/artifact_io.h"
 #include "util/memory.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -60,8 +61,12 @@ double StageOrNa(const MethodRun& run, const char* stage, bool present) {
 
 bool WriteBreakdownJson(const std::string& path,
                         const std::vector<MethodRun>& runs) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  // Atomic write-tmp -> fsync -> rename: a crash mid-write never leaves a
+  // torn artifact where downstream tooling (scripts/check.sh schema checks)
+  // expects valid JSON.
+  AtomicFileWriter writer;
+  if (!writer.Open(path).ok()) return false;
+  std::FILE* f = writer.stream();
   std::fprintf(f, "{\n  \"schema\": \"lightne-breakdown-v1\",\n");
   std::fprintf(
       f, "  \"generated_unix\": %lld,\n",
@@ -92,7 +97,7 @@ bool WriteBreakdownJson(const std::string& path,
   }
   std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
                MetricsRegistry::Global().Snapshot().ToJson().c_str());
-  return std::fclose(f) == 0;
+  return writer.Commit().ok();
 }
 
 }  // namespace

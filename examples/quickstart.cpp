@@ -2,6 +2,7 @@
 //
 //   quickstart [--edges FILE] [--dim 64] [--window 10] [--ratio 1.0]
 //              [--memory-budget-mb 0] [--out embedding.txt] [--trace FILE]
+//              [--checkpoint_dir DIR] [--resume]
 //
 // Without --edges, a small synthetic social network is generated. The
 // program prints the stage breakdown (sparsifier / randomized SVD / spectral
@@ -62,6 +63,11 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(cli->GetInt("memory-budget-mb", 0)) << 20;
   // Optional Chrome trace of this run (open in chrome://tracing / Perfetto).
   opt.trace_path = cli->GetString("trace");
+  // Optional crash-safe checkpointing: with --checkpoint_dir each finished
+  // stage is journaled there, and --resume picks up after the last complete
+  // stage (stale/corrupt artifacts just mean recompute — never a failure).
+  opt.checkpoint_dir = cli->GetString("checkpoint_dir");
+  opt.resume = cli->GetBool("resume");
   auto result = RunLightNe(graph, opt);
   if (!result.ok()) {
     std::fprintf(stderr, "LightNE failed: %s\n",
@@ -70,6 +76,11 @@ int main(int argc, char** argv) {
   }
 
   // 3. Report.
+  if (result->resume_stages_skipped > 0) {
+    std::printf("resumed from checkpoint: %llu stage(s) skipped\n",
+                static_cast<unsigned long long>(
+                    result->resume_stages_skipped));
+  }
   for (const auto& [stage, seconds] : result->timing.stages()) {
     std::printf("  stage %-12s %8.2f s\n", stage.c_str(), seconds);
   }

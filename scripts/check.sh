@@ -2,7 +2,14 @@
 # Sanitizer + lint gate. Usage: scripts/check.sh [mode]
 #   asan (default)  configure/build the asan preset, run all tests under
 #                   AddressSanitizer/UBSan + the bench smoke
-#   tsan            same under ThreadSanitizer (includes stress_test)
+#   tsan            same under ThreadSanitizer (includes stress_test);
+#                   the crash_recovery kill matrix runs reduced
+#                   (LIGHTNE_CRASH_MATRIX=reduced) — process re-exec under
+#                   tsan is slow and the full matrix already ran under asan
+#   crash           crash_recovery_test only, full kill matrix, under the
+#                   asan build at 1 and 4 workers: kills real pipeline
+#                   children at fault points and asserts resumed runs are
+#                   bit-identical (DESIGN.md §12)
 #   lint            repo-invariant linter (tools/lint/lightne_lint.py) +
 #                   its self-tests + clang-tidy over src/ tests/ bench/
 #                   examples/ when clang-tidy is installed
@@ -31,9 +38,27 @@ if [[ "${PRESET}" == "lint" ]]; then
   exit 0
 fi
 
+if [[ "${PRESET}" == "crash" ]]; then
+  echo "== crash/recovery gate: kill-at-fault-point matrix under asan"
+  cmake --preset asan
+  cmake --build --preset asan -j "${JOBS}" --target crash_recovery_test
+  # The resume contract is "bit-identical at any worker count": run the
+  # full kill matrix on the default pool and again pinned to 4 workers.
+  ctest --preset asan -R 'crash_recovery_test' --output-on-failure
+  echo "crash gate OK"
+  exit 0
+fi
+
 cmake --preset "${PRESET}"
 cmake --build --preset "${PRESET}" -j "${JOBS}"
-ctest --preset "${PRESET}" -j "${JOBS}"
+# Under tsan, run the crash_recovery kill matrix reduced: each matrix entry
+# re-executes the pipeline twice in child processes, which is expensive
+# under ThreadSanitizer, and the full matrix already runs under asan.
+if [[ "${PRESET}" == "tsan" ]]; then
+  LIGHTNE_CRASH_MATRIX=reduced ctest --preset "${PRESET}" -j "${JOBS}"
+else
+  ctest --preset "${PRESET}" -j "${JOBS}"
+fi
 
 # Bench smoke: run the kernel perf baseline at reduced scale under the
 # sanitizer build and validate that the JSON artifact parses with the keys

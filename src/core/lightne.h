@@ -1,12 +1,22 @@
 // The LightNE pipeline (Figure 1): parallel sparsifier construction ->
 // NetMF rescale + trunc_log -> randomized SVD -> spectral propagation.
 // Generic over raw-CSR and parallel-byte-compressed graphs.
+//
+// With LightNeOptions::checkpoint_dir set, every stage boundary persists its
+// output through the crash-safe artifact layer (core/checkpoint.h), and
+// `resume` restarts a killed run from the last completed stage. The pipeline
+// is bit-deterministic in (options, graph, seed), so a resumed run produces
+// an embedding byte-identical to the uninterrupted one — the property
+// tests/crash_recovery_test.cc enforces.
 #ifndef LIGHTNE_CORE_LIGHTNE_H_
 #define LIGHTNE_CORE_LIGHTNE_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
+#include <utility>
 
+#include "core/checkpoint.h"
 #include "core/netmf.h"
 #include "core/sparsifier.h"
 #include "core/spectral_propagation.h"
@@ -14,6 +24,7 @@
 #include "la/rsvd.h"
 #include "util/logging.h"
 #include "util/memory.h"
+#include "util/random.h"
 #include "util/status.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -59,6 +70,19 @@ struct LightNeOptions {
   /// to this path as Chrome trace-event JSON on success. Export failure is
   /// logged, never turned into a pipeline error.
   std::string trace_path;
+  /// When non-empty, each completed stage (NetMF-transformed sparsifier,
+  /// rSVD factors, final embedding) is checkpointed into this directory as a
+  /// checksummed artifact plus a run manifest, all written atomically
+  /// (core/checkpoint.h). Save failures are logged and counted
+  /// ("checkpoint/save_failures"), never pipeline errors.
+  std::string checkpoint_dir;
+  /// With checkpoint_dir set: resume from the latest completed stage of a
+  /// previous run over the same options and graph instead of recomputing.
+  /// Missing, stale (fingerprint mismatch), or corrupt (truncated /
+  /// bit-flipped / bad checksum) artifacts degrade gracefully to
+  /// recomputing — counted under "resume/corrupt_artifacts" and
+  /// "resume/stale_manifest", never a hard failure.
+  bool resume = false;
 };
 
 struct LightNeResult {
@@ -73,7 +97,101 @@ struct LightNeResult {
   bool degraded = false;
   /// High-water mark of budget-tracked reservations (0 when unbudgeted).
   uint64_t peak_reserved_bytes = 0;
+  /// Pipeline stages skipped by loading checkpoint artifacts (0 unless
+  /// resume found usable artifacts).
+  uint64_t resume_stages_skipped = 0;
 };
+
+namespace internal {
+
+/// Fingerprint over every option that influences the computed embedding.
+/// trace_path / checkpoint_dir / resume are deliberately excluded: they
+/// change where results go, not what they are. memory_budget_bytes is
+/// included because budget-driven degradation changes the sparsifier.
+inline uint64_t CheckpointOptionsFingerprint(const LightNeOptions& opt) {
+  uint64_t h = 0x4c4e453643505431ull;  // "LNE6CPT1"
+  const auto mix = [&h](uint64_t v) { h = HashCombine64(h, v); };
+  mix(opt.dim);
+  mix(opt.window);
+  mix(std::bit_cast<uint64_t>(opt.negative_samples));
+  mix(std::bit_cast<uint64_t>(opt.samples_ratio));
+  mix(opt.num_samples);
+  mix(opt.downsample ? 1 : 0);
+  mix(opt.sampler_combiner ? 1 : 0);
+  mix(std::bit_cast<uint64_t>(opt.downsample_constant));
+  mix(opt.spectral_propagation ? 1 : 0);
+  mix(opt.propagation.order);
+  mix(std::bit_cast<uint64_t>(opt.propagation.mu));
+  mix(std::bit_cast<uint64_t>(opt.propagation.theta));
+  mix(opt.propagation.svd_smoothing ? 1 : 0);
+  mix(opt.svd_oversample);
+  mix(opt.svd_power_iters);
+  mix(opt.seed);
+  mix(opt.memory_budget_bytes);
+  return h;
+}
+
+/// Cheap structural fingerprint: exact on (n, 2m, volume) plus ~256 strided
+/// degrees. Not collision-proof against adversarial graphs — it guards
+/// against the operational mistake of resuming onto a different input.
+template <GraphView G>
+uint64_t CheckpointGraphFingerprint(const G& g) {
+  uint64_t h = HashCombine64(static_cast<uint64_t>(g.NumVertices()),
+                             static_cast<uint64_t>(g.NumDirectedEdges()));
+  h = HashCombine64(h, std::bit_cast<uint64_t>(g.Volume()));
+  const uint64_t n = g.NumVertices();
+  const uint64_t stride = n <= 256 ? 1 : n / 256;
+  for (uint64_t v = 0; v < n; v += stride) {
+    h = HashCombine64(h, HashCombine64(v, g.Degree(static_cast<NodeId>(v))));
+  }
+  return h;
+}
+
+inline CheckpointedPipelineStats CheckpointStatsFromResult(
+    const LightNeResult& result) {
+  const SparsifierResult& s = result.sparsifier_stats;
+  CheckpointedPipelineStats out;
+  out.samples_drawn = s.samples_drawn;
+  out.samples_accepted = s.samples_accepted;
+  out.distinct_entries = s.distinct_entries;
+  out.table_bytes = s.table_bytes;
+  out.attempts = static_cast<uint64_t>(s.attempts);
+  out.budget_tightenings = static_cast<uint64_t>(s.budget_tightenings);
+  out.degraded = s.degraded ? 1 : 0;
+  out.capacity_capped = s.capacity_capped ? 1 : 0;
+  out.downsample_constant_used = s.downsample_constant_used;
+  out.mass_fp20 = s.mass_fp20;
+  out.table_upserts = s.table_upserts;
+  out.combiner_hits = s.combiner_hits;
+  out.combiner_flushes = s.combiner_flushes;
+  out.table_batch_upserts = s.table_batch_upserts;
+  out.sparsifier_nnz_raw = result.sparsifier_nnz_raw;
+  out.sparsifier_nnz = result.sparsifier_nnz;
+  return out;
+}
+
+inline void ApplyCheckpointStats(const CheckpointedPipelineStats& stats,
+                                 LightNeResult* result) {
+  SparsifierResult& s = result->sparsifier_stats;
+  s.samples_drawn = stats.samples_drawn;
+  s.samples_accepted = stats.samples_accepted;
+  s.distinct_entries = stats.distinct_entries;
+  s.table_bytes = stats.table_bytes;
+  s.attempts = static_cast<int>(stats.attempts);
+  s.budget_tightenings = static_cast<int>(stats.budget_tightenings);
+  s.degraded = stats.degraded != 0;
+  s.capacity_capped = stats.capacity_capped != 0;
+  s.downsample_constant_used = stats.downsample_constant_used;
+  s.mass_fp20 = stats.mass_fp20;
+  s.table_upserts = stats.table_upserts;
+  s.combiner_hits = stats.combiner_hits;
+  s.combiner_flushes = stats.combiner_flushes;
+  s.table_batch_upserts = stats.table_batch_upserts;
+  result->sparsifier_nnz_raw = stats.sparsifier_nnz_raw;
+  result->sparsifier_nnz = stats.sparsifier_nnz;
+}
+
+}  // namespace internal
 
 /// Runs the full pipeline. The graph must be symmetric and simple.
 template <GraphView G>
@@ -92,61 +210,118 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
   const uint64_t trace_mark = TraceRecorder::Global().Mark();
   TraceSpan pipeline_span("lightne");
 
+  CheckpointManager checkpoint(
+      opt.checkpoint_dir, opt.resume,
+      internal::CheckpointOptionsFingerprint(opt),
+      internal::CheckpointGraphFingerprint(g),
+      /*total_stages=*/opt.spectral_propagation ? 3 : 2);
+  // Stage scalars carried inside every artifact, so a resume from any rung
+  // of the ladder restores the same LightNeResult statistics.
+  CheckpointedPipelineStats ckpt_stats;
+
+  const auto finish = [&](LightNeResult&& r) -> LightNeResult {
+    r.timing.Stop();
+    pipeline_span.End();
+    r.peak_reserved_bytes = budget.peak_reserved_bytes();
+    r.resume_stages_skipped = checkpoint.stages_skipped();
+    if (!opt.trace_path.empty()) {
+      const Status written = TraceRecorder::WriteChromeTrace(
+          TraceRecorder::Global().EventsSince(trace_mark), opt.trace_path);
+      if (!written.ok()) {
+        LIGHTNE_LOG_WARN("pipeline trace not written to %s: %s",
+                         opt.trace_path.c_str(), written.message().c_str());
+      }
+    }
+    return std::move(r);
+  };
+
+  // ---- Resume ladder: newest artifact first ------------------------------
+  if (checkpoint.resumable() &&
+      checkpoint.LoadFinal(&result.embedding, &ckpt_stats)) {
+    internal::ApplyCheckpointStats(ckpt_stats, &result);
+    result.degraded = result.sparsifier_stats.degraded;
+    return finish(std::move(result));
+  }
+  SparseMatrix matrix;
+  RandomizedSvdResult svd_factors;
+  bool have_matrix = false;
+  bool have_factors = false;
+  if (checkpoint.resumable()) {
+    if (checkpoint.LoadRsvdFactors(&svd_factors, &ckpt_stats)) {
+      have_factors = true;
+    } else if (checkpoint.LoadSparsifier(&matrix, &ckpt_stats)) {
+      have_matrix = true;
+    }
+    if (have_factors || have_matrix) {
+      internal::ApplyCheckpointStats(ckpt_stats, &result);
+    }
+  }
+
   // ---- Stage 1: parallel sparsifier construction -------------------------
-  result.timing.Start("sparsifier");
-  SparsifierOptions sopt;
-  const double m = static_cast<double>(g.NumDirectedEdges()) / 2.0;
-  sopt.num_samples =
-      opt.num_samples > 0
-          ? opt.num_samples
-          : static_cast<uint64_t>(opt.samples_ratio * opt.window * m);
-  sopt.window = opt.window;
-  sopt.downsample = opt.downsample;
-  sopt.downsample_constant = opt.downsample_constant;
-  sopt.seed = opt.seed;
-  sopt.memory_budget = budget.limited() ? &budget : nullptr;
-  sopt.combiner = opt.sampler_combiner;
-  auto sparsifier = BuildSparsifier(g, sopt);
-  if (!sparsifier.ok()) return sparsifier.status();
-  SparseMatrix matrix = std::move(sparsifier->matrix);
-  result.sparsifier_nnz_raw = matrix.nnz();
-  ApplyNetmfTransform(g, sopt.num_samples, opt.negative_samples, &matrix);
-  result.sparsifier_nnz = matrix.nnz();
-  result.sparsifier_stats = std::move(*sparsifier);
-  result.sparsifier_stats.matrix = SparseMatrix();
-  LIGHTNE_LOG_DEBUG(
-      "sparsifier: %llu samples drawn, %llu accepted, nnz %llu -> %llu",
-      static_cast<unsigned long long>(result.sparsifier_stats.samples_drawn),
-      static_cast<unsigned long long>(
-          result.sparsifier_stats.samples_accepted),
-      static_cast<unsigned long long>(result.sparsifier_nnz_raw),
-      static_cast<unsigned long long>(result.sparsifier_nnz));
+  if (!have_factors && !have_matrix) {
+    result.timing.Start("sparsifier");
+    SparsifierOptions sopt;
+    const double m = static_cast<double>(g.NumDirectedEdges()) / 2.0;
+    sopt.num_samples =
+        opt.num_samples > 0
+            ? opt.num_samples
+            : static_cast<uint64_t>(opt.samples_ratio * opt.window * m);
+    sopt.window = opt.window;
+    sopt.downsample = opt.downsample;
+    sopt.downsample_constant = opt.downsample_constant;
+    sopt.seed = opt.seed;
+    sopt.memory_budget = budget.limited() ? &budget : nullptr;
+    sopt.combiner = opt.sampler_combiner;
+    auto sparsifier = BuildSparsifier(g, sopt);
+    if (!sparsifier.ok()) return sparsifier.status();
+    matrix = std::move(sparsifier->matrix);
+    result.sparsifier_nnz_raw = matrix.nnz();
+    ApplyNetmfTransform(g, sopt.num_samples, opt.negative_samples, &matrix);
+    result.sparsifier_nnz = matrix.nnz();
+    result.sparsifier_stats = std::move(*sparsifier);
+    result.sparsifier_stats.matrix = SparseMatrix();
+    LIGHTNE_LOG_DEBUG(
+        "sparsifier: %llu samples drawn, %llu accepted, nnz %llu -> %llu",
+        static_cast<unsigned long long>(result.sparsifier_stats.samples_drawn),
+        static_cast<unsigned long long>(
+            result.sparsifier_stats.samples_accepted),
+        static_cast<unsigned long long>(result.sparsifier_nnz_raw),
+        static_cast<unsigned long long>(result.sparsifier_nnz));
+    ckpt_stats = internal::CheckpointStatsFromResult(result);
+    // Saved after the NetMF transform, so a resume skips both the sampling
+    // pass and the entrywise transform.
+    checkpoint.SaveSparsifier(matrix, ckpt_stats);
+  }
 
   // ---- Stage 2: randomized SVD (Algo 3) ----------------------------------
-  result.timing.Start("rsvd");
-  RandomizedSvdOptions ropt;
-  ropt.rank = opt.dim;
-  ropt.oversample = opt.svd_oversample;
-  ropt.power_iters = opt.svd_power_iters;
-  ropt.symmetric = true;  // sparsifier is symmetric by construction
-  ropt.seed = opt.seed + 7;
-  // Workspace: Algo 3 keeps ~6 dense n x q panels alive (O, Y, B, Z, ZU,
-  // YV) plus q x q small matrices. Reserve them up front so an envelope too
-  // small for the factorization is a reported error, not an OOM kill.
-  uint64_t q = ropt.rank + ropt.oversample;
-  if (q > g.NumVertices()) q = g.NumVertices();
-  BudgetReservation svd_reservation(
-      budget.limited() ? &budget : nullptr,
-      6 * static_cast<uint64_t>(g.NumVertices()) * q * sizeof(float));
-  if (!svd_reservation.ok()) {
-    return Status::ResourceExhausted(
-        "memory budget of " + HumanBytes(budget.limit_bytes()) +
-        " cannot hold the randomized-SVD workspace");
+  if (!have_factors) {
+    result.timing.Start("rsvd");
+    RandomizedSvdOptions ropt;
+    ropt.rank = opt.dim;
+    ropt.oversample = opt.svd_oversample;
+    ropt.power_iters = opt.svd_power_iters;
+    ropt.symmetric = true;  // sparsifier is symmetric by construction
+    ropt.seed = opt.seed + 7;
+    // Workspace: Algo 3 keeps ~6 dense n x q panels alive (O, Y, B, Z, ZU,
+    // YV) plus q x q small matrices. Reserve them up front so an envelope
+    // too small for the factorization is a reported error, not an OOM kill.
+    uint64_t q = ropt.rank + ropt.oversample;
+    if (q > g.NumVertices()) q = g.NumVertices();
+    BudgetReservation svd_reservation(
+        budget.limited() ? &budget : nullptr,
+        6 * static_cast<uint64_t>(g.NumVertices()) * q * sizeof(float));
+    if (!svd_reservation.ok()) {
+      return Status::ResourceExhausted(
+          "memory budget of " + HumanBytes(budget.limit_bytes()) +
+          " cannot hold the randomized-SVD workspace");
+    }
+    auto svd = RandomizedSvd(matrix, ropt);
+    if (!svd.ok()) return svd.status();
+    svd_factors = std::move(*svd);
+    svd_reservation.ReleaseEarly();
+    checkpoint.SaveRsvdFactors(svd_factors, ckpt_stats);
   }
-  auto svd = RandomizedSvd(matrix, ropt);
-  if (!svd.ok()) return svd.status();
-  result.embedding = EmbeddingFromSvd(*svd);
-  svd_reservation.ReleaseEarly();
+  result.embedding = EmbeddingFromSvd(svd_factors);
 
   // ---- Stage 3: spectral propagation (ProNE enhancement) -----------------
   if (opt.spectral_propagation) {
@@ -164,19 +339,9 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
     if (!propagated.ok()) return propagated.status();
     result.embedding = std::move(*propagated);
   }
-  result.timing.Stop();
-  pipeline_span.End();
+  checkpoint.SaveFinal(result.embedding, ckpt_stats);
   result.degraded = result.sparsifier_stats.degraded;
-  result.peak_reserved_bytes = budget.peak_reserved_bytes();
-  if (!opt.trace_path.empty()) {
-    const Status written = TraceRecorder::WriteChromeTrace(
-        TraceRecorder::Global().EventsSince(trace_mark), opt.trace_path);
-    if (!written.ok()) {
-      LIGHTNE_LOG_WARN("pipeline trace not written to %s: %s",
-                       opt.trace_path.c_str(), written.message().c_str());
-    }
-  }
-  return result;
+  return finish(std::move(result));
 }
 
 }  // namespace lightne

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <string>
 
+#include "util/artifact_io.h"
 #include "util/fault_injection.h"
 
 namespace lightne {
@@ -152,49 +153,42 @@ Result<List> LoadEdgeListTextImpl(const std::string& path, bool weighted,
   return list;
 }
 
-/// Closes `f`, removes `path`, and returns kIOError — the save-failure
-/// epilogue that guarantees no partial output file survives.
-Status AbortSave(std::FILE* f, const std::string& path, const char* what) {
-  std::fclose(f);
-  std::remove(path.c_str());
-  return Status::IOError(std::string(what) + " " + path);
-}
-
 Status SaveEdgeListTextOnce(const EdgeList& list, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  // All savers write through AtomicFileWriter: bytes land in `<path>.tmp`
+  // and only an all-or-nothing Commit() renames onto `path`, so neither a
+  // write failure nor a crash mid-save can leave a partial file behind.
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   std::fprintf(f, "# nodes: %" PRIu64 "\n",
                static_cast<uint64_t>(list.num_vertices));
   if (LIGHTNE_FAULT_POINT("io/write")) {
-    return AbortSave(f, path, "injected fault io/write while writing");
+    return Status::IOError("injected fault io/write while writing " + path);
   }
   for (const auto& [u, v] : list.edges) {
     if (std::fprintf(f, "%u %u\n", u, v) < 0) {
-      return AbortSave(f, path, "short write to");
+      return Status::IOError("short write to " + path);
     }
   }
-  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
-  std::fclose(f);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Status SaveWeightedEdgeListTextOnce(const WeightedEdgeList& list,
                                     const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   std::fprintf(f, "# nodes: %" PRIu64 "\n",
                static_cast<uint64_t>(list.num_vertices));
   if (LIGHTNE_FAULT_POINT("io/write")) {
-    return AbortSave(f, path, "injected fault io/write while writing");
+    return Status::IOError("injected fault io/write while writing " + path);
   }
   for (const auto& [u, v, w] : list.edges) {
     if (std::fprintf(f, "%u %u %.6g\n", u, v, w) < 0) {
-      return AbortSave(f, path, "short write to");
+      return Status::IOError("short write to " + path);
     }
   }
-  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
-  std::fclose(f);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Result<EdgeList> LoadEdgeListBinaryOnce(const std::string& path) {
@@ -223,8 +217,9 @@ Result<EdgeList> LoadEdgeListBinaryOnce(const std::string& path) {
 }
 
 Status SaveEdgeListBinaryOnce(const EdgeList& list, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   const uint64_t header[3] = {kBinaryMagic, list.num_vertices,
                               list.edges.size()};
   bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
@@ -233,10 +228,8 @@ Status SaveEdgeListBinaryOnce(const EdgeList& list, const std::string& path) {
     ok = std::fwrite(list.edges.data(), 8, list.edges.size(), f) ==
          list.edges.size();
   }
-  if (ok) ok = std::fflush(f) == 0;
-  if (!ok) return AbortSave(f, path, "short write to");
-  std::fclose(f);
-  return Status::Ok();
+  if (!ok) return Status::IOError("short write to " + path);
+  return writer.Commit();
 }
 
 }  // namespace

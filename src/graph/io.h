@@ -3,8 +3,10 @@
 //
 // All entry points take a RetryOptions and transparently retry transient
 // failures (kIOError) with bounded exponential backoff; parse errors
-// (kInvalidArgument / kOutOfRange) surface immediately. Savers never leave a
-// partial file behind: on any write failure the output path is removed.
+// (kInvalidArgument / kOutOfRange) surface immediately. Savers write through
+// AtomicFileWriter (util/artifact_io.h): bytes go to `<path>.tmp` and are
+// atomically renamed onto `path` only after fsync, so neither a write
+// failure nor a crash mid-save can leave a partial or torn file at `path`.
 #ifndef LIGHTNE_GRAPH_IO_H_
 #define LIGHTNE_GRAPH_IO_H_
 

@@ -4,31 +4,60 @@
 #include <cstdio>
 #include <vector>
 
+#include "util/artifact_io.h"
 #include "util/fault_injection.h"
 
 namespace lightne {
 
 namespace {
 constexpr uint64_t kEmbeddingMagic = 0x4c4e45454d4231ull;  // "LNEEMB1"
+constexpr uint64_t kBinaryHeaderBytes = 3 * sizeof(uint64_t);
 
-/// Closes `f`, removes `path`, and returns kIOError — the save-failure
-/// epilogue that guarantees no partial output file survives.
-Status AbortSave(std::FILE* f, const std::string& path, const char* what) {
-  std::fclose(f);
-  std::remove(path.c_str());
-  return Status::IOError(std::string(what) + " " + path);
+/// Validates a declared (rows, cols) header against the actual file size
+/// BEFORE any allocation happens: a garbage header must not turn into a
+/// multi-gigabyte Matrix, and a truncated file must be kDataLoss, not a
+/// short read. `min_bytes_per_value` is exact for binary (sizeof(float))
+/// and a conservative lower bound for text (value + separator >= 2 bytes).
+Status ValidateDeclaredShape(const std::string& path, uint64_t rows,
+                             uint64_t cols, uint64_t file_bytes,
+                             uint64_t header_bytes,
+                             uint64_t min_bytes_per_value, bool exact) {
+  // Overflow guard: any shape whose byte count does not fit in 64 bits is
+  // garbage by construction (no real file can back it).
+  if (rows != 0 && cols != 0 &&
+      cols > (UINT64_MAX / min_bytes_per_value) / rows) {
+    return Status::InvalidArgument("garbage header in " + path +
+                                   ": dimension product overflows");
+  }
+  // Text rows carry a node id + cols values; binary rows exactly cols
+  // floats. Both are >= rows * cols * min_bytes_per_value payload bytes.
+  const uint64_t min_payload = rows * cols * min_bytes_per_value;
+  if (file_bytes < header_bytes ||
+      file_bytes - header_bytes < min_payload) {
+    return Status::DataLoss(
+        path + " is truncated: header declares " + std::to_string(rows) +
+        "x" + std::to_string(cols) + " but the file holds " +
+        std::to_string(file_bytes) + " bytes");
+  }
+  if (exact && file_bytes - header_bytes != min_payload) {
+    return Status::InvalidArgument(
+        path + " has trailing bytes after the declared " +
+        std::to_string(rows) + "x" + std::to_string(cols) + " payload");
+  }
+  return Status::Ok();
 }
 
 Status SaveEmbeddingTextOnce(const Matrix& embedding,
                              const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   std::fprintf(f, "%" PRIu64 " %" PRIu64 "\n", embedding.rows(),
                embedding.cols());
-  // The fault fires after the header so cleanup of a genuinely partial file
-  // is what gets exercised.
+  // The fault fires after the header so a genuinely partial tmp file is
+  // what the atomic-abort path gets exercised on.
   if (LIGHTNE_FAULT_POINT("io/write")) {
-    return AbortSave(f, path, "injected fault io/write while writing");
+    return Status::IOError("injected fault io/write while writing " + path);
   }
   for (uint64_t i = 0; i < embedding.rows(); ++i) {
     std::fprintf(f, "%" PRIu64, i);
@@ -37,24 +66,34 @@ Status SaveEmbeddingTextOnce(const Matrix& embedding,
       std::fprintf(f, " %.6g", row[j]);
     }
     if (std::fputc('\n', f) == EOF) {
-      return AbortSave(f, path, "short write to");
+      return Status::IOError("short write to " + path);
     }
   }
-  if (std::fflush(f) != 0) return AbortSave(f, path, "short write to");
-  std::fclose(f);
-  return Status::Ok();
+  return writer.Commit();
 }
 
 Result<Matrix> LoadEmbeddingTextOnce(const std::string& path) {
   if (LIGHTNE_FAULT_POINT("io/read")) {
     return Status::IOError("injected fault io/read while reading " + path);
   }
+  auto file_bytes = FileSizeBytes(path);
+  if (!file_bytes.ok()) return file_bytes.status();
   std::FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   unsigned long long rows = 0, cols = 0;
   if (std::fscanf(f, "%llu %llu", &rows, &cols) != 2) {
     std::fclose(f);
-    return Status::IOError("bad header in " + path);
+    return Status::InvalidArgument("bad header in " + path);
+  }
+  // Cheapest-possible row: "<id> <v> <v>...\n" needs at least 2 bytes per
+  // value ("0 "), so a header declaring more than the file could possibly
+  // hold is rejected before the Matrix allocation.
+  const Status shape = ValidateDeclaredShape(
+      path, rows, cols, *file_bytes, /*header_bytes=*/3,
+      /*min_bytes_per_value=*/2, /*exact=*/false);
+  if (!shape.ok()) {
+    std::fclose(f);
+    return shape;
   }
   Matrix m(rows, cols);
   std::vector<uint8_t> seen(rows, 0);
@@ -62,18 +101,18 @@ Result<Matrix> LoadEmbeddingTextOnce(const std::string& path) {
     unsigned long long id = 0;
     if (std::fscanf(f, "%llu", &id) != 1 || id >= rows) {
       std::fclose(f);
-      return Status::IOError("bad node id in " + path);
+      return Status::InvalidArgument("bad node id in " + path);
     }
     if (seen[id]) {
       std::fclose(f);
-      return Status::IOError("duplicate node id in " + path);
+      return Status::InvalidArgument("duplicate node id in " + path);
     }
     seen[id] = 1;
     float* row = m.Row(id);
     for (uint64_t j = 0; j < cols; ++j) {
       if (std::fscanf(f, "%f", &row[j]) != 1) {
         std::fclose(f);
-        return Status::IOError("truncated row in " + path);
+        return Status::DataLoss("truncated row in " + path);
       }
     }
   }
@@ -83,8 +122,9 @@ Result<Matrix> LoadEmbeddingTextOnce(const std::string& path) {
 
 Status SaveEmbeddingBinaryOnce(const Matrix& embedding,
                                const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   const uint64_t header[3] = {kEmbeddingMagic, embedding.rows(),
                               embedding.cols()};
   bool ok = std::fwrite(header, sizeof(uint64_t), 3, f) == 3;
@@ -93,29 +133,41 @@ Status SaveEmbeddingBinaryOnce(const Matrix& embedding,
   if (ok && count > 0) {
     ok = std::fwrite(embedding.data(), sizeof(float), count, f) == count;
   }
-  if (ok) ok = std::fflush(f) == 0;
-  if (!ok) return AbortSave(f, path, "short write to");
-  std::fclose(f);
-  return Status::Ok();
+  if (!ok) return Status::IOError("short write to " + path);
+  return writer.Commit();
 }
 
 Result<Matrix> LoadEmbeddingBinaryOnce(const std::string& path) {
   if (LIGHTNE_FAULT_POINT("io/read")) {
     return Status::IOError("injected fault io/read while reading " + path);
   }
+  auto file_bytes = FileSizeBytes(path);
+  if (!file_bytes.ok()) return file_bytes.status();
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   uint64_t header[3];
-  if (std::fread(header, sizeof(uint64_t), 3, f) != 3 ||
-      header[0] != kEmbeddingMagic) {
+  if (*file_bytes < kBinaryHeaderBytes ||
+      std::fread(header, sizeof(uint64_t), 3, f) != 3) {
     std::fclose(f);
-    return Status::IOError("bad header in " + path);
+    return Status::DataLoss("truncated header in " + path);
+  }
+  if (header[0] != kEmbeddingMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  const Status shape = ValidateDeclaredShape(
+      path, header[1], header[2], *file_bytes,
+      /*header_bytes=*/kBinaryHeaderBytes,
+      /*min_bytes_per_value=*/sizeof(float), /*exact=*/true);
+  if (!shape.ok()) {
+    std::fclose(f);
+    return shape;
   }
   Matrix m(header[1], header[2]);
   const uint64_t count = header[1] * header[2];
   if (count > 0 && std::fread(m.data(), sizeof(float), count, f) != count) {
     std::fclose(f);
-    return Status::IOError("truncated data in " + path);
+    return Status::DataLoss("truncated data in " + path);
   }
   std::fclose(f);
   return m;

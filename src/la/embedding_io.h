@@ -3,8 +3,13 @@
 // compact binary format.
 //
 // All entry points take a RetryOptions and transparently retry transient
-// failures (kIOError) with bounded exponential backoff. Savers never leave a
-// partial file behind: on any write failure the output path is removed.
+// failures (kIOError) with bounded exponential backoff. Savers write through
+// AtomicFileWriter (util/artifact_io.h), so neither a write failure nor a
+// crash mid-save can leave a partial file at the target path. Loaders
+// validate the declared dimensions against the actual file size before
+// allocating: a garbage header is kInvalidArgument and a truncated file is
+// kDataLoss — neither is retried and neither turns into a giant allocation
+// or a short read.
 #ifndef LIGHTNE_LA_EMBEDDING_IO_H_
 #define LIGHTNE_LA_EMBEDDING_IO_H_
 

@@ -1,0 +1,252 @@
+#include "util/artifact_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/fault_injection.h"
+
+namespace lightne {
+
+namespace {
+
+constexpr uint64_t kArtifactMagic = 0x4c4e454152543100ull;  // "LNEART1\0"
+
+struct FrameHeader {
+  uint64_t payload_bytes;
+  uint32_t crc32c;
+  uint32_t reserved;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+struct FileHeader {
+  uint64_t magic;
+  uint32_t schema_id;
+  uint32_t schema_version;
+};
+static_assert(sizeof(FileHeader) == 16);
+
+const uint32_t* Crc32cTable() {
+  // Standard reflected Castagnoli table, built once.
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+/// Fsyncs the directory containing `path` so a just-committed rename
+/// survives power loss. Best-effort: some filesystems reject O_DIRECTORY
+/// fsync, and the rename itself is already atomic for crash-of-this-process
+/// purposes.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, uint64_t bytes, uint32_t seed) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+#if defined(__SSE4_2__)
+  while (bytes >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(
+        __builtin_ia32_crc32di(static_cast<uint64_t>(crc), chunk));
+    p += 8;
+    bytes -= 8;
+  }
+  while (bytes > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    --bytes;
+  }
+#else
+  const uint32_t* table = Crc32cTable();
+  for (uint64_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+#endif
+  return ~crc;
+}
+
+Result<uint32_t> Crc32cOfFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint8_t buf[1 << 16];
+  uint32_t crc = 0;
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    crc = Crc32c(buf, got, crc);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error in " + path);
+  return crc;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+// ------------------------------------------------------- AtomicFileWriter --
+
+Status AtomicFileWriter::Open(const std::string& path) {
+  LIGHTNE_CHECK_MSG(file_ == nullptr, "AtomicFileWriter reopened");
+  path_ = path;
+  tmp_path_ = path + ".tmp";
+  file_ = std::fopen(tmp_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open " + tmp_path_ + " for writing");
+  }
+  return Status::Ok();
+}
+
+Status AtomicFileWriter::Commit() {
+  LIGHTNE_CHECK_MSG(file_ != nullptr, "Commit without a successful Open");
+  if (LIGHTNE_FAULT_POINT("io/write")) {
+    Abort();
+    return Status::IOError("injected fault io/write committing " + path_);
+  }
+  bool ok = std::fflush(file_) == 0;
+  if (ok) ok = ::fsync(::fileno(file_)) == 0;
+  const int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  ok = ok && close_rc == 0;
+  if (ok) ok = std::rename(tmp_path_.c_str(), path_.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    return Status::IOError("cannot commit " + path_);
+  }
+  FsyncParentDir(path_);
+  return Status::Ok();
+}
+
+void AtomicFileWriter::Abort() {
+  if (file_ == nullptr) return;
+  std::fclose(file_);
+  file_ = nullptr;
+  std::remove(tmp_path_.c_str());
+}
+
+// --------------------------------------------------------- ArtifactWriter --
+
+Status ArtifactWriter::Open(const std::string& path, uint32_t schema_id,
+                            uint32_t schema_version) {
+  LIGHTNE_RETURN_IF_ERROR(file_.Open(path));
+  const FileHeader header = {kArtifactMagic, schema_id, schema_version};
+  if (std::fwrite(&header, sizeof(header), 1, file_.stream()) != 1) {
+    return Status::IOError("short write to " + path);
+  }
+  bytes_written_ += sizeof(header);
+  return Status::Ok();
+}
+
+Status ArtifactWriter::AppendFrame(const void* data, uint64_t bytes) {
+  if (LIGHTNE_FAULT_POINT("io/write")) {
+    return Status::IOError("injected fault io/write appending frame");
+  }
+  const FrameHeader header = {bytes, Crc32c(data, bytes), 0};
+  std::FILE* f = file_.stream();
+  if (std::fwrite(&header, sizeof(header), 1, f) != 1 ||
+      (bytes > 0 && std::fwrite(data, 1, bytes, f) != bytes)) {
+    return Status::IOError("short write appending artifact frame");
+  }
+  bytes_written_ += sizeof(header) + bytes;
+  return Status::Ok();
+}
+
+Status ArtifactWriter::Commit() { return file_.Commit(); }
+
+// --------------------------------------------------------- ArtifactReader --
+
+ArtifactReader::~ArtifactReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ArtifactReader::Open(const std::string& path,
+                            uint32_t expected_schema_id) {
+  LIGHTNE_CHECK_MSG(file_ == nullptr, "ArtifactReader reopened");
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read opening " + path);
+  }
+  if (!FileExists(path)) return Status::NotFound(path + " does not exist");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return Status::IOError("cannot open " + path);
+  path_ = path;
+  FileHeader header;
+  if (std::fread(&header, sizeof(header), 1, file_) != 1) {
+    return Status::DataLoss("truncated artifact header in " + path);
+  }
+  if (header.magic != kArtifactMagic) {
+    return Status::DataLoss("bad artifact magic in " + path);
+  }
+  if (header.schema_id != expected_schema_id) {
+    return Status::InvalidArgument(
+        path + " holds schema id " + std::to_string(header.schema_id) +
+        ", expected " + std::to_string(expected_schema_id));
+  }
+  schema_version_ = header.schema_version;
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ArtifactReader::ReadFrame() {
+  LIGHTNE_CHECK_MSG(file_ != nullptr, "ReadFrame without a successful Open");
+  FrameHeader header;
+  if (std::fread(&header, sizeof(header), 1, file_) != 1) {
+    return Status::DataLoss("truncated artifact: missing frame in " + path_);
+  }
+  // An absurd length (e.g. a bit-flip in the length field) would otherwise
+  // turn into a giant allocation; any length beyond the file's remaining
+  // bytes is corruption by definition, caught by the short read below, but
+  // cap the allocation first.
+  constexpr uint64_t kMaxFrameBytes = 1ull << 40;
+  if (header.payload_bytes > kMaxFrameBytes) {
+    return Status::DataLoss("corrupt frame length in " + path_);
+  }
+  std::vector<uint8_t> payload(header.payload_bytes);
+  if (header.payload_bytes > 0 &&
+      std::fread(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return Status::DataLoss("truncated artifact frame in " + path_);
+  }
+  if (Crc32c(payload.data(), payload.size()) != header.crc32c) {
+    return Status::DataLoss("artifact frame checksum mismatch in " + path_);
+  }
+  return payload;
+}
+
+bool ArtifactReader::AtEnd() {
+  LIGHTNE_CHECK_MSG(file_ != nullptr, "AtEnd without a successful Open");
+  const int c = std::fgetc(file_);
+  if (c == EOF) return true;
+  std::ungetc(c, file_);
+  return false;
+}
+
+}  // namespace lightne

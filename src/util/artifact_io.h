@@ -1,0 +1,148 @@
+// Crash-safe artifact I/O (DESIGN.md §12, "Checkpoint & recovery contract").
+//
+// Two layers:
+//
+//  1. AtomicFileWriter — the ONE way this repo writes a file. Bytes go to
+//     `<path>.tmp`; Commit() flushes, fsyncs, closes, and atomically renames
+//     onto `path`, so a reader (or a process restarted after a crash) only
+//     ever sees either the previous complete file or the new complete file,
+//     never a torn intermediate. Destruction without Commit() removes the
+//     tmp file. The `atomicio` lint rule (tools/lint/lightne_lint.py) bans
+//     direct write-mode fopen/std::ofstream outside this module so the
+//     guarantee holds repo-wide.
+//
+//  2. ArtifactWriter / ArtifactReader — a framed, versioned, checksummed
+//     binary container for checkpoint artifacts. File layout:
+//
+//         [u64 magic "LNEART1"] [u32 schema_id] [u32 schema_version]
+//         frame*: [u64 payload_bytes] [u32 crc32c(payload)] [u32 reserved=0]
+//                 [payload bytes]
+//
+//     Readers map every corruption mode — short file, truncated frame,
+//     checksum mismatch, wrong magic/schema — to kDataLoss instead of
+//     crashing or silently returning garbage, so callers can degrade to
+//     recomputing the artifact (core/checkpoint).
+//
+// Fault points: "io/write" is evaluated per frame append and at Commit(), so
+// the fault-injection harness can fail — or crash-kill (kCrash) — a writer
+// mid-file and at the commit boundary.
+#ifndef LIGHTNE_UTIL_ARTIFACT_IO_H_
+#define LIGHTNE_UTIL_ARTIFACT_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lightne {
+
+/// CRC32C (Castagnoli) of `bytes`. Hardware-accelerated under SSE4.2,
+/// table-driven otherwise; both produce the standard reflected CRC so
+/// checksums are portable across builds.
+uint32_t Crc32c(const void* data, uint64_t bytes, uint32_t seed = 0);
+
+/// CRC32C of an entire file, streamed. kIOError if unreadable.
+Result<uint32_t> Crc32cOfFile(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Size of `path` in bytes, or kIOError.
+Result<uint64_t> FileSizeBytes(const std::string& path);
+
+/// Write-tmp -> fsync -> atomic-rename file writer. Usage:
+///
+///   AtomicFileWriter w;
+///   LIGHTNE_RETURN_IF_ERROR(w.Open(path));
+///   std::fprintf(w.stream(), ...);       // or fwrite
+///   return w.Commit();
+///
+/// Any failure before Commit(): just return; the destructor removes the tmp
+/// file and `path` is untouched (previous contents, if any, survive).
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter() { Abort(); }
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Opens `<path>.tmp` for writing ("wb": binary/text make no difference on
+  /// POSIX). kIOError if the tmp file cannot be created.
+  Status Open(const std::string& path);
+
+  /// The tmp-file stream; valid between a successful Open and Commit/Abort.
+  std::FILE* stream() const { return file_; }
+
+  /// Flushes, fsyncs, closes, and renames tmp onto the target path, then
+  /// fsyncs the parent directory so the rename itself is durable. On any
+  /// failure the tmp file is removed and the target is left untouched.
+  /// Evaluates fault point "io/write".
+  Status Commit();
+
+  /// Closes and removes the tmp file (idempotent; no-op after Commit).
+  void Abort();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string tmp_path_;
+};
+
+/// Framed artifact writer on top of AtomicFileWriter.
+class ArtifactWriter {
+ public:
+  /// Opens the artifact and writes the header. `schema_id` names the payload
+  /// layout (caller-chosen constant); `schema_version` its revision.
+  Status Open(const std::string& path, uint32_t schema_id,
+              uint32_t schema_version);
+
+  /// Appends one checksummed frame. Evaluates fault point "io/write".
+  Status AppendFrame(const void* data, uint64_t bytes);
+
+  /// Commits the file atomically. The artifact is unreadable (tmp-only)
+  /// until this returns OK.
+  Status Commit();
+
+  /// Bytes written so far, header and frame headers included.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  AtomicFileWriter file_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Framed artifact reader. Every structural problem is kDataLoss; a missing
+/// file is kNotFound; wrong schema_id is kInvalidArgument.
+class ArtifactReader {
+ public:
+  ~ArtifactReader();
+  ArtifactReader() = default;
+  ArtifactReader(const ArtifactReader&) = delete;
+  ArtifactReader& operator=(const ArtifactReader&) = delete;
+
+  /// Opens and validates the header. Evaluates fault point "io/read".
+  Status Open(const std::string& path, uint32_t expected_schema_id);
+
+  /// Schema version from the header (valid after Open).
+  uint32_t schema_version() const { return schema_version_; }
+
+  /// Reads the next frame, verifying its checksum. kDataLoss on truncation
+  /// or checksum mismatch — including clean EOF, since callers only ask for
+  /// frames their schema says must exist.
+  Result<std::vector<uint8_t>> ReadFrame();
+
+  /// True once every byte has been consumed (call between frames to check
+  /// for the expected end of the artifact).
+  bool AtEnd();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint32_t schema_version_ = 0;
+};
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_UTIL_ARTIFACT_IO_H_

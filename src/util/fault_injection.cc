@@ -1,5 +1,7 @@
 #include "util/fault_injection.h"
 
+#include <unistd.h>
+
 #include <map>
 #include <memory>
 
@@ -15,7 +17,7 @@ std::atomic<int> g_armed_points{0};
 
 namespace {
 
-enum class PolicyKind { kNone, kAlways, kNthHit, kProbability };
+enum class PolicyKind { kNone, kAlways, kNthHit, kProbability, kCrash };
 
 struct PointState {
   // Counters are atomic so ShouldFail can run under the shared lock from
@@ -88,6 +90,19 @@ void FaultRegistry::ArmFailWithProbability(const std::string& point, double p,
   s.seed = seed;
 }
 
+void FaultRegistry::ArmCrashOnNthHit(const std::string& point, uint64_t nth) {
+  LIGHTNE_CHECK_GE(nth, 1u);
+  Impl& i = impl();
+  WriterMutexLock lock(i.mu);
+  PointState& s = i.ArmLocked(point);
+  s.kind = PolicyKind::kCrash;
+  s.nth = nth;
+}
+
+int FaultRegistry::ArmedCount() {
+  return fault_internal::g_armed_points.load(std::memory_order_relaxed);
+}
+
 void FaultRegistry::Disarm(const std::string& point) {
   Impl& i = impl();
   WriterMutexLock lock(i.mu);
@@ -153,6 +168,14 @@ bool FaultRegistry::ShouldFail(const char* point) {
       fire = static_cast<double>(h >> 11) * 0x1.0p-53 < s.probability;
       break;
     }
+    case PolicyKind::kCrash:
+      if (hit == s.nth) {
+        // A simulated power-cut: no unwinding, no flushing, no atexit. The
+        // fire counter below is never reached on purpose — nothing after
+        // this point is observable.
+        _exit(kCrashExitCode);
+      }
+      break;
   }
   if (fire) s.fires.fetch_add(1, std::memory_order_relaxed);
   return fire;

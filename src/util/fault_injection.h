@@ -55,6 +55,22 @@ class FaultRegistry {
   void ArmFailWithProbability(const std::string& point, double p,
                               uint64_t seed);
 
+  /// The nth evaluation (1-based) hard-kills the process with _exit(137) —
+  /// no destructors, no stream flushes, exactly like a SIGKILL landing at
+  /// that instruction. The crash-recovery harness
+  /// (tests/crash_recovery_test.cc) arms this in a forked child and asserts
+  /// that a resumed run reproduces the uninterrupted result. Arming survives
+  /// fork(): the registry is plain process memory.
+  void ArmCrashOnNthHit(const std::string& point, uint64_t nth);
+
+  /// Exit code used by ArmCrashOnNthHit (128 + SIGKILL by convention).
+  static constexpr int kCrashExitCode = 137;
+
+  /// Number of currently armed points, process-wide. The zero-cost contract:
+  /// when this is 0, LIGHTNE_FAULT_POINT is one relaxed load and the
+  /// registry is never consulted (no hit counting, no lock).
+  static int ArmedCount();
+
   /// Removes the policy from a point. Counters are preserved.
   void Disarm(const std::string& point);
 

@@ -21,6 +21,7 @@ enum class StatusCode {
   kIOError,
   kFailedPrecondition,
   kInternal,
+  kDataLoss,  // persisted bytes are unrecoverable: truncation, bad checksum
 };
 
 /// Returns a human-readable name for a StatusCode ("Ok", "IOError", ...).
@@ -59,6 +60,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "util/artifact_io.h"
 #include "util/thread_annotations.h"
 
 namespace lightne {
@@ -127,10 +128,9 @@ std::string JsonEscape(const std::string& s) {
 
 Status TraceRecorder::WriteChromeTrace(const std::vector<TraceEvent>& events,
                                        const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return Status::IOError("cannot open trace file for writing: " + path);
-  }
+  AtomicFileWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path));
+  std::FILE* f = writer.stream();
   std::fprintf(f, "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
   for (size_t k = 0; k < events.size(); ++k) {
     const TraceEvent& e = events[k];
@@ -144,10 +144,7 @@ Status TraceRecorder::WriteChromeTrace(const std::vector<TraceEvent>& events,
                  k + 1 < events.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
-  if (std::fclose(f) != 0) {
-    return Status::IOError("error closing trace file: " + path);
-  }
-  return Status::Ok();
+  return writer.Commit();
 }
 
 std::string TraceRecorder::BreakdownTable(

@@ -2,6 +2,7 @@
 // pilot extrapolation model, boundary geometry in the compressed format,
 // SGNS internals, and option-validation behavior.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cmath>
@@ -493,6 +494,118 @@ TEST(TextParsing, UnweightedLoaderToleratesWeightColumn) {
   auto r = LoadEdgeListText(path);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->edges.size(), 2u);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------- embedding header/size validation ----
+// Regression suite for the pre-allocation shape check: a declared (rows,
+// cols) is validated against the actual file size BEFORE any Matrix
+// allocation, so a garbage header cannot become a multi-gigabyte alloc and
+// a truncated file is kDataLoss, never a short read.
+
+class EmbeddingValidationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/emb_validate.bin";
+    Matrix x = Matrix::Gaussian(10, 4, 3);
+    ASSERT_TRUE(SaveEmbeddingBinary(x, path_).ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void TruncateTo(uint64_t bytes) {
+    ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(bytes)), 0);
+  }
+
+  /// Overwrites the (rows, cols) fields of the binary header in place.
+  void RewriteDims(uint64_t rows, uint64_t cols) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);  // past the magic
+    const uint64_t dims[2] = {rows, cols};
+    ASSERT_EQ(std::fwrite(dims, sizeof(uint64_t), 2, f), 2u);
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(EmbeddingValidationTest, TruncatedBinaryPayloadIsDataLoss) {
+  TruncateTo(24 + 10 * 4 * sizeof(float) - 7);
+  auto r = LoadEmbeddingBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(EmbeddingValidationTest, TruncatedBinaryHeaderIsDataLoss) {
+  TruncateTo(12);  // mid-header
+  auto r = LoadEmbeddingBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(EmbeddingValidationTest, OversizedHeaderRejectedBeforeAllocation) {
+  // Declares ~4 PiB of payload over a ~180-byte file: must be rejected by
+  // the size check, not attempted as an allocation.
+  RewriteDims(1ull << 30, 1ull << 20);
+  auto r = LoadEmbeddingBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(EmbeddingValidationTest, OverflowingDimensionProductIsInvalidArgument) {
+  // rows * cols * sizeof(float) overflows 64 bits: garbage by construction.
+  RewriteDims(1ull << 62, 1ull << 62);
+  auto r = LoadEmbeddingBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EmbeddingValidationTest, TrailingBytesAreInvalidArgument) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("junk", f);
+  std::fclose(f);
+  auto r = LoadEmbeddingBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EmbeddingTextValidation, HeaderDeclaringMoreThanFileHoldsIsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/emb_overdecl.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  // Declares 100000 x 1000 values over a few bytes of payload.
+  std::fprintf(f, "100000 1000\n0 1.0\n");
+  std::fclose(f);
+  auto r = LoadEmbeddingText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingTextValidation, TruncatedRowIsDataLoss) {
+  const std::string path = ::testing::TempDir() + "/emb_shortrow.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  // Header fits the byte-count floor (2 bytes/value), but the last row ends
+  // mid-way: the per-row parse must report the loss.
+  std::fprintf(f, "2 3\n0 1 2 3\n1 4 5\n");
+  std::fclose(f);
+  auto r = LoadEmbeddingText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(EmbeddingTextValidation, GarbageHeaderIsInvalidArgument) {
+  const std::string path = ::testing::TempDir() + "/emb_badheader.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "banana split\n");
+  std::fclose(f);
+  auto r = LoadEmbeddingText(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "util/artifact_io.h"
 #include "util/cli.h"
 #include "util/fault_injection.h"
 #include "util/memory.h"
@@ -31,7 +35,7 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
   }
 }
@@ -374,6 +378,169 @@ TEST(RetryTest, ResultFlavorRetriesAndReturnsValue) {
   EXPECT_EQ(*r, 17);
   EXPECT_EQ(calls, 2);
   EXPECT_EQ(schedule.size(), 1u);
+}
+
+// ----------------------------------------------------------- artifact IO --
+
+TEST(Crc32cTest, MatchesKnownVector) {
+  // The RFC 3720 check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, SeedChainsIncrementalComputation) {
+  const char data[] = "incremental checksum";
+  const uint32_t whole = Crc32c(data, sizeof(data));
+  const uint32_t part = Crc32c(data, 7);
+  EXPECT_EQ(Crc32c(data + 7, sizeof(data) - 7, part), whole);
+}
+
+TEST(AtomicFileWriterTest, AbortLeavesNoFileAndPreservesPrevious) {
+  const std::string path = ::testing::TempDir() + "/atomic_abort.txt";
+  {
+    AtomicFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    std::fprintf(w.stream(), "first\n");
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  {
+    // Destruction without Commit: the tmp file vanishes and the previous
+    // contents survive untouched.
+    AtomicFileWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    std::fprintf(w.stream(), "half-written garbage");
+  }
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[32] = {};
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "first\n");
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactIoTest, FramesRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.art";
+  const std::vector<uint8_t> a = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> b(1000, 0xab);
+  ArtifactWriter w;
+  ASSERT_TRUE(w.Open(path, /*schema_id=*/7, /*schema_version=*/2).ok());
+  ASSERT_TRUE(w.AppendFrame(a.data(), a.size()).ok());
+  ASSERT_TRUE(w.AppendFrame(b.data(), b.size()).ok());
+  ASSERT_TRUE(w.AppendFrame(nullptr, 0).ok());  // empty frame is legal
+  ASSERT_TRUE(w.Commit().ok());
+  EXPECT_GT(w.bytes_written(), a.size() + b.size());
+
+  ArtifactReader r;
+  ASSERT_TRUE(r.Open(path, 7).ok());
+  EXPECT_EQ(r.schema_version(), 2u);
+  auto fa = r.ReadFrame();
+  ASSERT_TRUE(fa.ok());
+  EXPECT_EQ(*fa, a);
+  auto fb = r.ReadFrame();
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(*fb, b);
+  auto fc = r.ReadFrame();
+  ASSERT_TRUE(fc.ok());
+  EXPECT_TRUE(fc->empty());
+  EXPECT_TRUE(r.AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactIoTest, MissingFileIsNotFoundWrongSchemaIsInvalidArgument) {
+  ArtifactReader missing;
+  EXPECT_EQ(missing.Open(::testing::TempDir() + "/no_such.art", 1).code(),
+            StatusCode::kNotFound);
+
+  const std::string path = ::testing::TempDir() + "/schema.art";
+  ArtifactWriter w;
+  ASSERT_TRUE(w.Open(path, 3, 1).ok());
+  ASSERT_TRUE(w.Commit().ok());
+  ArtifactReader r;
+  EXPECT_EQ(r.Open(path, 4).code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+class ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/corrupt.art";
+    const std::vector<uint8_t> payload(256, 0x5c);
+    ArtifactWriter w;
+    ASSERT_TRUE(w.Open(path_, 1, 1).ok());
+    ASSERT_TRUE(w.AppendFrame(payload.data(), payload.size()).ok());
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void Truncate(uint64_t keep_bytes) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> bytes(keep_bytes);
+    ASSERT_EQ(std::fread(bytes.data(), 1, keep_bytes, f), keep_bytes);
+    std::fclose(f);
+    f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, keep_bytes, f), keep_bytes);
+    std::fclose(f);
+  }
+
+  void FlipByte(uint64_t offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    const int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+
+  StatusCode ReadBackCode() {
+    ArtifactReader r;
+    const Status open = r.Open(path_, 1);
+    if (!open.ok()) return open.code();
+    auto frame = r.ReadFrame();
+    return frame.ok() ? StatusCode::kOk : frame.status().code();
+  }
+
+  std::string path_;
+};
+
+TEST_F(ArtifactCorruptionTest, TruncatedHeaderIsDataLoss) {
+  Truncate(6);  // mid file-header
+  EXPECT_EQ(ReadBackCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(ArtifactCorruptionTest, TruncatedPayloadIsDataLoss) {
+  auto size = FileSizeBytes(path_);
+  ASSERT_TRUE(size.ok());
+  Truncate(*size - 10);  // torn write: frame header intact, payload short
+  EXPECT_EQ(ReadBackCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(ArtifactCorruptionTest, BitFlipInPayloadIsDataLoss) {
+  FlipByte(16 + 16 + 100);  // file header + frame header + 100 into payload
+  EXPECT_EQ(ReadBackCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(ArtifactCorruptionTest, BitFlipInMagicIsDataLoss) {
+  FlipByte(2);
+  EXPECT_EQ(ReadBackCode(), StatusCode::kDataLoss);
+}
+
+TEST_F(ArtifactCorruptionTest, GiantDeclaredFrameLengthIsDataLossNotAlloc) {
+  // Overwrite the frame's payload-length field with ~2^56: the reader must
+  // reject the declared size against the actual file size instead of
+  // attempting the allocation.
+  std::FILE* f = std::fopen(path_.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 16, SEEK_SET), 0);
+  const uint64_t absurd = 1ull << 56;
+  ASSERT_EQ(std::fwrite(&absurd, sizeof(absurd), 1, f), 1u);
+  std::fclose(f);
+  EXPECT_EQ(ReadBackCode(), StatusCode::kDataLoss);
 }
 
 }  // namespace

@@ -34,6 +34,13 @@ suite can guarantee — see DESIGN.md §9 ("Static-analysis contract"):
              src/util/trace.h: all timing goes through Timer/StageTimer/
              TraceSpan so bench numbers and pipeline traces share one
              monotonic clock (DESIGN.md §10).
+  atomicio   No direct file writes (std::ofstream/std::fstream, or fopen
+             in a w/a/+ mode) in src/, bench/ or examples/ outside
+             src/util/artifact_io.cc: every persisted file goes through
+             AtomicFileWriter's write-tmp -> fsync -> rename so a crash or
+             disk-full never leaves a torn artifact (DESIGN.md §12).
+             Read-only fopen("rb") is fine; tests/ is out of scope (test
+             fixtures deliberately write torn files).
 
 Suppression: append a comment containing `lint-ok: <rule>` to the offending
 line (with a justification). Example:
@@ -54,7 +61,7 @@ from collections import namedtuple
 Finding = namedtuple("Finding", ["path", "line", "rule", "message"])
 
 RULES = ("random", "fastmath", "unordered", "status", "layering", "rawmutex",
-         "timer")
+         "timer", "atomicio")
 
 CPP_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
 DEFAULT_ROOTS = ("src", "tests", "bench", "examples")
@@ -381,6 +388,40 @@ def check_timer(f):
 
 
 # --------------------------------------------------------------------------
+# atomicio
+ATOMICIO_DIRS = ("src/", "bench/", "examples/")
+ATOMICIO_EXEMPT = ("src/util/artifact_io.cc",)
+ATOMICIO_STREAM_RE = re.compile(r"\bstd::(?:ofstream|fstream)\b")
+ATOMICIO_FOPEN_RE = re.compile(r"\bfopen\s*\(")
+# A mode literal containing w, a, or + opens the file for writing.
+ATOMICIO_WRITE_MODE_RE = re.compile(r'"[rwab+]*[wa+][rwab+]*"\s*\)\s*$')
+
+
+def check_atomicio(f):
+    if (f.rel_path in ATOMICIO_EXEMPT or not is_cpp(f.rel_path)
+            or not f.rel_path.startswith(ATOMICIO_DIRS)):
+        return
+    for m in ATOMICIO_STREAM_RE.finditer(f.stripped):
+        yield Finding(
+            f.rel_path, line_of(f.stripped, m.start()), "atomicio",
+            f"{m.group(0)} writes files directly; persisted files must go "
+            "through AtomicFileWriter (util/artifact_io.h) so a crash or "
+            "disk-full never leaves a torn artifact")
+    for m in ATOMICIO_FOPEN_RE.finditer(f.stripped):
+        close = matching_paren(f.stripped, m.end() - 1)
+        if close < 0:
+            continue
+        # strip_comments_and_strings is length-preserving, so the raw text
+        # at the same offsets still holds the mode literal it blanked.
+        if ATOMICIO_WRITE_MODE_RE.search(f.raw[m.start():close]):
+            yield Finding(
+                f.rel_path, line_of(f.stripped, m.start()), "atomicio",
+                "fopen() in a write mode bypasses atomic "
+                "write-tmp -> fsync -> rename; use AtomicFileWriter "
+                "(util/artifact_io.h) so a crash never leaves a torn file")
+
+
+# --------------------------------------------------------------------------
 # Fixture trees under tools/lint/testdata/{bad,good}/ are miniature repos:
 # lint them as if rooted at their own top, so path-scoped rules (unordered,
 # layering, exemptions) apply to a fixture invoked directly by path.
@@ -452,7 +493,7 @@ def lint_files(files):
     for f in files:
         for gen in (check_random(f), check_fastmath(f), check_unordered(f),
                     check_status(f, status_names), check_layering(f),
-                    check_rawmutex(f), check_timer(f)):
+                    check_rawmutex(f), check_timer(f), check_atomicio(f)):
             for finding in gen:
                 if not f.suppresses(finding.line, finding.rule):
                     findings.append(finding)

@@ -134,6 +134,49 @@ class StatusRuleInternals(unittest.TestCase):
         self.assertEqual(4, findings[0].line)
 
 
+class AtomicioRuleInternals(unittest.TestCase):
+    def lint_source(self, path, body):
+        f = lightne_lint.SourceFile(path, body)
+        return list(lightne_lint.check_atomicio(f))
+
+    def test_ofstream_is_flagged(self):
+        findings = self.lint_source(
+            "src/core/x.cc", "#include <fstream>\nstd::ofstream out(p);\n")
+        self.assertEqual(1, len(findings))
+        self.assertEqual("atomicio", findings[0].rule)
+        self.assertEqual(2, findings[0].line)
+
+    def test_write_modes_are_flagged(self):
+        for mode in ('"w"', '"wb"', '"a"', '"ab"', '"w+"', '"r+b"'):
+            with self.subTest(mode=mode):
+                findings = self.lint_source(
+                    "bench/x.cc", f"void F() {{ fopen(p, {mode}); }}\n")
+                self.assertEqual(1, len(findings))
+
+    def test_read_mode_is_not_flagged(self):
+        for mode in ('"r"', '"rb"'):
+            with self.subTest(mode=mode):
+                self.assertEqual([], self.lint_source(
+                    "examples/x.cpp", f"void F() {{ fopen(p, {mode}); }}\n"))
+
+    def test_variable_mode_is_not_flagged(self):
+        # Mode not a literal: the linter cannot tell, so it stays quiet.
+        self.assertEqual([], self.lint_source(
+            "src/la/x.cc", "void F(const char* m) { fopen(p, m); }\n"))
+
+    def test_tests_are_out_of_scope(self):
+        self.assertEqual([], self.lint_source(
+            "tests/x.cc", "std::ofstream out(p);\nfopen(p, \"w\");\n"))
+
+    def test_artifact_io_is_exempt(self):
+        self.assertEqual([], self.lint_source(
+            "src/util/artifact_io.cc", "fopen(p, \"wb\");\n"))
+
+    def test_fopen_in_comment_is_not_flagged(self):
+        self.assertEqual([], self.lint_source(
+            "src/core/x.cc", "// fopen(p, \"w\") would be wrong here\n"))
+
+
 class SuppressionInternals(unittest.TestCase):
     def test_suppression_is_line_and_rule_scoped(self):
         f = lightne_lint.SourceFile(

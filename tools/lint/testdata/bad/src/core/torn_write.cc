@@ -1,0 +1,13 @@
+// expect-lint: atomicio
+#include <cstdio>
+#include <fstream>
+
+void WriteCheckpoint(const char* path) {
+  std::ofstream out(path);  // direct write: a crash leaves a torn file
+  out << "half-written";
+}
+
+void AppendLog(const char* path) {
+  std::FILE* f = std::fopen(path, "a");
+  if (f != nullptr) std::fclose(f);
+}

@@ -1,0 +1,12 @@
+// Read-only fopen is fine anywhere: the atomicio rule only targets write
+// modes (w/a/+), where a crash mid-write can tear the file.
+#include <cstdio>
+
+long FileSize(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}

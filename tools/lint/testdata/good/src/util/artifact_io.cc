@@ -1,0 +1,7 @@
+// The designated home of write-mode fopen: the atomicio rule exempts
+// src/util/artifact_io.cc, where AtomicFileWriter opens its tmp file.
+#include <cstdio>
+
+std::FILE* OpenTmpForWrite(const char* tmp_path) {
+  return std::fopen(tmp_path, "wb");
+}
