@@ -1,10 +1,13 @@
-// Machine-readable sampler perf baseline (DESIGN.md §11).
+// Machine-readable sampler perf baseline (DESIGN.md §11), schema v2.
 //
 // Measures the sparsifier ingestion hot path on a skewed RMAT graph —
 // combiner+edge-balanced scheduling vs the direct shared-table path at the
-// same worker count — plus the walk-step primitives (CSR, compressed naive
-// vs decode cursor, weighted prefix-scan vs alias table), and writes a JSON
-// trajectory artifact (default BENCH_sampler.json, overridable as argv[1]).
+// same worker count — plus the walk-step primitives: CSR, compressed decode
+// variants (naive per-draw, legacy DecodeCursor, the cold-tier batch-decode
+// WalkContext, and the hub-pinned two-tier context), weighted prefix-scan vs
+// full alias vs degree-gated alias, and an out-of-LLC RMAT-20 section where
+// the adjacency no longer fits any cache level. Writes a JSON trajectory
+// artifact (default BENCH_sampler.json, overridable as argv[1]).
 // `scripts/bench_baseline.sh` re-runs this at scale 1.0 and commits the
 // result; scripts/check.sh runs a reduced-scale smoke and validates the
 // schema.
@@ -37,10 +40,24 @@
 namespace lightne::bench {
 namespace {
 
+// Degree gate for the gated weighted-sampling row: hubs (degree >= gate)
+// keep O(1) alias rows, the long tail of small vertices shares the compact
+// CDF path. 32 keeps the draw mix alias-dominated on the RMAT graph (draws
+// land on vertices with probability ~ degree) while the per-edge sampling
+// footprint drops from 20 bytes (cumulative + alias everywhere) to 8 + 4f.
+constexpr uint32_t kDegreeGate = 32;
+
+// Pin budget for the hub-pinned walk rows. On the cache-resident RMAT-14
+// graph this pins essentially every row (the decoded graph is ~3.6 MiB);
+// on the out-of-LLC graph it fits the per-vertex index plus the top hubs
+// only, which is the realistic partial-coverage regime.
+constexpr uint64_t kPinBudget = uint64_t{4} << 20;
+constexpr uint64_t kPinBudgetXllc = uint64_t{16} << 20;
+
 struct ResultRow {
   std::string name;     // stable key, e.g. "sampler_w1_combiner_mt"
   std::string kind;     // sampling | walk
-  std::string variant;  // direct | combiner | csr | naive | cursor | ...
+  std::string variant;  // direct | combiner | csr | naive | pinned | ...
   int threads = 1;
   int runs = 0;
   double median_ms = 0.0;
@@ -83,6 +100,7 @@ void RecordSamplingRow(const std::string& name, const CsrGraph& g,
   opt.combiner = cfg.combiner;
   const double per_edge =
       static_cast<double>(opt.num_samples) / g.Volume();
+  const WalkAccel<CsrGraph> accel;  // no-op on direct-access graphs
   // Size the table generously once so no run overflows and re-allocation
   // stays out of the timing loop.
   ConcurrentHashTable<double> table(g.NumDirectedEdges() + 1024);
@@ -91,7 +109,7 @@ void RecordSamplingRow(const std::string& name, const CsrGraph& g,
     table.Clear();
     internal::SamplerPassStats run_stats;
     if (!internal::RunPerEdgeSampling(g, opt, per_edge, /*c=*/1.0, opt.seed,
-                                      &table, &run_stats)) {
+                                      accel, &table, &run_stats)) {
       std::fprintf(stderr, "%s: table overflowed\n", name.c_str());
       std::exit(1);
     }
@@ -120,7 +138,8 @@ void RecordSamplingRow(const std::string& name, const CsrGraph& g,
 // ------------------------------------------------------------------- walks
 
 // Walk starts with degree >= 1, fixed across variants.
-std::vector<NodeId> WalkStarts(const CsrGraph& g, uint64_t count) {
+template <typename G>
+std::vector<NodeId> WalkStarts(const G& g, uint64_t count) {
   std::vector<NodeId> starts;
   starts.reserve(count);
   Rng rng(1234);
@@ -139,7 +158,7 @@ constexpr uint64_t kStepsPerWalk = 8;
 // (u, v) starts kAttemptsPerEdge attempts, each splitting window-1 steps
 // between a walk from u and a walk from v. ~2/(window-1) of all draws land
 // on the current edge's endpoints and consecutive edges share u, so those
-// blocks stay resident in the decode cursor while interior steps scatter.
+// blocks stay resident in the decode caches while interior steps scatter.
 constexpr uint64_t kAttemptsPerEdge = 4;
 constexpr uint64_t kPathWindow = 10;
 
@@ -157,13 +176,14 @@ std::vector<std::pair<NodeId, NodeId>> PathEdges(const CsrGraph& g) {
 
 // Times the PathSampling pattern over the edge stream via one-step
 // `step(v, rng) -> next`, accumulating endpoints into a checksum so the
-// loops cannot be dead-code eliminated. Both variants consume one RNG draw
-// per step, so they walk identical trajectories.
+// loops cannot be dead-code eliminated. All variants consume one RNG draw
+// per step, so they walk identical trajectories; the returned per-pass
+// checksum lets main() assert the decode variants really did.
 template <typename StepFn>
-void RecordPathWalkRow(const std::string& name, const std::string& variant,
-                       const std::vector<std::pair<NodeId, NodeId>>& edges,
-                       int runs, const StepFn& step) {
-  uint64_t checksum = 0;
+uint64_t RecordPathWalkRow(const std::string& name, const std::string& variant,
+                           const std::vector<std::pair<NodeId, NodeId>>& edges,
+                           int runs, const StepFn& step) {
+  uint64_t pass_checksum = 0;
   auto pass = [&] {
     Rng rng(99);
     uint64_t local = 0;
@@ -177,7 +197,7 @@ void RecordPathWalkRow(const std::string& name, const std::string& variant,
         local += x + y;
       }
     }
-    checksum += local;
+    pass_checksum = local;
   };
   ResultRow row;
   row.name = name;
@@ -195,18 +215,18 @@ void RecordPathWalkRow(const std::string& name, const std::string& variant,
                              static_cast<double>(kPathWindow - 1);
   row.rate_per_sec = total_steps / (row.median_ms / 1000.0);
   PrintRow(row);
-  if (checksum == 0xdeadbeef) std::printf("(unlikely checksum)\n");
   g_rows.push_back(std::move(row));
+  return pass_checksum;
 }
 
 // Times kWalksPerStart walks of kStepsPerWalk steps from every start via
 // `fn(start, steps, rng) -> end`, accumulating endpoints into a checksum so
 // the walk loops cannot be dead-code eliminated.
 template <typename Fn>
-void RecordWalkRow(const std::string& name, const std::string& variant,
-                   const std::vector<NodeId>& starts, int runs,
-                   const Fn& fn) {
-  uint64_t checksum = 0;
+uint64_t RecordWalkRow(const std::string& name, const std::string& variant,
+                       const std::vector<NodeId>& starts, int runs,
+                       const Fn& fn) {
+  uint64_t pass_checksum = 0;
   auto pass = [&] {
     Rng rng(99);
     uint64_t local = 0;
@@ -215,7 +235,7 @@ void RecordWalkRow(const std::string& name, const std::string& variant,
         local += fn(s, kStepsPerWalk, rng);
       }
     }
-    checksum += local;
+    pass_checksum = local;
   };
   ResultRow row;
   row.name = name;
@@ -233,15 +253,35 @@ void RecordWalkRow(const std::string& name, const std::string& variant,
                              static_cast<double>(kStepsPerWalk);
   row.rate_per_sec = total_steps / (row.median_ms / 1000.0);
   PrintRow(row);
-  if (checksum == 0xdeadbeef) std::printf("(unlikely checksum)\n");
   g_rows.push_back(std::move(row));
+  return pass_checksum;
 }
+
+// Decode-cache tier counters of the hub-pinned walk row, captured before
+// the measuring context dies (its destructor drains them into the global
+// metrics registry).
+struct WalkCacheStats {
+  uint64_t pinned_vertices = 0;
+  uint64_t pinned_bytes = 0;
+  uint64_t pin_hits = 0;
+  uint64_t cold_hits = 0;
+  uint64_t decode_misses = 0;
+};
+
+// Gated-alias memory accounting from two instances over the same edges.
+struct GatedAliasStats {
+  uint32_t degree_gate = 0;
+  uint64_t sampling_bytes_full = 0;   // cumulative + full alias table
+  uint64_t sampling_bytes_gated = 0;  // slot index + gated rows
+};
 
 // ------------------------------------------------------------------- JSON
 
 void WriteJson(const std::string& path, const CsrGraph& g,
+               const CsrGraph& g_xllc, const CompressedGraph& cg_xllc,
                const SparsifierResult& direct_e2e,
-               const SparsifierResult& combiner_e2e) {
+               const SparsifierResult& combiner_e2e,
+               const WalkCacheStats& cache, const GatedAliasStats& gated) {
   // Atomic write-tmp -> fsync -> rename: a crash or disk-full mid-write
   // never replaces a previous baseline file with torn JSON.
   AtomicFileWriter writer;
@@ -252,8 +292,8 @@ void WriteJson(const std::string& path, const CsrGraph& g,
   std::FILE* f = writer.stream();
   const char* sha = std::getenv("LIGHTNE_GIT_SHA");
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"lightne-sampler-v1\",\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema\": \"lightne-sampler-v2\",\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"git_sha\": \"%s\",\n", sha ? sha : "unknown");
   std::fprintf(f, "  \"workers\": %d,\n", NumWorkers());
   std::fprintf(f, "  \"bench_scale\": %.3f,\n", BenchScale());
@@ -265,6 +305,15 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                "  \"graph\": {\"vertices\": %llu, \"directed_edges\": %llu},\n",
                static_cast<unsigned long long>(g.NumVertices()),
                static_cast<unsigned long long>(g.NumDirectedEdges()));
+  // The out-of-LLC graph the *_xllc rows walk: the CSR adjacency alone is
+  // far beyond any cache level, so those rows measure DRAM-bound stepping.
+  std::fprintf(f,
+               "  \"xllc_graph\": {\"vertices\": %llu, \"directed_edges\": "
+               "%llu, \"csr_bytes\": %llu, \"compressed_bytes\": %llu},\n",
+               static_cast<unsigned long long>(g_xllc.NumVertices()),
+               static_cast<unsigned long long>(g_xllc.NumDirectedEdges()),
+               static_cast<unsigned long long>(g_xllc.SizeBytes()),
+               static_cast<unsigned long long>(cg_xllc.SizeBytes()));
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < g_rows.size(); ++i) {
     const ResultRow& r = g_rows[i];
@@ -298,12 +347,47 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                static_cast<unsigned long long>(
                    combiner_e2e.table_batch_upserts));
   std::fprintf(f, "  },\n");
+  // Tier traffic of the walk_compressed_pinned row (cache-resident graph).
+  const uint64_t cache_draws =
+      cache.pin_hits + cache.cold_hits + cache.decode_misses;
+  std::fprintf(f, "  \"walk_cache\": {\n");
+  std::fprintf(f, "    \"pin_budget_bytes\": %llu,\n",
+               static_cast<unsigned long long>(kPinBudget));
+  std::fprintf(f, "    \"pinned_vertices\": %llu,\n",
+               static_cast<unsigned long long>(cache.pinned_vertices));
+  std::fprintf(f, "    \"pinned_bytes\": %llu,\n",
+               static_cast<unsigned long long>(cache.pinned_bytes));
+  std::fprintf(f, "    \"pin_hits\": %llu,\n",
+               static_cast<unsigned long long>(cache.pin_hits));
+  std::fprintf(f, "    \"cold_hits\": %llu,\n",
+               static_cast<unsigned long long>(cache.cold_hits));
+  std::fprintf(f, "    \"decode_misses\": %llu,\n",
+               static_cast<unsigned long long>(cache.decode_misses));
+  std::fprintf(f, "    \"pin_hit_rate\": %.4f\n",
+               cache_draws > 0 ? static_cast<double>(cache.pin_hits) /
+                                     static_cast<double>(cache_draws)
+                               : 0.0);
+  std::fprintf(f, "  },\n");
+  // Degree-gated alias memory accounting (same weighted edges both ways).
+  const double cut =
+      gated.sampling_bytes_full > 0
+          ? 100.0 * (1.0 - static_cast<double>(gated.sampling_bytes_gated) /
+                               static_cast<double>(gated.sampling_bytes_full))
+          : 0.0;
+  std::fprintf(f, "  \"gated_alias\": {\n");
+  std::fprintf(f, "    \"degree_gate\": %u,\n", gated.degree_gate);
+  std::fprintf(f, "    \"sampling_bytes_full\": %llu,\n",
+               static_cast<unsigned long long>(gated.sampling_bytes_full));
+  std::fprintf(f, "    \"sampling_bytes_gated\": %llu,\n",
+               static_cast<unsigned long long>(gated.sampling_bytes_gated));
+  std::fprintf(f, "    \"memory_cut_pct\": %.1f\n", cut);
+  std::fprintf(f, "  },\n");
   auto ratio = [&](const char* num, const char* den) {
     const double a = FindMs(num), b = FindMs(den);
     return (a > 0 && b > 0) ? a / b : -1.0;
   };
-  // The acceptance ratio this repo tracks: combiner+scheduling vs the
-  // direct shared-table path, same worker count, skewed-key microbench.
+  // The acceptance ratios this repo tracks. v1 keys are kept verbatim so
+  // trajectory tooling can diff across the schema bump.
   std::fprintf(f, "  \"speedups\": {\n");
   std::fprintf(f, "    \"sampler_w1_combiner_vs_direct_mt\": %.3f,\n",
                ratio("sampler_w1_direct_mt", "sampler_w1_combiner_mt"));
@@ -313,8 +397,19 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                ratio("sampler_w10_direct_mt", "sampler_w10_combiner_mt"));
   std::fprintf(f, "    \"walk_cursor_vs_naive_compressed\": %.3f,\n",
                ratio("walk_compressed_naive", "walk_compressed_cursor"));
-  std::fprintf(f, "    \"walk_alias_vs_prefix_weighted\": %.3f\n",
+  std::fprintf(f, "    \"walk_coldtier_vs_naive_compressed\": %.3f,\n",
+               ratio("walk_compressed_naive", "walk_compressed_coldtier"));
+  std::fprintf(f, "    \"walk_pinned_vs_naive_compressed\": %.3f,\n",
+               ratio("walk_compressed_naive", "walk_compressed_pinned"));
+  std::fprintf(f, "    \"walk_pinned_vs_cursor_compressed\": %.3f,\n",
+               ratio("walk_compressed_cursor", "walk_compressed_pinned"));
+  std::fprintf(f, "    \"walk_pinned_vs_naive_xllc\": %.3f,\n",
+               ratio("walk_compressed_naive_xllc",
+                     "walk_compressed_pinned_xllc"));
+  std::fprintf(f, "    \"walk_alias_vs_prefix_weighted\": %.3f,\n",
                ratio("walk_weighted_prefix", "walk_weighted_alias"));
+  std::fprintf(f, "    \"walk_gated_vs_prefix_weighted\": %.3f\n",
+               ratio("walk_weighted_prefix", "walk_weighted_gated"));
   std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   if (!writer.Commit().ok()) {
@@ -322,9 +417,9 @@ void WriteJson(const std::string& path, const CsrGraph& g,
     std::exit(1);
   }
   std::printf(
-      "\nwrote %s (%zu results, w1 combiner-vs-direct mt %.2fx)\n",
+      "\nwrote %s (%zu results, pinned-vs-cursor %.2fx, gated cut %.1f%%)\n",
       path.c_str(), g_rows.size(),
-      ratio("sampler_w1_direct_mt", "sampler_w1_combiner_mt"));
+      ratio("walk_compressed_cursor", "walk_compressed_pinned"), cut);
 }
 
 }  // namespace
@@ -361,7 +456,7 @@ int main(int argc, char** argv) {
   RecordSamplingRow("sampler_w10_direct_mt", g, {10, false, m_w10}, false, 3);
   RecordSamplingRow("sampler_w10_combiner_mt", g, {10, true, m_w10}, false, 3);
 
-  // --- walk-step primitives ----------------------------------------------
+  // --- walk-step primitives (cache-resident graph) ------------------------
   std::printf(
       "\nWalk steps (single thread; compressed rows replay the "
       "PathSampling edge stream)\n");
@@ -371,32 +466,144 @@ int main(int argc, char** argv) {
 
   RecordWalkRow("walk_csr", "csr", starts, 5,
                 [&](NodeId s, uint64_t steps, Rng& rng) {
-                  return WeightedRandomWalk(g, s, steps, rng);
+                  WalkContext<CsrGraph> ctx;
+                  return WeightedRandomWalk(g, ctx, s, steps, rng);
                 });
-  // Compressed rows replay PathSampling's edge-stream pattern so the
-  // decode cursor is measured on the traffic it was built for.
+  // Compressed rows replay PathSampling's edge-stream pattern so the decode
+  // caches are measured on the traffic they were built for. All four
+  // variants must produce the same per-pass checksum (pure decode caches).
   const std::vector<std::pair<NodeId, NodeId>> path_edges = PathEdges(g);
-  RecordPathWalkRow("walk_compressed_naive", "naive", path_edges, 3,
-                    [&](NodeId v, Rng& rng) {
-                      return cg.Neighbor(v, rng.UniformInt(cg.Degree(v)));
-                    });
+  const uint64_t sum_naive =
+      RecordPathWalkRow("walk_compressed_naive", "naive", path_edges, 3,
+                        [&](NodeId v, Rng& rng) {
+                          return cg.Neighbor(v, rng.UniformInt(cg.Degree(v)));
+                        });
   {
-    WalkContext<CompressedGraph> ctx;  // reused across walks, as the
-                                       // sparsifier's per-worker context is
-    RecordPathWalkRow("walk_compressed_cursor", "cursor", path_edges, 5,
-                      [&](NodeId v, Rng& rng) {
-                        return SampleNeighborProportional(cg, ctx, v, rng);
-                      });
+    // Legacy cursor, demoted to this bench-only reference row.
+    CompressedGraph::DecodeCursor cursor;
+    const uint64_t sum = RecordPathWalkRow(
+        "walk_compressed_cursor", "cursor", path_edges, 5,
+        [&](NodeId v, Rng& rng) {
+          return cursor.Get(cg, v, rng.UniformInt(cg.Degree(v)));
+        });
     const double draws =
-        static_cast<double>(ctx.cursor.hits() + ctx.cursor.misses());
+        static_cast<double>(cursor.hits() + cursor.misses());
     std::printf("  (cursor hit rate %.3f over %.0f probed draws)\n",
-                draws > 0 ? static_cast<double>(ctx.cursor.hits()) / draws
-                          : 0.0,
+                draws > 0 ? static_cast<double>(cursor.hits()) / draws : 0.0,
                 draws);
+    if (sum != sum_naive) {
+      std::fprintf(stderr, "cursor checksum diverged from naive decode\n");
+      return 1;
+    }
+  }
+  {
+    WalkContext<CompressedGraph> ctx;  // cold tier only (no accel)
+    const uint64_t sum = RecordPathWalkRow(
+        "walk_compressed_coldtier", "coldtier", path_edges, 5,
+        [&](NodeId v, Rng& rng) {
+          return SampleNeighborProportional(cg, ctx, v, rng);
+        });
+    const double draws = static_cast<double>(ctx.cold_hits() +
+                                             ctx.decode_misses());
+    std::printf("  (cold-tier hit rate %.3f over %.0f draws)\n",
+                draws > 0 ? static_cast<double>(ctx.cold_hits()) / draws : 0.0,
+                draws);
+    if (sum != sum_naive) {
+      std::fprintf(stderr, "cold-tier checksum diverged from naive decode\n");
+      return 1;
+    }
+  }
+  WalkCacheStats cache_stats;
+  {
+    const WalkAccel<CompressedGraph> accel = MakeWalkAccel(cg, kPinBudget);
+    WalkContext<CompressedGraph> ctx(accel);
+    const uint64_t sum = RecordPathWalkRow(
+        "walk_compressed_pinned", "pinned", path_edges, 5,
+        [&](NodeId v, Rng& rng) {
+          return SampleNeighborProportional(cg, ctx, v, rng);
+        });
+    cache_stats.pinned_vertices = accel.pinned.pinned_vertices();
+    cache_stats.pinned_bytes = accel.pinned.pinned_bytes();
+    cache_stats.pin_hits = ctx.pin_hits();
+    cache_stats.cold_hits = ctx.cold_hits();
+    cache_stats.decode_misses = ctx.decode_misses();
+    const double draws = static_cast<double>(
+        ctx.pin_hits() + ctx.cold_hits() + ctx.decode_misses());
+    std::printf(
+        "  (pinned %llu vertices / %.1f MiB, pin hit rate %.3f over %.0f "
+        "draws)\n",
+        static_cast<unsigned long long>(accel.pinned.pinned_vertices()),
+        static_cast<double>(accel.pinned.pinned_bytes()) / (1 << 20),
+        draws > 0 ? static_cast<double>(ctx.pin_hits()) / draws : 0.0, draws);
+    if (sum != sum_naive) {
+      std::fprintf(stderr, "pinned checksum diverged from naive decode\n");
+      return 1;
+    }
   }
 
-  // Weighted draws: same topology with weights 1 + (u+v) % 8, skewed enough
-  // that prefix-scan binary search depth matters on hubs.
+  // --- out-of-LLC walks ---------------------------------------------------
+  // RMAT scale 20: the CSR adjacency is tens of MiB, past any LLC, so every
+  // uncached step pays DRAM latency — the regime where decoding compressed
+  // blocks competes against cache-missing CSR reads instead of L1 hits.
+  std::printf("\nWalk steps, out-of-LLC graph (single thread)\n");
+  const uint64_t xllc_edges = std::max<uint64_t>(
+      static_cast<uint64_t>(6000000 * BenchScale()), 200000);
+  const CsrGraph g_xllc =
+      CsrGraph::FromEdges(GenerateRmat(20, xllc_edges, 2026));
+  const CompressedGraph cg_xllc = CompressedGraph::FromCsr(g_xllc);
+  std::printf("RMAT scale 20: %u vertices, %llu directed edges "
+              "(csr %.1f MiB, compressed %.1f MiB)\n",
+              g_xllc.NumVertices(),
+              static_cast<unsigned long long>(g_xllc.NumDirectedEdges()),
+              static_cast<double>(g_xllc.SizeBytes()) / (1 << 20),
+              static_cast<double>(cg_xllc.SizeBytes()) / (1 << 20));
+  const std::vector<NodeId> xstarts = WalkStarts(g_xllc, num_starts);
+  RecordWalkRow("walk_csr_xllc", "csr", xstarts, 3,
+                [&](NodeId s, uint64_t steps, Rng& rng) {
+                  WalkContext<CsrGraph> ctx;
+                  return WeightedRandomWalk(g_xllc, ctx, s, steps, rng);
+                });
+  const uint64_t xsum_naive = RecordWalkRow(
+      "walk_compressed_naive_xllc", "naive", xstarts, 3,
+      [&](NodeId s, uint64_t steps, Rng& rng) {
+        NodeId v = s;
+        for (uint64_t k = 0; k < steps; ++k) {
+          v = cg_xllc.Neighbor(v, rng.UniformInt(cg_xllc.Degree(v)));
+        }
+        return v;
+      });
+  {
+    const WalkAccel<CompressedGraph> accel =
+        MakeWalkAccel(cg_xllc, kPinBudgetXllc);
+    WalkContext<CompressedGraph> ctx(accel);
+    const uint64_t sum = RecordWalkRow(
+        "walk_compressed_pinned_xllc", "pinned", xstarts, 3,
+        [&](NodeId s, uint64_t steps, Rng& rng) {
+          NodeId v = s;
+          for (uint64_t k = 0; k < steps; ++k) {
+            v = SampleNeighborProportional(cg_xllc, ctx, v, rng);
+          }
+          return v;
+        });
+    const double draws = static_cast<double>(
+        ctx.pin_hits() + ctx.cold_hits() + ctx.decode_misses());
+    std::printf(
+        "  (pinned %llu vertices / %.1f MiB, pin hit rate %.3f over %.0f "
+        "draws)\n",
+        static_cast<unsigned long long>(accel.pinned.pinned_vertices()),
+        static_cast<double>(accel.pinned.pinned_bytes()) / (1 << 20),
+        draws > 0 ? static_cast<double>(ctx.pin_hits()) / draws : 0.0, draws);
+    if (sum != xsum_naive) {
+      std::fprintf(stderr, "xllc pinned checksum diverged from naive\n");
+      return 1;
+    }
+  }
+
+  // --- weighted draws -----------------------------------------------------
+  // Same RMAT-14 topology with weights 1 + (u+v) % 8, skewed enough that
+  // prefix-scan binary search depth matters on hubs. Three instances over
+  // identical edges: prefix-only, full alias, degree-gated.
+  std::printf("\nWeighted draws (single thread)\n");
   WeightedEdgeList wlist;
   wlist.num_vertices = g.NumVertices();
   g.MapEdges([&](NodeId u, NodeId v) {
@@ -404,6 +611,7 @@ int main(int argc, char** argv) {
       wlist.Add(u, v, 1.0f + static_cast<float>((u + v) % 8));
     }
   });
+  WeightedEdgeList wlist_gated = wlist;  // second instance, same edges
   WeightedCsrGraph wg = WeightedCsrGraph::FromEdges(std::move(wlist));
   const std::vector<NodeId>& wstarts = starts;  // same vertex ids, deg >= 1
   RecordWalkRow("walk_weighted_prefix", "prefix_scan", wstarts, 3,
@@ -423,6 +631,34 @@ int main(int argc, char** argv) {
                   }
                   return v;
                 });
+  GatedAliasStats gated_stats;
+  {
+    WeightedCsrGraph wg_gated =
+        WeightedCsrGraph::FromEdges(std::move(wlist_gated));
+    wg_gated.BuildDegreeGatedAlias(kDegreeGate);
+    RecordWalkRow("walk_weighted_gated", "gated_alias", wstarts, 5,
+                  [&](NodeId s, uint64_t steps, Rng& rng) {
+                    NodeId v = s;
+                    for (uint64_t k = 0; k < steps; ++k) {
+                      v = wg_gated.SampleNeighbor(v, rng);
+                    }
+                    return v;
+                  });
+    gated_stats.degree_gate = wg_gated.degree_gate();
+    gated_stats.sampling_bytes_full = wg.SamplingBytes();
+    gated_stats.sampling_bytes_gated = wg_gated.SamplingBytes();
+    std::printf("  (gate %u: sampling bytes %.1f MiB -> %.1f MiB, "
+                "cut %.1f%%)\n",
+                wg_gated.degree_gate(),
+                static_cast<double>(gated_stats.sampling_bytes_full) /
+                    (1 << 20),
+                static_cast<double>(gated_stats.sampling_bytes_gated) /
+                    (1 << 20),
+                100.0 * (1.0 -
+                         static_cast<double>(gated_stats.sampling_bytes_gated) /
+                             static_cast<double>(
+                                 gated_stats.sampling_bytes_full)));
+  }
 
   // --- end-to-end combiner accounting (window=10, downsampling on) --------
   std::printf("\nEnd-to-end accounting (BuildSparsifier, w=10)\n");
@@ -447,6 +683,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(direct_e2e->table_upserts),
               static_cast<unsigned long long>(combiner_e2e->table_upserts));
 
-  WriteJson(out, g, *direct_e2e, *combiner_e2e);
+  WriteJson(out, g, g_xllc, cg_xllc, *direct_e2e, *combiner_e2e, cache_stats,
+            gated_stats);
   return 0;
 }

@@ -21,6 +21,7 @@
 #include "baselines/prone.h"
 #include "bench_util.h"
 #include "core/lightne.h"
+#include "graph/compressed.h"
 #include "parallel/parallel_for.h"
 #include "util/artifact_io.h"
 #include "util/memory.h"
@@ -131,6 +132,20 @@ int main(int argc, char** argv) {
     auto r = RunLightNe(ds.graph, opt);
     if (!r.ok()) return 1;
     runs.push_back({name, recorder.EventsSince(mark)});
+  }
+  {
+    // Same pipeline on the compressed representation: exercises the walk
+    // engine (hub-pinned decode cache + cold tier), so the metrics snapshot
+    // below carries the walk/* counters into BENCH_breakdown.json.
+    const CompressedGraph cg = CompressedGraph::FromCsr(ds.graph);
+    const uint64_t mark = recorder.Mark();
+    LightNeOptions opt;
+    opt.dim = dim;
+    opt.window = 10;
+    opt.samples_ratio = 0.1;
+    auto r = RunLightNe(cg, opt);
+    if (!r.ok()) return 1;
+    runs.push_back({"LightNE-Compressed", recorder.EventsSince(mark)});
   }
   {
     const uint64_t mark = recorder.Mark();

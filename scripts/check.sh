@@ -90,8 +90,9 @@ print(f"bench smoke OK: {len(doc['results'])} results, "
 EOF
 
 # Sampler hot-path smoke: run the sampler perf baseline at reduced scale
-# under the sanitizer build (exercising the combiner, UpsertBatch, decode
-# cursor and alias paths end to end) and validate the JSON schema.
+# under the sanitizer build (exercising the combiner, UpsertBatch, the walk
+# engine's decode tiers and the full/gated alias paths end to end) and
+# validate the v2 JSON schema.
 SAMPLER_JSON="$(mktemp /tmp/bench_sampler_smoke.XXXXXX.json)"
 trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}"' EXIT
 LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
@@ -102,24 +103,45 @@ import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 for key in ("schema", "schema_version", "git_sha", "workers", "bench_scale",
-            "graph", "results", "combiner", "speedups"):
+            "graph", "xllc_graph", "results", "combiner", "walk_cache",
+            "gated_alias", "speedups"):
     assert key in doc, f"BENCH_sampler.json missing top-level key {key!r}"
-assert doc["schema"] == "lightne-sampler-v1"
+assert doc["schema"] == "lightne-sampler-v2"
+assert doc["schema_version"] == 2
 assert doc["results"], "BENCH_sampler.json has no results"
 for row in doc["results"]:
     for key in ("name", "kind", "variant", "threads", "runs", "median_ms",
                 "rate_per_sec", "unit"):
         assert key in row, f"result row missing key {key!r}: {row}"
     assert row["median_ms"] > 0, f"non-positive median in {row['name']}"
+names = {row["name"] for row in doc["results"]}
+for required in ("walk_compressed_pinned", "walk_csr_xllc",
+                 "walk_compressed_pinned_xllc", "walk_weighted_gated"):
+    assert required in names, f"missing v2 result row {required!r}"
 for key in ("samples_accepted", "hit_rate", "direct_table_upserts",
             "combiner_table_upserts", "combiner_flushes",
             "table_batch_upserts"):
     assert key in doc["combiner"], f"combiner block missing {key!r}"
 assert doc["combiner"]["samples_accepted"] > 0
-assert "sampler_w1_combiner_vs_direct_mt" in doc["speedups"]
+for key in ("pin_budget_bytes", "pinned_vertices", "pinned_bytes",
+            "pin_hits", "cold_hits", "decode_misses", "pin_hit_rate"):
+    assert key in doc["walk_cache"], f"walk_cache block missing {key!r}"
+assert doc["walk_cache"]["pinned_bytes"] <= doc["walk_cache"]["pin_budget_bytes"]
+for key in ("degree_gate", "sampling_bytes_full", "sampling_bytes_gated",
+            "memory_cut_pct"):
+    assert key in doc["gated_alias"], f"gated_alias block missing {key!r}"
+assert doc["gated_alias"]["sampling_bytes_gated"] < \
+    doc["gated_alias"]["sampling_bytes_full"]
+for key in ("sampler_w1_combiner_vs_direct_mt",
+            "walk_pinned_vs_naive_compressed", "walk_pinned_vs_cursor_compressed",
+            "walk_pinned_vs_naive_xllc", "walk_gated_vs_prefix_weighted"):
+    assert key in doc["speedups"], f"speedups missing {key!r}"
 print(f"sampler smoke OK: {len(doc['results'])} results, "
       f"w1 combiner speedup "
-      f"{doc['speedups']['sampler_w1_combiner_vs_direct_mt']}x")
+      f"{doc['speedups']['sampler_w1_combiner_vs_direct_mt']}x, "
+      f"pinned walk speedup "
+      f"{doc['speedups']['walk_pinned_vs_naive_compressed']}x, "
+      f"gated alias cut {doc['gated_alias']['memory_cut_pct']}%")
 EOF
 
 # Observability smoke: run the stage-breakdown bench at reduced scale and
@@ -152,6 +174,14 @@ for run in doc["runs"]:
 for key in ("counters", "gauges", "histograms"):
     assert key in doc["metrics"], f"metrics snapshot missing {key!r}"
 assert doc["metrics"]["counters"].get("sparsifier/builds", 0) > 0
+# The LightNE-Compressed run drives the walk engine: its decode counters and
+# the hub cache's pinned-bytes gauge must surface in the snapshot.
+walk_decodes = (doc["metrics"]["counters"].get("walk/pin_hits", 0) +
+                doc["metrics"]["counters"].get("walk/cold_hits", 0) +
+                doc["metrics"]["counters"].get("walk/decode_misses", 0))
+assert walk_decodes > 0, "no walk/* decode counters in metrics snapshot"
+assert doc["metrics"]["gauges"].get("walk/pinned_bytes", 0) > 0
+assert any(run["method"] == "LightNE-Compressed" for run in doc["runs"])
 
 with open(sys.argv[2]) as f:
     trace = json.load(f)

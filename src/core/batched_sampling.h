@@ -149,7 +149,8 @@ Result<SparsifierResult> BuildSparsifierBatched(const G& g,
                             (static_cast<uint64_t>(task.sample) << 1) |
                                 task.side),
               step));
-          task.current = SampleNeighborProportional(g, task.current, rng);
+          WalkContext<G> ctx;
+          task.current = SampleNeighborProportional(g, ctx, task.current, rng);
           --task.remaining;
           done[t] = task.remaining == 0 ? 1 : 0;
           if (done[t]) {

@@ -49,6 +49,11 @@ struct LightNeOptions {
   /// table (see SparsifierOptions::combiner). Counters and the sparsity
   /// pattern are bit-identical either way; off = the direct-upsert path.
   bool sampler_combiner = true;
+  /// Byte budget for the sampler's hub-pinned decode cache on compressed
+  /// graphs (see SparsifierOptions::walk_pin_budget_bytes). A pure decode
+  /// cache — the embedding is bit-identical at any value; 0 disables
+  /// pinning. Capped by / reserved against memory_budget_bytes when set.
+  uint64_t walk_pin_budget_bytes = uint64_t{4} << 20;
   /// C in the downsampling probability; 0 = log(n).
   double downsample_constant = 0.0;
   /// Spectral-propagation enhancement (step 2). The paper disables it on the
@@ -118,6 +123,8 @@ inline uint64_t CheckpointOptionsFingerprint(const LightNeOptions& opt) {
   mix(opt.num_samples);
   mix(opt.downsample ? 1 : 0);
   mix(opt.sampler_combiner ? 1 : 0);
+  // walk_pin_budget_bytes is deliberately excluded: the hub-pinned decode
+  // cache cannot change any sampled value, only how fast it decodes.
   mix(std::bit_cast<uint64_t>(opt.downsample_constant));
   mix(opt.spectral_propagation ? 1 : 0);
   mix(opt.propagation.order);
@@ -272,6 +279,7 @@ Result<LightNeResult> RunLightNe(const G& g, const LightNeOptions& opt) {
     sopt.seed = opt.seed;
     sopt.memory_budget = budget.limited() ? &budget : nullptr;
     sopt.combiner = opt.sampler_combiner;
+    sopt.walk_pin_budget_bytes = opt.walk_pin_budget_bytes;
     auto sparsifier = BuildSparsifier(g, sopt);
     if (!sparsifier.ok()) return sparsifier.status();
     matrix = std::move(sparsifier->matrix);

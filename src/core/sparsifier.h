@@ -79,6 +79,14 @@ struct SparsifierOptions {
   bool combiner = true;
   /// log2 of the per-worker combiner slot count (13 -> 8192 slots, 128 KiB).
   uint32_t combiner_log2_slots = 13;
+  /// Byte budget for the walk accelerator (graph/walk_cursor.h): on
+  /// compressed graphs, the hub-pinned decode cache shared by all sampling
+  /// workers. 0 disables pinning (cold-tier batch decode still applies).
+  /// Pinning is a pure decode cache — the sparsifier is bit-identical with
+  /// any value — so this is a perf/memory knob, not a semantic one. When a
+  /// memory_budget governor is set, the actual footprint is reserved against
+  /// it and capped so the hash table always has room.
+  uint64_t walk_pin_budget_bytes = uint64_t{4} << 20;
 };
 
 struct SparsifierResult {
@@ -235,11 +243,13 @@ std::vector<NodeId> EdgeBalancedBoundaries(const G& g, uint64_t chunks) {
 /// statically round-robin — worker w takes chunks w, w+W, w+2W, ... — so
 /// which vertices share a worker (and a combiner) is a deterministic
 /// function of (graph, worker count), not of thread timing. Each worker owns
-/// one WalkContext (compressed-graph decode cursor) and, when enabled, one
-/// SamplerCombiner flushed at pass end.
+/// one WalkContext (compressed-graph two-tier decode cache, fed by the
+/// phase-shared `accel`) and, when enabled, one SamplerCombiner flushed at
+/// pass end.
 template <GraphView G>
 bool RunPerEdgeSampling(const G& g, const SparsifierOptions& opt,
                         double per_edge, double c, uint64_t seed,
+                        const WalkAccel<G>& accel,
                         ConcurrentHashTable<double>* table,
                         SamplerPassStats* stats) {
   const NodeId n = g.NumVertices();
@@ -257,7 +267,7 @@ bool RunPerEdgeSampling(const G& g, const SparsifierOptions& opt,
   std::atomic<uint64_t> flushes_total{0};
   std::atomic<uint64_t> batches_total{0};
   ParallelForWorkers([&](int worker, int workers) {
-    WalkContext<G> ctx;
+    WalkContext<G> ctx(accel);
     std::optional<SamplerCombiner> combiner;
     if (opt.combiner) combiner.emplace(table, opt.combiner_log2_slots);
     uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
@@ -306,6 +316,7 @@ bool RunPerEdgeSampling(const G& g, const SparsifierOptions& opt,
 template <GraphView G>
 void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
                                 double per_edge, double c, uint64_t seed,
+                                const WalkAccel<G>& accel,
                                 WorkerBuffers* buffers,
                                 SamplerPassStats* stats) {
   const NodeId n = g.NumVertices();
@@ -317,7 +328,7 @@ void RunPerEdgeSamplingBuffered(const G& g, const SparsifierOptions& opt,
         static_cast<NodeId>(static_cast<uint64_t>(n) * worker / workers);
     const NodeId hi =
         static_cast<NodeId>(static_cast<uint64_t>(n) * (worker + 1) / workers);
-    WalkContext<G> ctx;
+    WalkContext<G> ctx(accel);
     uint64_t local_drawn = 0, local_accepted = 0, local_mass = 0;
     for (NodeId u = lo; u < hi; ++u) {
       SampleVertexEdges(
@@ -449,12 +460,19 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
   };
   double expected_accepted = compute_expected_accepted(c);
 
+  // Walk accelerator for every sampling pass of this build (pilot + main):
+  // on compressed graphs this pins the decoded top-degree adjacencies, with
+  // the footprint reserved against the governor for the build's lifetime.
+  // A pure decode cache — the sparsifier is bit-identical with or without it.
+  const WalkAccel<G> walk_accel =
+      MakeWalkAccel(g, opt.walk_pin_budget_bytes, opt.memory_budget);
+
   // --- alternative strategy: per-worker lists + sparse histogram ---------
   if (opt.aggregation == AggregationStrategy::kSortHistogram) {
     WorkerBuffers buffers(NumWorkers());
     internal::SamplerPassStats stats;
     internal::RunPerEdgeSamplingBuffered(g, opt, per_edge, c, opt.seed,
-                                         &buffers, &stats);
+                                         walk_accel, &buffers, &stats);
     SparsifierResult result;
     result.samples_drawn = stats.drawn;
     result.samples_accepted = stats.accepted;
@@ -490,8 +508,8 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
       ConcurrentHashTable<double> pilot(pilot_hint);
       internal::SamplerPassStats pilot_stats;
       if (internal::RunPerEdgeSampling(g, opt, per_edge / kPilotScale, c,
-                                       opt.seed ^ 0x9107ull, &pilot,
-                                       &pilot_stats)) {
+                                       opt.seed ^ 0x9107ull, walk_accel,
+                                       &pilot, &pilot_stats)) {
         distinct_estimate = internal::ExtrapolateDistinct(
             static_cast<double>(pilot_stats.accepted),
             static_cast<double>(pilot.NumEntries()), kPilotScale);
@@ -578,8 +596,8 @@ Result<SparsifierResult> BuildSparsifier(const G& g,
     }
     ConcurrentHashTable<double> table(capacity_hint);
     internal::SamplerPassStats stats;
-    const bool ok = internal::RunPerEdgeSampling(g, opt, per_edge, c,
-                                                 opt.seed, &table, &stats);
+    const bool ok = internal::RunPerEdgeSampling(
+        g, opt, per_edge, c, opt.seed, walk_accel, &table, &stats);
     if (!ok) {
       LIGHTNE_LOG_WARN(
           "sparsifier hash table overflowed (capacity %llu); retrying at 2x",

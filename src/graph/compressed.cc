@@ -1,6 +1,11 @@
 #include "graph/compressed.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "parallel/scan.h"
+#include "parallel/sort.h"
+#include "util/metrics.h"
 
 namespace lightne {
 
@@ -135,6 +140,82 @@ NodeId CompressedGraph::DecodeCursor::Get(const CompressedGraph& g, NodeId v,
   e.running = running;
   e.next = p;
   return buf[within];
+}
+
+uint64_t CompressedGraph::DecodeBlock(NodeId v, uint64_t b, NodeId* out) const {
+  const uint64_t d = degrees_[v];
+  const uint64_t nblocks = NumBlocks(d);
+  LIGHTNE_CHECK_LT(b, nblocks);
+  const uint8_t* region = bytes_.data() + vertex_offset_[v];
+  const uint8_t* p = region + BlockStart(region, nblocks, b);
+  const uint64_t in_block =
+      (b + 1 < nblocks) ? block_size_ : d - b * block_size_;
+  int64_t running = static_cast<int64_t>(v) + DecodeZigzag(&p);
+  out[0] = static_cast<NodeId>(running);
+  for (uint64_t k = 1; k < in_block; ++k) {
+    running += static_cast<int64_t>(DecodeVarint(&p));
+    out[k] = static_cast<NodeId>(running);
+  }
+  return in_block;
+}
+
+CompressedGraph::HubCache CompressedGraph::HubCache::Build(
+    const CompressedGraph& g, uint64_t byte_budget, MemoryBudget* budget) {
+  HubCache cache;
+  const NodeId n = g.NumVertices();
+  if (n == 0 || byte_budget == 0) return cache;
+  uint64_t effective = byte_budget;
+  if (budget != nullptr && budget->limited()) {
+    // An accelerator must never starve the sparsifier hash table: under a
+    // limited governor, spend at most a quarter of what is still available.
+    effective = std::min(effective, budget->available_bytes() / 4);
+  }
+  const uint64_t index_bytes =
+      static_cast<uint64_t>(n) * sizeof(const NodeId*);
+  if (index_bytes >= effective) return cache;
+
+  // Pin order: (degree desc, id asc) — a pure function of the graph, so the
+  // pinned set is deterministic for a fixed budget.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  ParallelSort(order.data(), order.size(), [&](NodeId a, NodeId b) {
+    const uint64_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+
+  uint64_t bytes = index_bytes;
+  uint64_t entries = 0;
+  uint64_t pinned = 0;
+  std::vector<uint64_t> row_offset;
+  for (; pinned < n; ++pinned) {
+    const uint64_t d = g.Degree(order[pinned]);
+    if (d == 0) break;  // degree-sorted: nothing left worth pinning
+    const uint64_t row_bytes = d * sizeof(NodeId);
+    if (bytes + row_bytes > effective) break;
+    row_offset.push_back(entries);
+    bytes += row_bytes;
+    entries += d;
+  }
+  if (pinned == 0) return cache;
+
+  BudgetReservation reservation(budget, bytes);
+  if (!reservation.ok()) return cache;  // governor raced below the cap
+  cache.pool_.resize(entries);
+  cache.rows_.assign(n, nullptr);
+  ParallelFor(0, pinned, [&](uint64_t j) {
+    const NodeId v = order[j];
+    NodeId* out = cache.pool_.data() + row_offset[j];
+    uint64_t k = 0;
+    g.MapNeighbors(v, [&](NodeId u) { out[k++] = u; });
+    cache.rows_[v] = out;
+  });
+  cache.pinned_vertices_ = pinned;
+  cache.pinned_bytes_ = bytes;
+  cache.reservation_ = std::move(reservation);
+  MetricsRegistry& m = MetricsRegistry::Global();
+  m.GetGauge("walk/pinned_bytes")->Set(bytes);
+  m.GetGauge("walk/pinned_vertices")->Set(pinned);
+  return cache;
 }
 
 NodeId CompressedGraph::Neighbor(NodeId v, uint64_t i) const {

@@ -22,6 +22,7 @@
 #include "graph/types.h"
 #include "parallel/parallel_for.h"
 #include "util/check.h"
+#include "util/memory.h"
 
 namespace lightne {
 
@@ -46,8 +47,71 @@ class CompressedGraph {
   /// offset table, then decodes at most block_size varints.
   NodeId Neighbor(NodeId v, uint64_t i) const;
 
-  /// Amortized-O(1) random access for walk loops: a small direct-mapped
-  /// cache of lazily-decoded blocks, keyed by (vertex, block). A draw's
+  /// Decodes block `b` of vertex `v` in one pass into `out` (which must hold
+  /// block_size() entries). Returns the number of neighbors decoded (the
+  /// block length; the last block of a vertex may be short). One linear
+  /// varint sweep — the batch-decode primitive the walk engine uses to
+  /// amortize decode cost when several draws land in the same block.
+  uint64_t DecodeBlock(NodeId v, uint64_t b, NodeId* out) const;
+
+  /// Permanently pinned decoded adjacencies of the highest-degree vertices.
+  ///
+  /// Random walks visit vertices with probability proportional to degree, so
+  /// on power-law graphs a small set of hubs absorbs most draws. HubCache
+  /// decodes those hubs' full neighbor lists once at build time; a pinned
+  /// draw is then a plain array read (`Row(v)[i]`), with no hashing, no
+  /// varint decode, and no possibility of eviction. Built per sampling phase
+  /// (see MakeWalkAccel in graph/walk_cursor.h) and shared read-only by all
+  /// worker contexts.
+  ///
+  /// Sizing: `byte_budget` caps the footprint (the per-vertex row index plus
+  /// the decoded rows). When a limited MemoryBudget governor is supplied the
+  /// spend is further capped at a quarter of its available bytes — pinning
+  /// is an accelerator and must never starve the sparsifier hash table — and
+  /// the actual footprint is reserved against the governor for the cache's
+  /// lifetime. Vertices are pinned greedily in (degree desc, id asc) order,
+  /// a pure function of the graph, so the pinned set is deterministic.
+  class HubCache {
+   public:
+    HubCache() = default;
+
+    /// Builds the cache. Returns an empty cache (every Row() nullptr) when
+    /// the budget cannot hold the index plus at least one row, or when the
+    /// governor reservation fails. Reports `walk/pinned_bytes` and
+    /// `walk/pinned_vertices` gauges on success.
+    static HubCache Build(const CompressedGraph& g, uint64_t byte_budget,
+                          MemoryBudget* budget = nullptr);
+
+    /// The decoded adjacency of v (degree entries), or nullptr if unpinned.
+    const NodeId* Row(NodeId v) const {
+      return rows_.empty() ? nullptr : rows_[v];
+    }
+
+    bool empty() const { return pool_.empty(); }
+    uint64_t pinned_vertices() const { return pinned_vertices_; }
+    /// Accounted footprint: row index + decoded rows.
+    uint64_t pinned_bytes() const { return pinned_bytes_; }
+
+   private:
+    std::vector<const NodeId*> rows_;  // size n; nullptr = not pinned
+    std::vector<NodeId> pool_;         // decoded rows, hubs first
+    uint64_t pinned_vertices_ = 0;
+    uint64_t pinned_bytes_ = 0;
+    // Held for the cache lifetime so the governor sees the pinned bytes as
+    // long as walks can touch them (vector moves keep rows_ pointers valid).
+    BudgetReservation reservation_;
+  };
+
+  /// Legacy lazily-extending decode cursor, demoted to a bench reference.
+  /// Measured parity-at-best against naive decode on the sampler's edge
+  /// stream (BENCH_sampler.json: 0.97x, 1.3% hit rate), so the default walk
+  /// path now uses the two-tier WalkContext (graph/walk_cursor.h: HubCache
+  /// pinned tier + batch-decoded cold tier). Kept only so
+  /// bench_sampler_baseline's `walk_compressed_cursor` row can keep tracking
+  /// the alternative; not referenced by any production call site.
+  ///
+  /// A small direct-mapped cache of lazily-decoded blocks, keyed by
+  /// (vertex, block). A draw's
   /// decode cost is proportional to its offset within the block, so cheap
   /// draws (within <= kDirectWithin — the bulk of traffic on an average-
   /// degree graph) decode inline and never evict anything; expensive draws

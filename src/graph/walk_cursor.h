@@ -4,41 +4,202 @@
 // on the parallel-byte compressed format — every step of every walk
 // re-decoded its block from scratch, which made the compressed sampler pay
 // a varint tax the paper's time breakdown attributes to the sampling stage.
-// WalkContext<G> is the representation-specific cursor a caller stack-
-// allocates once per worker and passes down the walk call chain: for most
-// graphs it is empty (zero-cost), for CompressedGraph it carries a
-// DecodeCursor so repeated draws at the same vertex/block are served from
-// the decoded prefix (amortized O(1), see CompressedGraph::DecodeCursor).
 //
-// Contract: WalkContext never touches the RNG and Neighbor() returns
+// Two pieces cooperate (DESIGN.md §13, "Walk engine"):
+//
+//  - WalkAccel<G>: phase-level shared acceleration state, built once per
+//    sampling phase (MakeWalkAccel) and read concurrently by every worker.
+//    For CompressedGraph it holds the HubCache — the decoded adjacencies of
+//    the top-degree vertices, pinned for the phase under a byte budget
+//    accountable to the MemoryBudget governor. Degree skew means those few
+//    hubs absorb most walk draws, so the common case becomes a plain array
+//    index.
+//  - WalkContext<G>: the per-worker cursor a caller stack-allocates once
+//    per worker and passes down the walk call chain. For most graphs it is
+//    empty (zero-cost). For CompressedGraph it is the cold tier under the
+//    pinned one: a small direct-mapped cache of (vertex, block) slots whose
+//    buffers live in the worker's ScratchArena. A block is batch-decoded in
+//    one varint sweep on its second touch (single-visit blocks decode only
+//    up to the requested index), amortizing decode over the walk window.
+//
+// Contract: neither tier ever touches the RNG and Neighbor() returns
 // exactly g.Neighbor(v, i), so walks draw bit-identical endpoints with or
-// without a context — it is purely a decode cache. A context must not
-// outlive its graph and must always be used with the same graph.
+// without an accel/context, at any worker count — they are purely decode
+// caches. A context must not outlive its graph or accel, must always be
+// used with the same graph, and must stay on the thread that built it (its
+// buffers come from that thread's scratch arena).
 #ifndef LIGHTNE_GRAPH_WALK_CURSOR_H_
 #define LIGHTNE_GRAPH_WALK_CURSOR_H_
 
 #include "graph/compressed.h"
 #include "graph/graph_view.h"
 #include "graph/types.h"
+#include "parallel/scratch.h"
+#include "util/memory.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 
 namespace lightne {
+
+/// Shared per-phase walk acceleration state. Default: none.
+template <typename G>
+struct WalkAccel {};
+
+/// Compressed graphs pin the decoded top-degree adjacencies per phase.
+template <>
+struct WalkAccel<CompressedGraph> {
+  CompressedGraph::HubCache pinned;
+};
+
+/// Builds the walk accelerator for a sampling phase. The generic form is a
+/// no-op (direct-access graphs need no acceleration); the CompressedGraph
+/// form builds the HubCache under `pin_budget_bytes` (0 disables pinning),
+/// reserving the actual footprint against `budget` when one is given.
+template <typename G>
+WalkAccel<G> MakeWalkAccel(const G& /*g*/, uint64_t /*pin_budget_bytes*/,
+                           MemoryBudget* /*budget*/ = nullptr) {
+  return {};
+}
+inline WalkAccel<CompressedGraph> MakeWalkAccel(
+    const CompressedGraph& g, uint64_t pin_budget_bytes,
+    MemoryBudget* budget = nullptr) {
+  WalkAccel<CompressedGraph> accel;
+  accel.pinned =
+      CompressedGraph::HubCache::Build(g, pin_budget_bytes, budget);
+  return accel;
+}
 
 /// Default context: direct Neighbor access, no state.
 template <typename G>
 struct WalkContext {
+  WalkContext() = default;
+  explicit WalkContext(const WalkAccel<G>& /*accel*/) {}
+
   NodeId Neighbor(const G& g, NodeId v, uint64_t i) {
     return g.Neighbor(v, i);
   }
 };
 
-/// Compressed graphs carry a decode cursor per context.
+/// Compressed graphs: two-tier decode cache (pinned hubs + batch-decoded
+/// cold blocks). Default-constructed contexts run cold-tier only, so every
+/// existing `WalkContext<G> ctx;` call site keeps working without an accel.
 template <>
 struct WalkContext<CompressedGraph> {
-  CompressedGraph::DecodeCursor cursor;
+  WalkContext() : scope_(ScratchArena::ForCurrentThread()) {}
+  explicit WalkContext(const WalkAccel<CompressedGraph>& accel)
+      : WalkContext() {
+    if (!accel.pinned.empty()) pinned_ = &accel.pinned;
+  }
+
+  // Publishes this context's tier counters into the process metrics
+  // registry (util/metrics.h) exactly once, at end of worker scope, so the
+  // hot loop never touches a shared cache line. `walk/pin_hits` is a pure
+  // function of the (deterministic) walk stream and the pinned set, hence
+  // bit-identical across worker counts; the cold-tier counters depend on
+  // per-worker slot residency, so they are deterministic only for a fixed
+  // worker count.
+  ~WalkContext() {
+    if ((pin_hits_ | cold_hits_ | decode_misses_) != 0) {
+      MetricsRegistry& m = MetricsRegistry::Global();
+      m.GetCounter("walk/pin_hits")->Add(pin_hits_);
+      m.GetCounter("walk/cold_hits")->Add(cold_hits_);
+      m.GetCounter("walk/decode_misses")->Add(decode_misses_);
+    }
+  }
+  WalkContext(const WalkContext&) = delete;
+  WalkContext& operator=(const WalkContext&) = delete;
 
   NodeId Neighbor(const CompressedGraph& g, NodeId v, uint64_t i) {
-    return cursor.Get(g, v, i);
+    if (pinned_ != nullptr) {
+      const NodeId* row = pinned_->Row(v);
+      if (row != nullptr) {
+        ++pin_hits_;
+        return row[i];
+      }
+    }
+    return ColdNeighbor(g, v, i);
   }
+
+  /// Draws served by the pinned tier (array read, no decode).
+  uint64_t pin_hits() const { return pin_hits_; }
+  /// Draws served by a resident batch-decoded cold block.
+  uint64_t cold_hits() const { return cold_hits_; }
+  /// Draws that decoded varints (inline, first-touch, or block promotion).
+  uint64_t decode_misses() const { return decode_misses_; }
+
+ private:
+  NodeId ColdNeighbor(const CompressedGraph& g, NodeId v, uint64_t i) {
+    const uint64_t b = i / g.block_size();
+    const uint64_t within = i - b * g.block_size();
+    // A draw's inline decode cost is proportional to `within`: draws near a
+    // block start cost fewer cycles than the cache bookkeeping, so they
+    // decode directly and never touch — or evict — a slot.
+    if (within <= kDirectWithin) {
+      ++decode_misses_;
+      return g.Neighbor(v, i);
+    }
+    // Direct-mapped slot for (v, b). Multiplicative mix on the packed key;
+    // taking high bits keeps distinct blocks of the same hub apart.
+    const uint64_t key = (static_cast<uint64_t>(v) << 20) ^ b;
+    const uint64_t slot = (key * 0x9E3779B97F4A7C15ull) >> (64 - kLog2Slots);
+    Slot& s = slots_[slot];
+    if (s.v == v && s.block == b) {
+      NodeId* buf = pool_ + slot * stride_;
+      if (s.decoded) {
+        ++cold_hits_;
+        return buf[within];
+      }
+      // Second touch of the resident tag: more than one draw landed in this
+      // block, so batch-decode it in one varint sweep. Every further draw is
+      // an array read.
+      ++decode_misses_;
+      Timer timer;
+      g.DecodeBlock(v, b, buf);
+      DecodeLatencyUs()->Observe(timer.Seconds() * 1e6);
+      s.decoded = true;
+      return buf[within];
+    }
+    // First touch: tag the slot but decode only up to the requested index —
+    // a block visited once must not pay a full-block decode.
+    if (pool_ == nullptr) {
+      stride_ = g.block_size();
+      pool_ = scope_.AllocArray<NodeId>(kSlots * stride_);
+    }
+    s.v = v;
+    s.block = b;
+    s.decoded = false;
+    ++decode_misses_;
+    return g.Neighbor(v, i);
+  }
+
+  static Histogram* DecodeLatencyUs() {
+    // Microsecond buckets around the cost of one 64-varint block sweep.
+    static Histogram* h = MetricsRegistry::Global().GetHistogram(
+        "walk/decode_block_us", {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 64.0});
+    return h;
+  }
+
+  static constexpr uint32_t kLog2Slots = 7;  // 128 direct-mapped slots
+  static constexpr uint64_t kSlots = uint64_t{1} << kLog2Slots;
+  static constexpr uint64_t kDirectWithin = 8;
+  static constexpr uint64_t kNoVertex = ~uint64_t{0};
+
+  struct Slot {
+    uint64_t v = kNoVertex;  // vertex id (kNoVertex = empty)
+    uint64_t block = 0;
+    bool decoded = false;  // false: tagged on first touch, not yet promoted
+  };
+
+  Slot slots_[kSlots];
+  const CompressedGraph::HubCache* pinned_ = nullptr;
+  NodeId* pool_ = nullptr;  // kSlots * stride_, lazily from the arena
+  uint64_t stride_ = 0;     // == graph block_size() once allocated
+  uint64_t pin_hits_ = 0;
+  uint64_t cold_hits_ = 0;
+  uint64_t decode_misses_ = 0;
+  // Declared last so buffers outlive nothing in this object; reclaimed (for
+  // reuse, not freed) when the context leaves worker scope.
+  ScratchArena::Scope scope_;
 };
 
 }  // namespace lightne

@@ -20,6 +20,7 @@
 #include "graph/weighted_csr.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace lightne {
 
@@ -43,8 +44,11 @@ void MapNeighborsWeighted(const WeightedCsrGraph& g, NodeId v, F&& fn) {
 }
 
 /// Samples a neighbor of v with probability proportional to edge weight.
-/// v must have degree >= 1 (checked: a zero-degree draw would silently
-/// index past the adjacency, exactly the UB RandomNeighbor already guards).
+/// The hot-path ctx form requires degree >= 1 (checked: a zero-degree draw
+/// would silently index past the adjacency, exactly the UB RandomNeighbor
+/// already guards) — walk call sites only ever step from a vertex they just
+/// arrived at through an edge, so a zero degree there is a logic bug, not
+/// an input condition.
 template <GraphView G>
 NodeId SampleNeighborProportional(const G& g, WalkContext<G>& ctx, NodeId v,
                                   Rng& rng) {
@@ -57,8 +61,15 @@ inline NodeId SampleNeighborProportional(const WeightedCsrGraph& g,
                                          NodeId v, Rng& rng) {
   return g.SampleNeighbor(v, rng);
 }
+/// The plain form is the entry point for callers sampling from arbitrary
+/// (possibly isolated) vertices, so it reports the zero-degree case as a
+/// recoverable error instead of aborting the process.
 template <typename G>
-NodeId SampleNeighborProportional(const G& g, NodeId v, Rng& rng) {
+Result<NodeId> SampleNeighborProportional(const G& g, NodeId v, Rng& rng) {
+  if (g.Degree(v) == 0) {
+    return Status::InvalidArgument(
+        "cannot sample a neighbor of a zero-degree vertex");
+  }
   WalkContext<G> ctx;
   return SampleNeighborProportional(g, ctx, v, rng);
 }

@@ -1,10 +1,13 @@
-// Sampler hot-path tests (DESIGN.md §11): combiner-vs-direct equivalence
-// (bit-identical integer counters, 1-ulp matrix values), the alias-table
-// sampler's exact distribution and RNG-consumption contract against the
-// prefix-scan reference, the compressed-graph decode cursor against naive
-// Neighbor, and the edge-balanced scheduling partition.
+// Sampler hot-path tests (DESIGN.md §11, §13): combiner-vs-direct
+// equivalence (bit-identical integer counters, 1-ulp matrix values), the
+// alias-table sampler's exact distribution and RNG-consumption contract
+// against the prefix-scan reference (full and degree-gated), the
+// compressed-graph walk engine (hub-pinned + batch-decode tiers and the
+// legacy cursor) against naive Neighbor, and the edge-balanced scheduling
+// partition.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -18,6 +21,7 @@
 #include "graph/weighted_csr.h"
 #include "graph/weights.h"
 #include "parallel/parallel_for.h"
+#include "util/memory.h"
 #include "util/metrics.h"
 #include "util/random.h"
 
@@ -248,16 +252,22 @@ TEST(AliasTableTest, WeightedWalkStillWorksWithAliasTable) {
 
 // ------------------------------------------------------------ degree guard ----
 
-TEST(WeightsDeathTest, SampleNeighborProportionalChecksDegree) {
-  // Vertex 3 is isolated: sampling from it must trip the degree check, not
-  // silently index past the adjacency.
+TEST(WeightsTest, SampleNeighborProportionalRejectsZeroDegree) {
+  // Vertex 3 is isolated: the plain entry point must report InvalidArgument
+  // instead of aborting or silently indexing past the adjacency. (The ctx
+  // hot-path form keeps its CHECK — see weights.h.)
   EdgeList list;
   list.num_vertices = 4;
   list.Add(0, 1);
   list.Add(1, 2);
   const CsrGraph g = CsrGraph::FromEdges(list);
   Rng rng(1);
-  EXPECT_DEATH(SampleNeighborProportional(g, NodeId{3}, rng), "CHECK failed");
+  const Result<NodeId> bad = SampleNeighborProportional(g, NodeId{3}, rng);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  const Result<NodeId> good = SampleNeighborProportional(g, NodeId{0}, rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, NodeId{1});
 }
 
 // ------------------------------------------------------------ decode cursor ----
@@ -311,6 +321,260 @@ TEST(DecodeCursorTest, WalkContextMatchesPlainWalks) {
     const NodeId with_ctx = WeightedRandomWalk(g, ctx, start, 8, rng_a);
     const NodeId without = WeightedRandomWalk(g, start, 8, rng_b);
     ASSERT_EQ(with_ctx, without) << "walk " << s;
+  }
+}
+
+// --------------------------------------------------------- walk engine ----
+
+// Replays one deterministic PathSampling-shaped draw stream through a
+// step function; used to compare decode variants draw by draw.
+template <typename StepFn>
+std::vector<NodeId> DrawStream(const CompressedGraph& g, const StepFn& step) {
+  std::vector<NodeId> stream;
+  Rng rng(4242);
+  for (int walk = 0; walk < 4000; ++walk) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+    if (g.Degree(v) == 0) continue;
+    for (int k = 0; k < 6; ++k) {
+      v = step(v, rng.UniformInt(g.Degree(v)));
+      stream.push_back(v);
+    }
+  }
+  return stream;
+}
+
+TEST(WalkEngineTest, StreamsBitIdenticalAcrossDecodeVariants) {
+  // The tentpole contract: naive per-draw decode, the cold-tier batch
+  // decode, and the hub-pinned two-tier cache are pure decode caches — the
+  // walk stream is the same vertex sequence bit for bit.
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 77));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  const std::vector<NodeId> naive = DrawStream(
+      g, [&](NodeId v, uint64_t i) { return g.Neighbor(v, i); });
+  {
+    WalkContext<CompressedGraph> cold;
+    const std::vector<NodeId> stream = DrawStream(
+        g, [&](NodeId v, uint64_t i) { return cold.Neighbor(g, v, i); });
+    ASSERT_EQ(stream, naive);
+    // The bursty pattern must actually exercise batch promotion.
+    EXPECT_GT(cold.cold_hits(), 0u);
+    EXPECT_GT(cold.decode_misses(), 0u);
+  }
+  {
+    const WalkAccel<CompressedGraph> accel =
+        MakeWalkAccel(g, /*pin_budget_bytes=*/uint64_t{1} << 30);
+    ASSERT_FALSE(accel.pinned.empty());
+    WalkContext<CompressedGraph> pinned(accel);
+    const std::vector<NodeId> stream = DrawStream(
+        g, [&](NodeId v, uint64_t i) { return pinned.Neighbor(g, v, i); });
+    ASSERT_EQ(stream, naive);
+    EXPECT_GT(pinned.pin_hits(), 0u);
+  }
+}
+
+TEST(WalkEngineTest, SparsifierBitIdenticalAcrossTiersAndWorkerCounts) {
+  // End to end: pinning fully on (a budget pinning every vertex), fully off
+  // (cold tier only), at one worker and at the full pool — all four runs
+  // must produce the same sparsifier as the raw-CSR build.
+  const CsrGraph csr = SamplerGraph();
+  const CompressedGraph cg = CompressedGraph::FromCsr(csr);
+  SparsifierOptions opt = BaseOptions();
+  auto reference = BuildSparsifier(csr, opt);
+  ASSERT_TRUE(reference.ok());
+  for (const uint64_t pin_budget : {uint64_t{0}, uint64_t{1} << 30}) {
+    opt.walk_pin_budget_bytes = pin_budget;
+    auto parallel = BuildSparsifier(cg, opt);
+    Result<SparsifierResult> serial = [&] {
+      SequentialRegion seq;
+      return BuildSparsifier(cg, opt);
+    }();
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_TRUE(serial.ok());
+    ExpectEquivalentSparsifiers(*reference, *parallel);
+    ExpectEquivalentSparsifiers(*reference, *serial);
+  }
+}
+
+TEST(WalkEngineTest, HubCachePinsTopDegreesWithinBudget) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 5));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  const uint64_t budget = 64 << 10;
+  const CompressedGraph::HubCache cache =
+      CompressedGraph::HubCache::Build(g, budget);
+  ASSERT_FALSE(cache.empty());
+  EXPECT_LE(cache.pinned_bytes(), budget);
+  EXPECT_GT(cache.pinned_vertices(), 0u);
+  EXPECT_LT(cache.pinned_vertices(), g.NumVertices());
+  // Pinned rows decode correctly, and the pinned set is exactly a top
+  // slice by degree: every pinned vertex has degree >= every unpinned one.
+  uint64_t min_pinned = ~uint64_t{0}, max_unpinned = 0;
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    const NodeId* row = cache.Row(v);
+    if (row == nullptr) {
+      max_unpinned = std::max(max_unpinned, g.Degree(v));
+      continue;
+    }
+    min_pinned = std::min(min_pinned, g.Degree(v));
+    for (uint64_t i = 0; i < g.Degree(v); ++i) {
+      ASSERT_EQ(row[i], g.Neighbor(v, i)) << "v=" << v << " i=" << i;
+    }
+  }
+  EXPECT_GE(min_pinned, max_unpinned);
+}
+
+TEST(WalkEngineTest, HubCacheReservesAndReleasesGovernorBytes) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(9, 6000, 8));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  MemoryBudget budget(uint64_t{8} << 20);
+  {
+    const WalkAccel<CompressedGraph> accel =
+        MakeWalkAccel(g, uint64_t{1} << 20, &budget);
+    ASSERT_FALSE(accel.pinned.empty());
+    // The accounted footprint is reserved against the governor and capped
+    // by both the pin budget and a quarter of what was available.
+    EXPECT_EQ(budget.reserved_bytes(), accel.pinned.pinned_bytes());
+    EXPECT_LE(accel.pinned.pinned_bytes(), uint64_t{1} << 20);
+    EXPECT_LE(accel.pinned.pinned_bytes(), (uint64_t{8} << 20) / 4);
+  }
+  // Destroying the accel releases the reservation.
+  EXPECT_EQ(budget.reserved_bytes(), 0u);
+  // A budget too small for the row index yields an empty cache, not a
+  // failed reservation.
+  MemoryBudget tiny(4 << 10);
+  const WalkAccel<CompressedGraph> none = MakeWalkAccel(g, 1 << 20, &tiny);
+  EXPECT_TRUE(none.pinned.empty());
+  EXPECT_EQ(tiny.reserved_bytes(), 0u);
+}
+
+TEST(WalkEngineTest, BatchDecodeMatchesMapNeighbors) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(9, 8000, 13));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  std::vector<NodeId> block(g.block_size());
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    const uint64_t d = g.Degree(v);
+    if (d == 0) continue;
+    std::vector<NodeId> expect;
+    expect.reserve(d);
+    g.MapNeighbors(v, [&](NodeId u) { expect.push_back(u); });
+    uint64_t seen = 0;
+    const uint64_t nblocks = (d + g.block_size() - 1) / g.block_size();
+    for (uint64_t b = 0; b < nblocks; ++b) {
+      const uint64_t len = g.DecodeBlock(v, b, block.data());
+      ASSERT_GT(len, 0u);
+      for (uint64_t k = 0; k < len; ++k) {
+        ASSERT_EQ(block[k], expect[seen + k]) << "v=" << v << " b=" << b;
+      }
+      seen += len;
+    }
+    ASSERT_EQ(seen, d);
+  }
+}
+
+TEST(WalkEngineTest, WalkCountersReachMetricsRegistry) {
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(9, 6000, 31));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  MetricsRegistry::Global().ResetForTest();
+  uint64_t pin_hits = 0, cold_hits = 0, misses = 0;
+  {
+    const WalkAccel<CompressedGraph> accel =
+        MakeWalkAccel(g, uint64_t{1} << 30);
+    WalkContext<CompressedGraph> ctx(accel);
+    (void)DrawStream(
+        g, [&](NodeId v, uint64_t i) { return ctx.Neighbor(g, v, i); });
+    pin_hits = ctx.pin_hits();
+    cold_hits = ctx.cold_hits();
+    misses = ctx.decode_misses();
+  }  // destructor publishes the counters
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.CounterValue("walk/pin_hits"), pin_hits);
+  EXPECT_EQ(snap.CounterValue("walk/cold_hits"), cold_hits);
+  EXPECT_EQ(snap.CounterValue("walk/decode_misses"), misses);
+  EXPECT_GT(snap.GaugeValue("walk/pinned_bytes"), 0u);
+  EXPECT_GT(snap.GaugeValue("walk/pinned_vertices"), 0u);
+  EXPECT_GT(pin_hits, 0u);
+}
+
+// --------------------------------------------------- degree-gated alias ----
+
+TEST(GatedAliasTest, GatedDrawsBitIdenticalToAliasOnHubsPrefixBelow) {
+  // The gated sampler must be a seam of the two existing samplers: for the
+  // same roll, a hub draw returns exactly what the full alias table would,
+  // a cold draw exactly what the prefix scan would — bit-identical, not
+  // just in distribution.
+  constexpr uint32_t kGate = 8;
+  WeightedCsrGraph full = SkewedWeightedGraph();
+  WeightedCsrGraph plain = SkewedWeightedGraph();
+  WeightedCsrGraph gated = SkewedWeightedGraph();
+  full.BuildAliasTable();
+  gated.BuildDegreeGatedAlias(kGate);
+  EXPECT_TRUE(gated.degree_gated());
+  EXPECT_EQ(gated.degree_gate(), kGate);
+  for (NodeId v = 0; v < gated.NumVertices(); ++v) {
+    const uint64_t d = gated.Degree(v);
+    if (d == 0) continue;
+    Rng rng_gated(v * 31 + 1), rng_ref(v * 31 + 1);
+    for (int s = 0; s < 200; ++s) {
+      const NodeId got = gated.SampleNeighbor(v, rng_gated);
+      const NodeId want = d >= kGate
+                              ? full.SampleNeighborAlias(v, rng_ref)
+                              : plain.SampleNeighborPrefixScan(v, rng_ref);
+      ASSERT_EQ(got, want) << "v=" << v << " (degree " << d << ") draw " << s;
+    }
+  }
+}
+
+TEST(GatedAliasTest, RngConsumptionIdenticalAcrossGateBoundary)  {
+  // One Uniform() per draw on both sides of the gate: a seeded stream stays
+  // aligned with the ungated samplers no matter which row kind serves it.
+  WeightedCsrGraph gated = SkewedWeightedGraph();
+  WeightedCsrGraph plain = SkewedWeightedGraph();
+  gated.BuildDegreeGatedAlias(8);
+  Rng rng_gated(99), rng_plain(99);
+  for (int s = 0; s < 1000; ++s) {
+    const NodeId v = static_cast<NodeId>(s % gated.NumVertices());
+    if (gated.Degree(v) == 0) continue;
+    (void)gated.SampleNeighbor(v, rng_gated);
+    (void)plain.SampleNeighborPrefixScan(v, rng_plain);
+    ASSERT_EQ(rng_gated.Next(), rng_plain.Next()) << "diverged at draw " << s;
+  }
+}
+
+TEST(GatedAliasTest, GatedTableCutsSamplingMemory) {
+  WeightedCsrGraph full = SkewedWeightedGraph();
+  WeightedCsrGraph gated = SkewedWeightedGraph();
+  full.BuildAliasTable();
+  gated.BuildDegreeGatedAlias(8);
+  // Full: cumulative (8 B/edge) + alias rows (12 B/edge). Gated: alias rows
+  // only above the gate, compact CDF below, one slot word per vertex — on
+  // this star-plus-ring graph well past the 40% acceptance bar.
+  EXPECT_LT(gated.SamplingBytes(), full.SamplingBytes());
+  EXPECT_LE(static_cast<double>(gated.SamplingBytes()),
+            0.6 * static_cast<double>(full.SamplingBytes()));
+  // Weighted degrees (used by downsampling probabilities) survive the
+  // cumulative-array release.
+  for (NodeId v = 0; v < gated.NumVertices(); ++v) {
+    EXPECT_EQ(gated.WeightedDegree(v), full.WeightedDegree(v));
+  }
+}
+
+TEST(GatedAliasTest, GatedDistributionTracksWeights) {
+  WeightedCsrGraph g = SkewedWeightedGraph();
+  g.BuildDegreeGatedAlias(8);
+  const NodeId hub = 0;  // degree 63: alias side of the gate
+  const uint64_t d = g.Degree(hub);
+  ASSERT_GE(d, 8u);
+  std::vector<uint64_t> counts(65, 0);
+  Rng rng(7);
+  const uint64_t draws = 200000;
+  for (uint64_t s = 0; s < draws; ++s) ++counts[g.SampleNeighbor(hub, rng)];
+  for (uint64_t i = 0; i < d; ++i) {
+    const NodeId nbr = g.Neighbor(hub, i);
+    const double expect = static_cast<double>(draws) *
+                          static_cast<double>(g.Weight(hub, i)) /
+                          g.WeightedDegree(hub);
+    EXPECT_NEAR(static_cast<double>(counts[nbr]), expect,
+                6.0 * std::sqrt(expect) + 6.0)
+        << "neighbor " << nbr;
   }
 }
 

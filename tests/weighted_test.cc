@@ -74,6 +74,24 @@ TEST(WeightedCsrTest, SampleNeighborProportionalToWeight) {
   EXPECT_NEAR(hits[3] / static_cast<double>(trials), 1.0 / 7, 0.01);
 }
 
+TEST(WeightedCsrTest, ProportionalSampleOfZeroDegreeVertexIsStatus) {
+  // Regression: this used to be a process-aborting CHECK; callers holding
+  // user-supplied vertex ids (e.g. seed lists) need a recoverable error.
+  WeightedEdgeList list;
+  list.num_vertices = 3;
+  list.Add(0, 1, 1.0f);
+  list.Add(2, 2, 9.0f);  // self loop dropped -> vertex 2 ends up isolated
+  WeightedCsrGraph g = WeightedCsrGraph::FromEdges(std::move(list));
+  ASSERT_EQ(g.Degree(2), 0u);
+  Rng rng(11);
+  const Result<NodeId> bad = SampleNeighborProportional(g, NodeId{2}, rng);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  const Result<NodeId> good = SampleNeighborProportional(g, NodeId{0}, rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, NodeId{1});
+}
+
 TEST(WeightedCsrTest, UnitWeightsMatchUnweightedSemantics) {
   // Duplicate-free input: the weighted builder SUMS duplicate weights while
   // the unweighted builder dedups, so equivalence only holds without dups.

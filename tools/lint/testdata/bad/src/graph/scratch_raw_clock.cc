@@ -1,0 +1,18 @@
+// expect-lint: timer
+// Timing a scratch-arena batch decode with a raw std::chrono clock instead
+// of util/timer.h (which feeds the decode-latency histogram).
+#include <chrono>
+#include <cstdint>
+
+#include "parallel/scratch.h"
+
+uint64_t TimedBatchDecode(uint64_t block_len) {
+  lightne::ScratchArena::Scope scratch(
+      lightne::ScratchArena::ForCurrentThread());
+  uint32_t* block = scratch.AllocArray<uint32_t>(block_len);
+  auto t0 = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < block_len; ++i) block[i] = static_cast<uint32_t>(i);
+  auto t1 = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration<double, std::micro>(t1 - t0).count());
+}

@@ -1,0 +1,21 @@
+// expect-lint: rawmutex
+// Guarding a shared decode pool with a raw std::mutex defeats the point of
+// worker-local scratch arenas (and skips the annotated lightne::Mutex
+// wrappers, so thread-safety analysis cannot see the lock).
+#include <cstdint>
+#include <mutex>
+
+#include "parallel/scratch.h"
+
+namespace {
+std::mutex g_pool_mu;
+uint32_t* g_shared_pool = nullptr;
+}  // namespace
+
+void PublishPool(uint64_t entries) {
+  lightne::ScratchArena::Scope scratch(
+      lightne::ScratchArena::ForCurrentThread());
+  uint32_t* pool = scratch.AllocArray<uint32_t>(entries);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_shared_pool = pool;
+}
