@@ -10,9 +10,16 @@
 #                   asan build at 1 and 4 workers: kills real pipeline
 #                   children at fault points and asserts resumed runs are
 #                   bit-identical (DESIGN.md §12)
+#   ubsan           clang build with the extended UB checks
+#                   (-fsanitize=undefined,integer,bounds,float-cast-overflow)
+#                   separate from the GCC asan+undefined bundle; the
+#                   `integer` group stays recoverable because the hash mixers
+#                   (SplitMix64, xoshiro) overflow unsigned arithmetic on
+#                   purpose. Skipped with a notice when clang++ is absent.
 #   lint            repo-invariant linter (tools/lint/lightne_lint.py) +
 #                   its self-tests + clang-tidy over src/ tests/ bench/
-#                   examples/ when clang-tidy is installed
+#                   examples/ when clang-tidy is installed; writes the
+#                   machine-readable finding report to lint_report.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,9 +27,14 @@ cd "$(dirname "$0")/.."
 PRESET="${1:-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+if [[ "${PRESET}" == "ubsan" ]] && ! command -v clang++ >/dev/null 2>&1; then
+  echo "== ubsan preset requires clang++; not installed, skipping"
+  exit 0
+fi
+
 if [[ "${PRESET}" == "lint" ]]; then
   echo "== lightne_lint: repo invariants over src/ tests/ bench/ examples/"
-  python3 tools/lint/lightne_lint.py
+  python3 tools/lint/lightne_lint.py --report lint_report.json
   echo "== lightne_lint: rule self-tests (fixtures under tools/lint/testdata)"
   python3 -m unittest discover -s tools/lint -p "test_*.py"
   if command -v clang-tidy >/dev/null 2>&1; then

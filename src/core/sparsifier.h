@@ -175,7 +175,10 @@ bool SampleVertexEdges(const G& g, const SparsifierOptions& opt,
         opt.downsample ? DownsampleProbability(g, u, v, c, weight) : 1.0;
     for (uint64_t i = 0; i < ne; ++i) {
       const uint64_t r = 1 + rng.UniformInt(opt.window);
-      if (opt.downsample && !rng.Bernoulli(pe)) continue;
+      // opt.downsample is fixed for the whole run, so the draw count is
+      // identical on every schedule; the per-edge rng replays from a
+      // counter seed either way.
+      if (opt.downsample && !rng.Bernoulli(pe)) continue;  // lint-ok: rngflow (run-constant guard)
       auto [a, b] = PathSample(g, ctx, u, v, r, rng);
       const uint64_t key = a <= b ? PackEdge(a, b) : PackEdge(b, a);
       const double w = (a == b ? 2.0 : 1.0) / pe;

@@ -151,7 +151,10 @@ class WeightedCsrGraph {
     const uint64_t slot = sample_slot_[v];
     const uint64_t base = slot & kSlotMask;
     if ((slot & kAliasBit) != 0) {
-      const double x = rng.Uniform() * static_cast<double>(d);
+      // Both the alias branch and the inverse-CDF fallthrough below consume
+      // exactly one Uniform, so the RNG cursor advances identically on
+      // either path.
+      const double x = rng.Uniform() * static_cast<double>(d);  // lint-ok: rngflow (both paths draw once)
       uint64_t i = static_cast<uint64_t>(x);
       if (i >= d) i = d - 1;  // guard the u ~ 1.0 rounding edge
       const double frac = x - static_cast<double>(i);

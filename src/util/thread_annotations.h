@@ -17,9 +17,9 @@
 #ifndef LIGHTNE_UTIL_THREAD_ANNOTATIONS_H_
 #define LIGHTNE_UTIL_THREAD_ANNOTATIONS_H_
 
-#include <condition_variable>  // lint-ok: rawmutex (the one allowed site)
-#include <mutex>               // lint-ok: rawmutex (the one allowed site)
-#include <shared_mutex>        // lint-ok: rawmutex (the one allowed site)
+#include <condition_variable>  // the one allowed raw-primitive site
+#include <mutex>               // the one allowed raw-primitive site
+#include <shared_mutex>        // the one allowed raw-primitive site
 #include <utility>
 
 #if defined(__clang__)
@@ -120,7 +120,7 @@ class LIGHTNE_CAPABILITY("mutex") Mutex {
 
  private:
   friend class CondVar;
-  std::mutex mu_;  // lint-ok: rawmutex (the one allowed site)
+  std::mutex mu_;  // wrapped here: the one allowed raw-mutex site
 };
 
 /// RAII exclusive lock on a Mutex (the annotated std::lock_guard).
@@ -149,7 +149,7 @@ class LIGHTNE_CAPABILITY("shared_mutex") SharedMutex {
   void UnlockShared() LIGHTNE_RELEASE_SHARED() { mu_.unlock_shared(); }
 
  private:
-  std::shared_mutex mu_;  // lint-ok: rawmutex (the one allowed site)
+  std::shared_mutex mu_;  // wrapped here: the one allowed raw-mutex site
 };
 
 /// RAII exclusive (writer) lock on a SharedMutex.
@@ -203,7 +203,7 @@ class CondVar {
     // Adopt the already-held native mutex for the wait protocol, then
     // release the unique_lock's ownership claim without unlocking: the
     // caller's MutexLock continues to own the (re-acquired) mutex.
-    std::unique_lock<std::mutex> native(  // lint-ok: rawmutex (allowed site)
+    std::unique_lock<std::mutex> native(  // allowed raw-primitive site
         mu.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();
@@ -213,7 +213,7 @@ class CondVar {
   void NotifyAll() { cv_.notify_all(); }
 
  private:
-  std::condition_variable cv_;  // lint-ok: rawmutex (the one allowed site)
+  std::condition_variable cv_;  // wrapped here: the one allowed raw site
 };
 
 }  // namespace lightne

@@ -189,5 +189,331 @@ class SuppressionInternals(unittest.TestCase):
         self.assertEqual(2, findings[0].line)
 
 
+class StatementStartInternals(unittest.TestCase):
+    SOURCE = (
+        "void F() {\n"
+        "  Use(1,\n"
+        "      std::time(nullptr));\n"
+        "}\n")
+
+    def test_multiline_statement_points_at_start(self):
+        f = lightne_lint.SourceFile("bench/x.cc", self.SOURCE)
+        findings = list(lightne_lint.check_random(f))
+        self.assertEqual(1, len(findings))
+        self.assertEqual(2, findings[0].line)        # statement start
+        self.assertEqual(3, findings[0].match_line)  # offending token
+
+    def test_suppression_works_on_either_line(self):
+        for lineno in (2, 3):
+            with self.subTest(comment_line=lineno):
+                lines = self.SOURCE.splitlines(keepends=True)
+                lines[lineno - 1] = (lines[lineno - 1].rstrip("\n")
+                                     + "  // lint-ok: random (timestamp)\n")
+                f = lightne_lint.SourceFile("bench/x.cc", "".join(lines))
+                self.assertEqual([], lightne_lint.lint_files([f]))
+
+    def test_preprocessor_line_is_its_own_statement(self):
+        f = lightne_lint.SourceFile(
+            "src/core/x.cc", "#include <fstream>\nstd::ofstream out(p);\n")
+        findings = list(lightne_lint.check_atomicio(f))
+        self.assertEqual(1, len(findings))
+        self.assertEqual(2, findings[0].line)
+
+
+def _index(path, body):
+    return lightne_lint.FileIndex(lightne_lint.SourceFile(path, body))
+
+
+class ParfloatInternals(unittest.TestCase):
+    def lint(self, body, path="src/core/x.cc"):
+        return list(lightne_lint.check_parfloat(_index(path, body)))
+
+    def test_captured_float_accumulate_is_flagged(self):
+        findings = self.lint(
+            "double Total(const double* x, uint64_t n) {\n"
+            "  double sum = 0.0;\n"
+            "  ParallelFor(0, n, [&](uint64_t i) { sum += x[i]; });\n"
+            "  return sum;\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+        self.assertEqual("parfloat", findings[0].rule)
+
+    def test_lambda_local_accumulator_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(const double* x, uint64_t n, double* out) {\n"
+            "  ParallelFor(0, n, [&](uint64_t i) {\n"
+            "    double acc = 0.0;\n"
+            "    acc += x[i];\n"
+            "    out[i] = acc;\n"
+            "  });\n"
+            "}\n"))
+
+    def test_worker_partition_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(const double* x, uint64_t n, double* partial) {\n"
+            "  ParallelForWorkers([&](int worker, int workers) {\n"
+            "    partial[worker] += x[worker];\n"
+            "  });\n"
+            "}\n"))
+
+    def test_gemm_row_pointer_idiom_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(float* c, uint64_t n, uint64_t cols) {\n"
+            "  ParallelFor(0, n, [&](uint64_t i) {\n"
+            "    float* ci = c + i * cols;\n"
+            "    for (uint64_t j = 0; j < cols; ++j) ci[j] += 1.0f;\n"
+            "  });\n"
+            "}\n"))
+
+    def test_fixed_point_counter_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(uint64_t n, uint64_t* mass_fp20) {\n"
+            "  ParallelFor(0, n, [&](uint64_t i) { *mass_fp20 += i; });\n"
+            "}\n"))
+
+    def test_integer_accumulate_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(uint64_t n) {\n"
+            "  uint64_t hits = 0;\n"
+            "  ParallelFor(0, n, [&](uint64_t i) { hits += i; });\n"
+            "}\n"))
+
+    def test_out_of_scope_paths_are_quiet(self):
+        self.assertEqual([], self.lint(
+            "void F(const double* x, uint64_t n) {\n"
+            "  double sum = 0.0;\n"
+            "  ParallelFor(0, n, [&](uint64_t i) { sum += x[i]; });\n"
+            "}\n", path="tests/x.cc"))
+
+
+class RngflowInternals(unittest.TestCase):
+    def lint(self, body, path="src/graph/x.cc"):
+        return list(lightne_lint.check_rngflow(_index(path, body)))
+
+    def test_short_circuit_draw_is_flagged(self):
+        findings = self.lint(
+            "uint64_t F(Rng& rng, bool gate, double p) {\n"
+            "  if (gate && rng.Bernoulli(p)) return 1;\n"
+            "  return 0;\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+        self.assertIn("short-circuit", findings[0].message)
+
+    def test_first_operand_draw_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "uint64_t F(Rng& rng, bool gate, double p) {\n"
+            "  if (rng.Bernoulli(p) && gate) return 1;\n"
+            "  return 0;\n"
+            "}\n"))
+
+    def test_branch_body_draw_is_flagged(self):
+        findings = self.lint(
+            "uint64_t F(Rng& rng, bool gate) {\n"
+            "  if (gate) {\n"
+            "    return rng.UniformInt(7);\n"
+            "  }\n"
+            "  return 0;\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+
+    def test_ternary_draw_is_flagged(self):
+        findings = self.lint(
+            "uint64_t F(Rng& rng, bool gate) {\n"
+            "  return gate ? rng.UniformInt(7) : 0;\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+
+    def test_for_body_draw_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "uint64_t F(Rng& rng, uint64_t n) {\n"
+            "  uint64_t acc = 0;\n"
+            "  for (uint64_t i = 0; i < n; ++i) acc += rng.UniformInt(3);\n"
+            "  return acc;\n"
+            "}\n"))
+
+    def test_captured_rng_in_parallel_lambda_is_flagged(self):
+        findings = self.lint(
+            "void F(Rng& rng, uint64_t n, uint64_t* out) {\n"
+            "  ParallelFor(0, n, [&](uint64_t i) {\n"
+            "    out[i] = rng.UniformInt(9);\n"
+            "  });\n"
+            "}\n", path="src/la/x.cc")
+        self.assertEqual(1, len(findings))
+        self.assertIn("captured", findings[0].message)
+
+    def test_per_item_rng_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "void F(uint64_t seed, uint64_t n, uint64_t* out) {\n"
+            "  ParallelFor(0, n, [&](uint64_t i) {\n"
+            "    Rng rng(HashCombine64(seed, i));\n"
+            "    out[i] = rng.UniformInt(9);\n"
+            "  });\n"
+            "}\n"))
+
+    def test_conditional_check_is_hot_path_scoped(self):
+        # src/la is outside the sampling hot paths: the conditional-draw
+        # check stays quiet there (the capture check still applies).
+        self.assertEqual([], self.lint(
+            "uint64_t F(Rng& rng, bool gate, double p) {\n"
+            "  if (gate && rng.Bernoulli(p)) return 1;\n"
+            "  return 0;\n"
+            "}\n", path="src/la/x.cc"))
+
+
+class LockorderInternals(unittest.TestCase):
+    def lint(self, body, path="src/core/x.cc"):
+        return lightne_lint.check_lockorder([_index(path, body)])
+
+    DECLS = "Mutex g_mu_a;\nMutex g_mu_b;\n"
+
+    def test_inversion_is_flagged_with_both_chains(self):
+        findings = self.lint(
+            self.DECLS +
+            "void A() {\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "}\n"
+            "void B() {\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+        self.assertEqual("lockorder", findings[0].rule)
+        self.assertIn("g_mu_a", findings[0].message)
+        self.assertIn("g_mu_b", findings[0].message)
+        # Both acquisition chains are spelled out.
+        self.assertEqual(2, findings[0].message.count("held from"))
+
+    def test_consistent_order_is_clean(self):
+        self.assertEqual([], self.lint(
+            self.DECLS +
+            "void A() {\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "}\n"
+            "void B() {\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "}\n"))
+
+    def test_transitive_cycle_through_a_call_is_flagged(self):
+        findings = self.lint(
+            self.DECLS +
+            "void TakeB() {\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "}\n"
+            "void A() {\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "  TakeB();\n"
+            "}\n"
+            "void B() {\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+        self.assertIn("TakeB()", findings[0].message)
+
+    def test_requires_annotation_seeds_the_held_set(self):
+        findings = self.lint(
+            self.DECLS +
+            "void G() LIGHTNE_REQUIRES(g_mu_a) {\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "}\n"
+            "void K() {\n"
+            "  MutexLock hb(g_mu_b);\n"
+            "  MutexLock ha(g_mu_a);\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+        self.assertIn("required held", findings[0].message)
+
+    def test_function_local_mutexes_stay_distinct(self):
+        # Each function's local `mu` is its own lock: nesting them in
+        # opposite orders across functions is not a cycle.
+        self.assertEqual([], self.lint(
+            "void A() {\n"
+            "  Mutex mu;\n"
+            "  MutexLock h(mu);\n"
+            "}\n"
+            "void B() {\n"
+            "  Mutex mu;\n"
+            "  MutexLock h(mu);\n"
+            "}\n"))
+
+
+class PtrhashInternals(unittest.TestCase):
+    def lint(self, body, path="src/core/x.cc"):
+        return list(lightne_lint.check_ptrhash(_index(path, body)))
+
+    def test_pointer_keyed_map_is_flagged(self):
+        findings = self.lint("std::map<const Node*, int> ranks;\n")
+        self.assertEqual(1, len(findings))
+        self.assertEqual("ptrhash", findings[0].rule)
+
+    def test_pointer_valued_map_is_not_flagged(self):
+        self.assertEqual(
+            [], self.lint("std::map<uint64_t, const Node*> by_id;\n"))
+
+    def test_std_hash_of_pointer_is_flagged(self):
+        findings = self.lint("std::hash<Node*> h;\n")
+        self.assertEqual(1, len(findings))
+
+    def test_pointer_bits_into_hash_are_flagged(self):
+        findings = self.lint(
+            "uint64_t F(const Node* n, uint64_t seed) {\n"
+            "  return HashCombine64(reinterpret_cast<uint64_t>(n), seed);\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+
+    def test_value_hash_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "uint64_t F(uint64_t id, uint64_t seed) {\n"
+            "  return HashCombine64(id, seed);\n"
+            "}\n"))
+
+    def test_relational_pointer_compare_is_flagged(self):
+        findings = self.lint(
+            "bool F(const Node* a, uint64_t b) {\n"
+            "  return reinterpret_cast<uintptr_t>(a) < b;\n"
+            "}\n")
+        self.assertEqual(1, len(findings))
+
+    def test_pointer_equality_is_not_flagged(self):
+        self.assertEqual([], self.lint(
+            "bool F(const Node* a, const Node* b) { return a == b; }\n"))
+
+
+class SuppressionHygieneInternals(unittest.TestCase):
+    def lint(self, body, path="src/util/x.cc"):
+        return lightne_lint.lint_files(
+            [lightne_lint.SourceFile(path, body)])
+
+    def test_missing_justification_is_flagged(self):
+        findings = self.lint("int a = std::rand();  // lint-ok: random\n")
+        self.assertEqual(["suppression"], [f.rule for f in findings])
+        self.assertIn("no justification", findings[0].message)
+
+    def test_stale_suppression_is_flagged(self):
+        findings = self.lint("int a = 1;  // lint-ok: timer (old clock)\n")
+        self.assertEqual(["suppression"], [f.rule for f in findings])
+        self.assertIn("stale", findings[0].message)
+
+    def test_unknown_rule_is_flagged(self):
+        findings = self.lint("int a = 1;  // lint-ok: frobnicate (what)\n")
+        self.assertEqual(["suppression"], [f.rule for f in findings])
+        self.assertIn("names no suppressible rule", findings[0].message)
+
+    def test_justified_matching_suppression_is_clean(self):
+        self.assertEqual([], self.lint(
+            "int a = std::rand();  // lint-ok: random (demo value)\n"))
+
+    def test_suppression_findings_are_not_suppressible(self):
+        # `suppression` is not itself a suppressible rule, and hygiene
+        # findings bypass the suppression filter entirely.
+        findings = self.lint("int a = 1;  // lint-ok: suppression (mask)\n")
+        self.assertEqual(["suppression"], [f.rule for f in findings])
+        self.assertIn("names no suppressible rule", findings[0].message)
+
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -1,0 +1,25 @@
+// expect-lint: lockorder
+// Seeded hazard: two-mutex acquisition-order inversion — ForwardPath takes
+// a then b, ReversePath takes b then a; running both concurrently can
+// deadlock.
+#include "util/thread_annotations.h"
+
+namespace lightne {
+
+Mutex g_mu_a;
+Mutex g_mu_b;
+int g_state = 0;
+
+void ForwardPath() {
+  MutexLock hold_a(g_mu_a);
+  MutexLock hold_b(g_mu_b);
+  ++g_state;
+}
+
+void ReversePath() {
+  MutexLock hold_b(g_mu_b);
+  MutexLock hold_a(g_mu_a);
+  --g_state;
+}
+
+}  // namespace lightne

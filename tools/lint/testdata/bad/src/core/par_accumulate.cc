@@ -1,0 +1,16 @@
+// expect-lint: parfloat
+// Seeded hazard: float accumulation into captured state inside a
+// ParallelFor lambda — the sum depends on the schedule.
+#include "parallel/parallel_for.h"
+
+namespace lightne {
+
+double SumAll(const double* x, uint64_t n) {
+  double sum = 0.0;
+  ParallelFor(0, n, [&](uint64_t i) {
+    sum += x[i];
+  });
+  return sum;
+}
+
+}  // namespace lightne

@@ -1,0 +1,20 @@
+// expect-lint: ptrhash
+// Seeded hazards: a map ordered by pointer keys and pointer bits fed to
+// the repo hash — both vary with ASLR run to run.
+#include <map>
+
+#include "util/random.h"
+
+namespace lightne {
+
+struct Node {
+  int id;
+};
+
+std::map<const Node*, int> g_ranks;
+
+uint64_t NodeDigest(const Node* node, uint64_t seed) {
+  return HashCombine64(reinterpret_cast<uint64_t>(node), seed);
+}
+
+}  // namespace lightne

@@ -1,0 +1,17 @@
+// expect-lint: rngflow
+// Seeded hazards: a draw behind && in a condition and a draw inside an
+// if-branch both make the RNG cursor data-dependent.
+#include "util/random.h"
+
+namespace lightne {
+
+uint64_t CondDraw(Rng& rng, bool gate, double p) {
+  uint64_t n = 0;
+  if (gate && rng.Bernoulli(p)) ++n;
+  if (gate) {
+    n += rng.UniformInt(7);
+  }
+  return n;
+}
+
+}  // namespace lightne

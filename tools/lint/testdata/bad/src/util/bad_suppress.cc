@@ -1,0 +1,18 @@
+// expect-lint: suppression
+// Seeded hygiene violations: a suppression with no justification, a stale
+// suppression whose rule no longer fires, and an unknown rule name.
+namespace lightne {
+
+int NoJustification() {
+  return std::rand();  // lint-ok: random
+}
+
+int Stale() {
+  return 7;  // lint-ok: timer (calibration constant, not a clock)
+}
+
+int UnknownRule() {
+  return 9;  // lint-ok: frobnicate (no such rule)
+}
+
+}  // namespace lightne

@@ -1,0 +1,23 @@
+// Consistent two-mutex acquisition order (a before b on every path):
+// the lock graph has edges but no cycle, so lockorder stays quiet.
+#include "util/thread_annotations.h"
+
+namespace lightne {
+
+Mutex g_mu_a;
+Mutex g_mu_b;
+int g_state = 0;
+
+void FirstPath() {
+  MutexLock hold_a(g_mu_a);
+  MutexLock hold_b(g_mu_b);
+  ++g_state;
+}
+
+void SecondPath() {
+  MutexLock hold_a(g_mu_a);
+  MutexLock hold_b(g_mu_b);
+  --g_state;
+}
+
+}  // namespace lightne

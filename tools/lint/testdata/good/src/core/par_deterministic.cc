@@ -1,0 +1,27 @@
+// Deterministic parallel accumulation patterns that parfloat must not
+// flag: per-worker partitions, lambda-local accumulators, the GemmTN
+// row-pointer idiom, and integer fixed-point counters.
+#include "parallel/parallel_for.h"
+
+namespace lightne {
+
+double SumDeterministic(const double* x, uint64_t n, double* partial,
+                        float* c, uint64_t ncols, uint64_t* mass_fp20) {
+  ParallelForWorkers([&](int worker, int workers) {
+    double acc = 0.0;  // lambda-local: per-worker state
+    const uint64_t lo = n * worker / workers;
+    const uint64_t hi = n * (worker + 1) / workers;
+    for (uint64_t i = lo; i < hi; ++i) acc += x[i];
+    partial[worker] += acc;  // partitioned by the worker index
+  });
+  ParallelFor(0, n, [&](uint64_t i) {
+    float* ci = c + i * ncols;  // lambda-local row pointer (GemmTN idiom)
+    for (uint64_t j = 0; j < ncols; ++j) ci[j] += 1.0f;
+    *mass_fp20 += 1;  // integer fixed-point counter
+  });
+  double sum = 0.0;
+  for (int w = 0; w < 8; ++w) sum += partial[w];  // sequential reduce
+  return sum;
+}
+
+}  // namespace lightne

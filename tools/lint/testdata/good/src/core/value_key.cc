@@ -1,0 +1,22 @@
+// Stable-id keying and hashing that ptrhash must not flag: containers
+// keyed by value ids, hashes over values, pointers compared only for
+// equality.
+#include <map>
+
+#include "util/random.h"
+
+namespace lightne {
+
+struct Node {
+  uint64_t id;
+};
+
+std::map<uint64_t, const Node*> g_by_id;  // pointer *values*, id keys
+
+uint64_t IdDigest(const Node& node, uint64_t seed) {
+  return HashCombine64(node.id, seed);
+}
+
+bool SameNode(const Node* a, const Node* b) { return a == b; }
+
+}  // namespace lightne

@@ -1,0 +1,25 @@
+// RNG consumption patterns that rngflow must not flag: a draw as the
+// *first* operand of a condition (always consumed), unconditional draws,
+// draws in `for` bodies (fixed trip count — the documented blind spot),
+// and a per-item Rng derived inside a parallel lambda.
+#include "parallel/parallel_for.h"
+#include "util/random.h"
+
+namespace lightne {
+
+uint64_t DrawOk(Rng& rng, double p, uint64_t n, uint64_t* out,
+                uint64_t seed) {
+  uint64_t acc = 0;
+  if (rng.Bernoulli(p)) ++acc;  // first operand: consumed on every path
+  acc += rng.UniformInt(9);     // unconditional
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += rng.UniformInt(3);   // `for` trip count is data, not a branch
+  }
+  ParallelFor(0, n, [&](uint64_t i) {
+    Rng item_rng(HashCombine64(seed, i));  // per-item stream
+    out[i] = item_rng.UniformInt(9);
+  });
+  return acc;
+}
+
+}  // namespace lightne

@@ -1,0 +1,9 @@
+// A justified suppression on a line where its rule really fires: the
+// finding is masked and the suppression-hygiene rule stays quiet.
+namespace lightne {
+
+int ScrambleDemo() {
+  return std::rand();  // lint-ok: random (fixture exercising a justified suppression)
+}
+
+}  // namespace lightne
