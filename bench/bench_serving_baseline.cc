@@ -1,0 +1,417 @@
+// Machine-readable serving perf + fidelity baseline.
+//
+// Embeds the RMAT quality-gate graph (same generator seeds and pipeline
+// options as tests/quality_gate_test.cc), commits int8/fp16/fp32 embedding
+// stores, and measures the serving tier end to end:
+//   - store bytes per kind and compression ratio vs the fp32 store,
+//   - top-k QPS and exact per-request p50/p99 latency across quant kind x
+//     thread count x batch size, plus a link-score row per kind,
+//   - recall@10 of the quantized stores against the fp32 store's top-k
+//     (the committed gate: int8 recall >= 0.95),
+//   - a result checksum from a 1-worker and a pool run (the determinism
+//     contract: bit-identical, so the checksums must match).
+//
+// Writes BENCH_serving.json (schema "lightne-serving-v1", overridable as
+// argv[1]). scripts/bench_baseline.sh regenerates it at full scale for
+// commit; scripts/check.sh runs a reduced-scale smoke and validates the
+// schema plus the recall and determinism gates.
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/embedding_store.h"
+#include "core/lightne.h"
+#include "core/query_engine.h"
+#include "data/generators.h"
+#include "graph/csr.h"
+#include "la/matrix.h"
+#include "parallel/parallel_for.h"
+#include "util/artifact_io.h"
+#include "util/random.h"
+
+namespace lightne::bench {
+namespace {
+
+// The quality-gate RMAT configuration (tests/quality_gate_test.cc): scale
+// 11, 30k sampled edges, pipeline dim 32 / window 5 / ratio 2.0 / seed 3.
+// Edge count honors LIGHTNE_BENCH_SCALE; the vertex-scale and seeds do not,
+// so the smoke run serves the same graph shape at lower density.
+constexpr int kGraphScale = 11;
+constexpr uint64_t kGraphEdges = 30000;
+constexpr uint64_t kGraphSeed = 17;
+constexpr uint64_t kPipelineSeed = 3;
+constexpr uint64_t kDim = 32;
+
+constexpr uint64_t kRecallK = 10;
+
+struct ResultRow {
+  std::string name;     // stable key, e.g. "topk_int8_b64_mt"
+  std::string kind;     // int8 | fp16 | fp32
+  std::string request;  // topk | link_scores
+  int threads = 1;
+  uint64_t batch = 0;
+  uint64_t k = 0;
+  uint64_t requests = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+std::vector<ResultRow> g_rows;
+
+double Percentile(std::vector<double> sorted, double p) {
+  return sorted[static_cast<size_t>(p * (sorted.size() - 1))];
+}
+
+/// Runs `requests` batched TopKByVertex calls and records QPS + exact
+/// per-request latency percentiles. The id stream is a fixed function of
+/// the request index, so every configuration scores the same vertices.
+void BenchTopK(const QueryEngine& engine, const std::string& kind,
+               uint64_t batch, uint64_t requests, bool sequential) {
+  const uint64_t rows = engine.store().rows();
+  const uint64_t k = std::min(kRecallK, rows);
+  std::vector<NodeId> ids(batch);
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  const auto run = [&] {
+    Timer wall;
+    latencies.clear();
+    for (uint64_t r = 0; r < requests; ++r) {
+      for (uint64_t b = 0; b < batch; ++b) {
+        ids[b] = static_cast<NodeId>((r * 131 + b * 7) % rows);
+      }
+      Timer t;
+      auto result = engine.TopKByVertex(ids, k);
+      if (!result.ok()) {
+        std::fprintf(stderr, "TopKByVertex failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      latencies.push_back(t.Millis());
+    }
+    return wall.Seconds();
+  };
+
+  ResultRow row;
+  row.kind = kind;
+  row.request = "topk";
+  row.batch = batch;
+  row.k = k;
+  row.requests = requests;
+  double total_s = 0.0;
+  if (sequential) {
+    SequentialRegion guard;
+    run();  // warmup
+    total_s = run();
+    row.threads = 1;
+  } else {
+    run();  // warmup
+    total_s = run();
+    row.threads = NumWorkers();
+  }
+  row.name = "topk_" + kind + "_b" + std::to_string(batch) +
+             (sequential ? "_1t" : "_mt");
+  row.qps = static_cast<double>(requests * batch) / total_s;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_ms = Percentile(latencies, 0.5);
+  row.p99_ms = Percentile(latencies, 0.99);
+  std::printf("  %-22s %4d thread(s)  %9.0f qps  p50 %7.3f ms  p99 %7.3f ms\n",
+              row.name.c_str(), row.threads, row.qps, row.p50_ms, row.p99_ms);
+  g_rows.push_back(std::move(row));
+}
+
+/// One link-score row per kind: a fixed batch of pairs, pool-parallel.
+void BenchLinkScores(const QueryEngine& engine, const std::string& kind,
+                     uint64_t requests) {
+  const uint64_t rows = engine.store().rows();
+  const uint64_t pairs_per_request = 1024;
+  std::vector<std::pair<NodeId, NodeId>> pairs(pairs_per_request);
+  std::vector<double> latencies;
+  latencies.reserve(requests);
+  Timer wall;
+  for (uint64_t r = 0; r < requests; ++r) {
+    for (uint64_t i = 0; i < pairs_per_request; ++i) {
+      pairs[i] = {static_cast<NodeId>((r * 977 + i * 31) % rows),
+                  static_cast<NodeId>((r * 353 + i * 17) % rows)};
+    }
+    Timer t;
+    auto result = engine.LinkScores(pairs);
+    if (!result.ok()) {
+      std::fprintf(stderr, "LinkScores failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    latencies.push_back(t.Millis());
+  }
+  const double total_s = wall.Seconds();
+
+  ResultRow row;
+  row.name = "link_scores_" + kind + "_mt";
+  row.kind = kind;
+  row.request = "link_scores";
+  row.threads = NumWorkers();
+  row.batch = pairs_per_request;
+  row.requests = requests;
+  row.qps = static_cast<double>(requests * pairs_per_request) / total_s;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_ms = Percentile(latencies, 0.5);
+  row.p99_ms = Percentile(latencies, 0.99);
+  std::printf("  %-22s %4d thread(s)  %9.0f pairs/s  p50 %7.3f ms  "
+              "p99 %7.3f ms\n",
+              row.name.c_str(), row.threads, row.qps, row.p50_ms, row.p99_ms);
+  g_rows.push_back(std::move(row));
+}
+
+/// Mean recall@k of `store`'s top-k lists against the fp32 store's, over
+/// `queries` query vertices. Queries are the ORIGINAL fp32 embedding rows
+/// (not store-dequantized), so both sides answer the same question.
+double RecallAtK(const QueryEngine& engine, const QueryEngine& fp32_engine,
+                 const Matrix& embedding, uint64_t queries, uint64_t k) {
+  const uint64_t rows = embedding.rows();
+  queries = std::min(queries, rows);
+  uint64_t hits = 0;
+  for (uint64_t q = 0; q < queries; ++q) {
+    const uint64_t v = (q * 809) % rows;
+    const float* query = embedding.Row(v);
+    auto golden = fp32_engine.TopK(query, 1, k);
+    auto got = engine.TopK(query, 1, k);
+    if (!golden.ok() || !got.ok()) {
+      std::fprintf(stderr, "recall query failed\n");
+      std::exit(1);
+    }
+    for (const ScoredNeighbor& g : (*golden)[0]) {
+      for (const ScoredNeighbor& n : (*got)[0]) {
+        if (n.id == g.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(queries * k);
+}
+
+/// Order-sensitive checksum of a batch of top-k lists (ids and score bits),
+/// for the cross-worker-count determinism gate.
+uint64_t TopKChecksum(const QueryEngine& engine, uint64_t batch, uint64_t k) {
+  const uint64_t rows = engine.store().rows();
+  std::vector<NodeId> ids(batch);
+  for (uint64_t b = 0; b < batch; ++b) {
+    ids[b] = static_cast<NodeId>((b * 61) % rows);
+  }
+  auto result = engine.TopKByVertex(ids, k);
+  if (!result.ok()) {
+    std::fprintf(stderr, "checksum query failed\n");
+    std::exit(1);
+  }
+  uint64_t h = 0;
+  for (const auto& list : *result) {
+    for (const ScoredNeighbor& n : list) {
+      h = HashCombine64(h, n.id);
+      h = HashCombine64(h, std::bit_cast<uint32_t>(n.score));
+    }
+  }
+  return h;
+}
+
+void WriteJson(const std::string& path, uint64_t graph_edges, uint64_t rows,
+               const std::vector<std::pair<std::string, uint64_t>>& bytes,
+               double recall_int8, double recall_fp16, uint64_t queries,
+               uint64_t checksum_1t, uint64_t checksum_mt) {
+  AtomicFileWriter writer;
+  if (!writer.Open(path).ok()) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    std::exit(1);
+  }
+  std::FILE* f = writer.stream();
+  const char* sha = std::getenv("LIGHTNE_GIT_SHA");
+  uint64_t fp32_bytes = 0;
+  for (const auto& [kind, b] : bytes) {
+    if (kind == "fp32") fp32_bytes = b;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema\": \"lightne-serving-v1\",\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", sha ? sha : "unknown");
+  std::fprintf(f, "  \"workers\": %d,\n", NumWorkers());
+  std::fprintf(f, "  \"bench_scale\": %.3f,\n", BenchScale());
+  std::fprintf(f, "  \"timestamp_unix\": %lld,\n",
+               static_cast<long long>(
+                   std::time(nullptr)));  // lint-ok: random (timestamp
+                                          // field, not an RNG seed)
+  std::fprintf(f,
+               "  \"graph\": {\"generator\": \"rmat\", \"scale\": %d, "
+               "\"edges\": %llu, \"rows\": %llu, \"dim\": %llu},\n",
+               kGraphScale, static_cast<unsigned long long>(graph_edges),
+               static_cast<unsigned long long>(rows),
+               static_cast<unsigned long long>(kDim));
+  std::fprintf(f, "  \"stores\": {\n");
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    const auto& [kind, b] = bytes[i];
+    std::fprintf(f, "    \"%s\": {\"bytes\": %llu, \"ratio_vs_fp32\": %.3f}%s\n",
+                 kind.c_str(), static_cast<unsigned long long>(b),
+                 fp32_bytes > 0 ? static_cast<double>(fp32_bytes) /
+                                      static_cast<double>(b)
+                                : -1.0,
+                 i + 1 < bytes.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < g_rows.size(); ++i) {
+    const ResultRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"kind\": \"%s\", \"request\": "
+                 "\"%s\", \"threads\": %d, \"batch\": %llu, \"k\": %llu, "
+                 "\"requests\": %llu, \"qps\": %.1f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f}%s\n",
+                 r.name.c_str(), r.kind.c_str(), r.request.c_str(), r.threads,
+                 static_cast<unsigned long long>(r.batch),
+                 static_cast<unsigned long long>(r.k),
+                 static_cast<unsigned long long>(r.requests), r.qps, r.p50_ms,
+                 r.p99_ms, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"recall\": {\"k\": %llu, \"queries\": %llu, "
+               "\"int8_vs_fp32\": %.4f, \"fp16_vs_fp32\": %.4f},\n",
+               static_cast<unsigned long long>(kRecallK),
+               static_cast<unsigned long long>(queries), recall_int8,
+               recall_fp16);
+  std::fprintf(f,
+               "  \"determinism\": {\"checksum_1t\": \"%016llx\", "
+               "\"checksum_mt\": \"%016llx\", \"bit_identical\": %s}\n",
+               static_cast<unsigned long long>(checksum_1t),
+               static_cast<unsigned long long>(checksum_mt),
+               checksum_1t == checksum_mt ? "true" : "false");
+  std::fprintf(f, "}\n");
+  if (!writer.Commit().ok()) {
+    std::fprintf(stderr, "cannot commit %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote %s (%zu rows, recall@%llu int8 %.4f fp16 %.4f, "
+              "bit_identical %s)\n",
+              path.c_str(), g_rows.size(),
+              static_cast<unsigned long long>(kRecallK), recall_int8,
+              recall_fp16, checksum_1t == checksum_mt ? "true" : "false");
+}
+
+}  // namespace
+}  // namespace lightne::bench
+
+int main(int argc, char** argv) {
+  using namespace lightne;
+  using namespace lightne::bench;
+  const std::string out = argc > 1 ? argv[1] : "BENCH_serving.json";
+  std::printf("LightNE serving baseline (scale %.2f, %d workers)\n\n",
+              BenchScale(), NumWorkers());
+
+  // 1. Embed the quality-gate RMAT graph.
+  const uint64_t edges = std::max<uint64_t>(
+      static_cast<uint64_t>(static_cast<double>(kGraphEdges) * BenchScale()),
+      3000);
+  CsrGraph graph =
+      CsrGraph::FromEdges(GenerateRmat(kGraphScale, edges, kGraphSeed));
+  LightNeOptions opt;
+  opt.dim = kDim;
+  opt.window = 5;
+  opt.samples_ratio = 2.0;
+  opt.seed = kPipelineSeed;
+  auto run = RunLightNe(graph, opt);
+  if (!run.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  const Matrix& embedding = run->embedding;
+  std::printf("embedded %llu x %llu (rmat scale %d, %llu edges)\n\n",
+              static_cast<unsigned long long>(embedding.rows()),
+              static_cast<unsigned long long>(embedding.cols()), kGraphScale,
+              static_cast<unsigned long long>(edges));
+
+  // 2. Commit one store per kind (in the working directory, removed at the
+  // end — the bench measures them, it doesn't ship them).
+  const QuantKind kinds[] = {QuantKind::kInt8, QuantKind::kFp16,
+                             QuantKind::kFp32};
+  std::vector<std::pair<std::string, uint64_t>> store_bytes;
+  std::vector<EmbeddingStore> stores;
+  std::vector<std::string> store_paths;
+  for (QuantKind kind : kinds) {
+    const std::string path =
+        std::string("bench_serving_") + QuantKindName(kind) + ".est";
+    Status w = EmbeddingStore::Write(embedding, path, kind);
+    if (!w.ok()) {
+      std::fprintf(stderr, "store write failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    auto store = EmbeddingStore::Open(path);
+    if (!store.ok()) {
+      std::fprintf(stderr, "store open failed: %s\n",
+                   store.status().ToString().c_str());
+      return 1;
+    }
+    store_bytes.emplace_back(QuantKindName(kind), store->store_bytes());
+    std::printf("store %s: %llu bytes\n", QuantKindName(kind),
+                static_cast<unsigned long long>(store->store_bytes()));
+    stores.push_back(std::move(store).value());
+    store_paths.push_back(path);
+  }
+  std::printf("\n");
+
+  QueryEngine int8_engine(&stores[0]);
+  QueryEngine fp16_engine(&stores[1]);
+  QueryEngine fp32_engine(&stores[2]);
+  const QueryEngine* engines[] = {&int8_engine, &fp16_engine, &fp32_engine};
+
+  // 3. Latency/QPS grid: kind x {1t, mt} x batch {1, 64}, plus link scores.
+  const uint64_t requests = std::max<uint64_t>(
+      static_cast<uint64_t>(200.0 * BenchScale()), 50);
+  std::printf("top-k latency (%llu requests per row, k=%llu)\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(
+                  std::min(kRecallK, embedding.rows())));
+  for (size_t i = 0; i < 3; ++i) {
+    const char* kind = QuantKindName(kinds[i]);
+    BenchTopK(*engines[i], kind, 1, requests, /*sequential=*/true);
+    BenchTopK(*engines[i], kind, 64, requests, /*sequential=*/true);
+    BenchTopK(*engines[i], kind, 64, requests, /*sequential=*/false);
+    BenchLinkScores(*engines[i], kind, std::max<uint64_t>(requests / 4, 10));
+  }
+
+  // 4. Fidelity: recall@10 of the quantized stores vs the fp32 store.
+  const uint64_t recall_queries = std::max<uint64_t>(
+      static_cast<uint64_t>(256.0 * BenchScale()), 64);
+  const double recall_int8 = RecallAtK(int8_engine, fp32_engine, embedding,
+                                       recall_queries, kRecallK);
+  const double recall_fp16 = RecallAtK(fp16_engine, fp32_engine, embedding,
+                                       recall_queries, kRecallK);
+  std::printf("\nrecall@%llu vs fp32 over %llu queries: int8 %.4f, "
+              "fp16 %.4f\n",
+              static_cast<unsigned long long>(kRecallK),
+              static_cast<unsigned long long>(recall_queries), recall_int8,
+              recall_fp16);
+
+  // 5. Determinism gate: the same batch, forced 1-worker vs the pool.
+  const uint64_t det_k = std::min<uint64_t>(kRecallK, embedding.rows());
+  uint64_t checksum_1t = 0;
+  {
+    SequentialRegion guard;
+    checksum_1t = TopKChecksum(int8_engine, 64, det_k);
+  }
+  const uint64_t checksum_mt = TopKChecksum(int8_engine, 64, det_k);
+  std::printf("determinism checksum: 1t %016llx, mt %016llx (%s)\n",
+              static_cast<unsigned long long>(checksum_1t),
+              static_cast<unsigned long long>(checksum_mt),
+              checksum_1t == checksum_mt ? "identical" : "MISMATCH");
+
+  WriteJson(out, edges, embedding.rows(), store_bytes, recall_int8,
+            recall_fp16, recall_queries, checksum_1t, checksum_mt);
+
+  for (const std::string& path : store_paths) std::remove(path.c_str());
+  return checksum_1t == checksum_mt ? 0 : 1;
+}

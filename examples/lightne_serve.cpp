@@ -1,0 +1,195 @@
+// lightne_serve: build a quantized embedding store, then serve top-k
+// queries from it — the serving half of the pipeline (DESIGN.md §14).
+//
+//   lightne_serve build --embedding emb.txt --store emb.est [--quant int8]
+//                       [--memory-budget-mb 0]
+//   lightne_serve query --store emb.est [--requests 100] [--batch 16]
+//                       [--k 10] [--trace FILE] [--memory-budget-mb 0]
+//
+// `build` quantizes a word2vec-text or binary embedding (auto-detected by
+// extension: .bin is binary, anything else text) into the framed+CRC store
+// format. Without --embedding it embeds a small synthetic RMAT graph first,
+// so the binary is a self-contained demo.
+//
+// `query` is the load-then-query loop a serving process runs: open the
+// store (every frame checksum validated once, then zero-copy), answer
+// batched top-k requests, and report QPS plus exact p50/p99 per-request
+// latency. Queries are the store's own vertices (dequantized through its
+// codebook), cycled round-robin — every request exercises the full scoring
+// path. The per-batch latency distribution also lands in the
+// "serve/batch_us" metrics histogram, printed at the end; --trace exports
+// the per-request spans as Chrome trace-event JSON.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/embedding_store.h"
+#include "core/lightne.h"
+#include "core/query_engine.h"
+#include "data/generators.h"
+#include "graph/csr.h"
+#include "la/embedding_io.h"
+#include "util/cli.h"
+#include "util/memory.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+using namespace lightne;  // NOLINT — examples favour brevity
+
+namespace {
+
+int Fail(const Status& s) {
+  std::fprintf(stderr, "%s\n", s.ToString().c_str());
+  return 1;
+}
+
+Result<Matrix> LoadOrTrainEmbedding(const CommandLine& cli) {
+  const std::string path = cli.GetString("embedding");
+  if (!path.empty()) {
+    const bool binary =
+        path.size() > 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+    return binary ? LoadEmbeddingBinary(path) : LoadEmbeddingText(path);
+  }
+  std::printf("no --embedding given; embedding a 2^12-vertex RMAT graph\n");
+  CsrGraph graph = CsrGraph::FromEdges(GenerateRmat(12, 60000, /*seed=*/42));
+  LightNeOptions opt;
+  opt.dim = static_cast<uint64_t>(cli.GetInt("dim", 32));
+  auto run = RunLightNe(graph, opt);
+  if (!run.ok()) return run.status();
+  return std::move(run->embedding);
+}
+
+int RunBuild(const CommandLine& cli, MemoryBudget* budget) {
+  auto embedding = LoadOrTrainEmbedding(cli);
+  if (!embedding.ok()) return Fail(embedding.status());
+  auto kind = ParseQuantKind(cli.GetString("quant", "int8"));
+  if (!kind.ok()) return Fail(kind.status());
+  const std::string out = cli.GetString("store", "embedding.est");
+
+  Status write = EmbeddingStore::Write(*embedding, out, *kind, budget);
+  if (!write.ok()) return Fail(write);
+  auto store = EmbeddingStore::Open(out, budget);
+  if (!store.ok()) return Fail(store.status());
+  const uint64_t fp32_bytes = embedding->rows() * embedding->cols() * 4;
+  std::printf("wrote %s: %llu x %llu %s, %llu bytes on disk "
+              "(%.2fx vs raw fp32), source fingerprint %016llx\n",
+              out.c_str(),
+              static_cast<unsigned long long>(store->rows()),
+              static_cast<unsigned long long>(store->dims()),
+              QuantKindName(store->kind()),
+              static_cast<unsigned long long>(store->store_bytes()),
+              static_cast<double>(fp32_bytes) /
+                  static_cast<double>(store->store_bytes()),
+              static_cast<unsigned long long>(store->source_fingerprint()));
+  return 0;
+}
+
+int RunQuery(const CommandLine& cli, MemoryBudget* budget) {
+  const std::string path = cli.GetString("store", "embedding.est");
+  auto store = EmbeddingStore::Open(path, budget);
+  if (!store.ok()) return Fail(store.status());
+  std::printf("serving %s: %llu x %llu %s, %llu bytes mapped\n", path.c_str(),
+              static_cast<unsigned long long>(store->rows()),
+              static_cast<unsigned long long>(store->dims()),
+              QuantKindName(store->kind()),
+              static_cast<unsigned long long>(store->store_bytes()));
+
+  const uint64_t requests =
+      static_cast<uint64_t>(cli.GetInt("requests", 100));
+  const uint64_t batch = static_cast<uint64_t>(cli.GetInt("batch", 16));
+  const uint64_t k = std::min(static_cast<uint64_t>(cli.GetInt("k", 10)),
+                              store->rows());
+  QueryEngine engine(&*store);
+
+  // The query stream: stored vertices, cycled with a stride so consecutive
+  // batches don't hit the same rows.
+  std::vector<NodeId> ids(batch);
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests);
+  uint64_t checksum = 0;
+  Timer wall;
+  for (uint64_t r = 0; r < requests; ++r) {
+    for (uint64_t b = 0; b < batch; ++b) {
+      ids[b] = static_cast<NodeId>((r * 131 + b * 7) % store->rows());
+    }
+    Timer t;
+    auto result = engine.TopKByVertex(ids, k);
+    if (!result.ok()) return Fail(result.status());
+    latencies_ms.push_back(t.Millis());
+    for (const auto& list : *result) {
+      for (const ScoredNeighbor& n : list) {
+        checksum = HashCombine64(checksum, n.id);
+      }
+    }
+  }
+  const double total_s = wall.Seconds();
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto pct = [&](double p) {
+    const size_t i = static_cast<size_t>(p * (latencies_ms.size() - 1));
+    return latencies_ms[i];
+  };
+  std::printf("%llu requests x batch %llu, k=%llu: %.0f queries/s, "
+              "per-request p50 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(batch),
+              static_cast<unsigned long long>(k),
+              static_cast<double>(requests * batch) / total_s, pct(0.5),
+              pct(0.99), latencies_ms.back());
+  std::printf("result checksum %016llx (bit-identical at any worker count "
+              "and batch size)\n",
+              static_cast<unsigned long long>(checksum));
+
+  // The same distribution as seen by the metrics layer.
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  auto it = snap.histograms.find("serve/batch_us");
+  if (it != snap.histograms.end()) {
+    std::printf("serve/batch_us histogram:");
+    for (size_t b = 0; b < it->second.counts.size(); ++b) {
+      if (it->second.counts[b] == 0) continue;
+      if (b < it->second.bounds.size()) {
+        std::printf("  <=%.0fus: %llu", it->second.bounds[b],
+                    static_cast<unsigned long long>(it->second.counts[b]));
+      } else {
+        std::printf("  >max: %llu",
+                    static_cast<unsigned long long>(it->second.counts[b]));
+      }
+    }
+    std::printf("\n");
+  }
+
+  const std::string trace = cli.GetString("trace");
+  if (!trace.empty()) {
+    Status s = TraceRecorder::WriteChromeTrace(
+        TraceRecorder::Global().EventsSince(), trace);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote Chrome trace to %s\n", trace.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::Parse(argc, argv);
+  if (!cli.ok()) return Fail(cli.status());
+  const std::string mode =
+      cli->positional().empty() ? "" : cli->positional()[0];
+
+  MemoryBudget budget(
+      static_cast<uint64_t>(cli->GetInt("memory-budget-mb", 0)) << 20);
+  MemoryBudget* budget_ptr =
+      cli->GetInt("memory-budget-mb", 0) > 0 ? &budget : nullptr;
+
+  if (mode == "build") return RunBuild(*cli, budget_ptr);
+  if (mode == "query") return RunQuery(*cli, budget_ptr);
+  std::fprintf(stderr,
+               "usage: %s build|query [--embedding F] [--store F] "
+               "[--quant int8|fp16|fp32] [--requests N] [--batch N] [--k N] "
+               "[--trace F] [--memory-budget-mb N]\n",
+               argv[0]);
+  return 2;
+}

@@ -79,7 +79,9 @@ fi
 BINDIR="build"
 [[ "${PRESET}" != "release" ]] && BINDIR="build-${PRESET}"
 SMOKE_JSON="$(mktemp /tmp/bench_kernels_smoke.XXXXXX.json)"
-trap 'rm -f "${SMOKE_JSON}"' EXIT
+SERVE_JSON="$(mktemp /tmp/bench_serving_smoke.XXXXXX.json)"
+SERVE_STORE="$(mktemp /tmp/serve_smoke.XXXXXX.est)"
+trap 'rm -f "${SMOKE_JSON}" "${SERVE_JSON}" "${SERVE_STORE}"' EXIT
 LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
   "./${BINDIR}/bench/bench_kernels_baseline" "${SMOKE_JSON}"
 python3 - "${SMOKE_JSON}" <<'EOF'
@@ -106,7 +108,7 @@ EOF
 # engine's decode tiers and the full/gated alias paths end to end) and
 # validate the v2 JSON schema.
 SAMPLER_JSON="$(mktemp /tmp/bench_sampler_smoke.XXXXXX.json)"
-trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}" "${SERVE_JSON}" "${SERVE_STORE}"' EXIT
 LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
   "./${BINDIR}/bench/bench_sampler_baseline" "${SAMPLER_JSON}"
 python3 - "${SAMPLER_JSON}" <<'EOF'
@@ -161,7 +163,7 @@ EOF
 # metrics snapshot) and the Chrome trace-event JSON (DESIGN.md §10).
 BREAKDOWN_JSON="$(mktemp /tmp/bench_breakdown_smoke.XXXXXX.json)"
 TRACE_JSON="$(mktemp /tmp/bench_trace_smoke.XXXXXX.json)"
-trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}" "${BREAKDOWN_JSON}" "${TRACE_JSON}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${SAMPLER_JSON}" "${BREAKDOWN_JSON}" "${TRACE_JSON}" "${SERVE_JSON}" "${SERVE_STORE}"' EXIT
 LIGHTNE_BENCH_SCALE=0.1 \
   "./${BINDIR}/bench/bench_time_breakdown" "${BREAKDOWN_JSON}" "${TRACE_JSON}"
 python3 - "${BREAKDOWN_JSON}" "${TRACE_JSON}" <<'EOF'
@@ -207,3 +209,53 @@ print(f"breakdown smoke OK: {len(doc['runs'])} runs, "
       f"{len(trace['traceEvents'])} trace events, "
       f"peak rss {doc['peak_rss_bytes'] // (1 << 20)} MiB")
 EOF
+
+# Serving smoke: run the serving baseline at reduced scale under the
+# sanitizer build and validate the v1 schema plus the two committed gates —
+# recall@10 of int8 vs fp32 >= 0.95 and bit-identical top-k across worker
+# counts. Then exercise the lightne_serve binary end to end: build an int8
+# store from a synthetic embedding and answer 100 batched queries from it.
+LIGHTNE_BENCH_SCALE=0.1 LIGHTNE_GIT_SHA="$(git rev-parse --short=12 HEAD)" \
+  "./${BINDIR}/bench/bench_serving_baseline" "${SERVE_JSON}"
+python3 - "${SERVE_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("schema", "schema_version", "git_sha", "workers", "bench_scale",
+            "graph", "stores", "results", "recall", "determinism"):
+    assert key in doc, f"BENCH_serving.json missing top-level key {key!r}"
+assert doc["schema"] == "lightne-serving-v1"
+assert doc["schema_version"] == 1
+for kind in ("int8", "fp16", "fp32"):
+    assert kind in doc["stores"], f"stores block missing {kind!r}"
+    assert doc["stores"][kind]["bytes"] > 0
+assert doc["stores"]["int8"]["ratio_vs_fp32"] > 3.0, \
+    "int8 store should be ~4x smaller than fp32"
+assert doc["results"], "BENCH_serving.json has no results"
+for row in doc["results"]:
+    for key in ("name", "kind", "request", "threads", "batch", "k",
+                "requests", "qps", "p50_ms", "p99_ms"):
+        assert key in row, f"result row missing key {key!r}: {row}"
+    assert row["qps"] > 0, f"non-positive qps in {row['name']}"
+    assert row["p50_ms"] <= row["p99_ms"] + 1e-9, f"p50 > p99 in {row['name']}"
+names = {row["name"] for row in doc["results"]}
+for required in ("topk_int8_b1_1t", "topk_int8_b64_mt", "topk_fp32_b64_mt",
+                 "link_scores_int8_mt"):
+    assert required in names, f"missing serving result row {required!r}"
+assert doc["recall"]["k"] == 10
+assert doc["recall"]["int8_vs_fp32"] >= 0.95, \
+    f"int8 recall@10 {doc['recall']['int8_vs_fp32']} below the 0.95 gate"
+assert doc["recall"]["fp16_vs_fp32"] >= 0.99
+assert doc["determinism"]["bit_identical"] is True, \
+    "top-k results differ between 1-worker and pool runs"
+print(f"serving smoke OK: {len(doc['results'])} rows, "
+      f"recall@10 int8 {doc['recall']['int8_vs_fp32']}, "
+      f"int8 store {doc['stores']['int8']['ratio_vs_fp32']}x smaller")
+EOF
+
+"./${BINDIR}/examples/lightne_serve" build --store "${SERVE_STORE}" \
+  --quant int8 --dim 16
+"./${BINDIR}/examples/lightne_serve" query --store "${SERVE_STORE}" \
+  --requests 100 --batch 8 --k 10
+echo "lightne_serve smoke OK"

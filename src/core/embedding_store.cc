@@ -1,0 +1,385 @@
+#include "core/embedding_store.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "parallel/parallel_for.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/trace.h"
+
+namespace lightne {
+
+namespace {
+
+// Artifact schema for embedding stores — distinct from the checkpoint
+// schemas (1/2/3 in core/checkpoint.cc) so pointing a store open at a
+// checkpoint artifact (or vice versa) is a typed kInvalidArgument, not a
+// parse of garbage.
+constexpr uint32_t kEmbeddingStoreSchemaId = 0x45535431;  // "EST1"
+constexpr uint32_t kEmbeddingStoreSchemaVersion = 1;
+
+// Frame 0 of the artifact. 40 bytes, explicitly padded; all fields
+// little-endian on every supported target.
+struct StoreFileHeader {
+  uint32_t quant_kind;
+  uint32_t reserved0;
+  uint64_t rows;
+  uint64_t dims;
+  uint64_t source_fingerprint;
+  uint64_t reserved1;
+};
+static_assert(sizeof(StoreFileHeader) == 40);
+
+// Frame order inside the artifact.
+constexpr size_t kFrameHeader = 0;
+constexpr size_t kFrameScales = 1;
+constexpr size_t kFrameOffsets = 2;
+constexpr size_t kFramePayload = 3;
+constexpr size_t kFrameCount = 4;
+
+bool ValidQuantKind(uint32_t kind) {
+  return kind <= static_cast<uint32_t>(QuantKind::kFp32);
+}
+
+// Per-dimension codebook from the column's [min, max] span. Degenerate
+// spans: a constant column stores scale 0 (decodes exactly to offset); a
+// span whose scale rounds to float 0 while max > min is bumped to the
+// smallest positive float so the scale/2 round-trip bound stays finite.
+void ColumnCodebook(QuantKind kind, float lo, float hi, float* scale,
+                    float* offset) {
+  switch (kind) {
+    case QuantKind::kInt8: {
+      float s = static_cast<float>((static_cast<double>(hi) - lo) / 255.0);
+      if (s == 0.0f && hi > lo) s = std::numeric_limits<float>::denorm_min();
+      *scale = s;
+      *offset = lo;
+      return;
+    }
+    case QuantKind::kFp16: {
+      float s = static_cast<float>((static_cast<double>(hi) - lo) / 2.0);
+      if (s == 0.0f && hi > lo) s = std::numeric_limits<float>::denorm_min();
+      *scale = s;
+      *offset = static_cast<float>((static_cast<double>(hi) + lo) / 2.0);
+      return;
+    }
+    case QuantKind::kFp32:
+      *scale = 1.0f;
+      *offset = 0.0f;
+      return;
+  }
+}
+
+// Encodes one row. Arithmetic is double with a single rounding per code so
+// encodings are a pure function of (value, codebook) — identical at any
+// worker count.
+void EncodeRow(QuantKind kind, const float* row, uint64_t dims,
+               const float* scales, const float* offsets, uint8_t* out) {
+  switch (kind) {
+    case QuantKind::kInt8: {
+      for (uint64_t j = 0; j < dims; ++j) {
+        const double s = scales[j];
+        long q = 0;
+        if (s > 0.0) {
+          q = std::lround((static_cast<double>(row[j]) - offsets[j]) / s);
+        }
+        if (q < 0) q = 0;
+        if (q > 255) q = 255;
+        out[j] = static_cast<uint8_t>(q);
+      }
+      return;
+    }
+    case QuantKind::kFp16: {
+      for (uint64_t j = 0; j < dims; ++j) {
+        const double s = scales[j];
+        float normalized = 0.0f;
+        if (s > 0.0) {
+          normalized = static_cast<float>(
+              (static_cast<double>(row[j]) - offsets[j]) / s);
+        }
+        const uint16_t half = FloatToHalf(normalized);
+        std::memcpy(out + 2 * j, &half, sizeof(half));
+      }
+      return;
+    }
+    case QuantKind::kFp32:
+      std::memcpy(out, row, dims * sizeof(float));
+      return;
+  }
+}
+
+}  // namespace
+
+const char* QuantKindName(QuantKind kind) {
+  switch (kind) {
+    case QuantKind::kInt8: return "int8";
+    case QuantKind::kFp16: return "fp16";
+    case QuantKind::kFp32: return "fp32";
+  }
+  return "unknown";
+}
+
+Result<QuantKind> ParseQuantKind(const std::string& name) {
+  if (name == "int8") return QuantKind::kInt8;
+  if (name == "fp16") return QuantKind::kFp16;
+  if (name == "fp32") return QuantKind::kFp32;
+  return Status::InvalidArgument("unknown quantization kind '" + name +
+                                 "' (expected int8|fp16|fp32)");
+}
+
+uint64_t EmbeddingStore::Fingerprint(const Matrix& embedding) {
+  const uint32_t crc =
+      Crc32c(embedding.data(), embedding.rows() * embedding.cols() *
+                                   sizeof(float));
+  return HashCombine64(HashCombine64(embedding.rows(), embedding.cols()),
+                       crc);
+}
+
+Status EmbeddingStore::Write(const Matrix& embedding, const std::string& path,
+                             QuantKind kind, MemoryBudget* budget) {
+  TraceSpan span("serve/store_write");
+  const uint64_t rows = embedding.rows();
+  const uint64_t dims = embedding.cols();
+  if (rows == 0 || dims == 0) {
+    return Status::InvalidArgument("cannot write an empty embedding store");
+  }
+  // A NaN would poison the column min/max (and every comparison against the
+  // codebook) silently; reject up front.
+  std::atomic<bool> finite{true};
+  ParallelFor(0, rows, [&](uint64_t i) {
+    const float* row = embedding.Row(i);
+    for (uint64_t j = 0; j < dims; ++j) {
+      if (!std::isfinite(row[j])) {
+        finite.store(false, std::memory_order_relaxed);
+        return;
+      }
+    }
+  });
+  if (!finite.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument(
+        "embedding contains non-finite values; refusing to quantize");
+  }
+
+  // Per-dimension codebook. One work item per column: the column scan's
+  // result is a pure function of the column, so the partition (and worker
+  // count) cannot affect the stored codebook bytes.
+  std::vector<float> scales(dims);
+  std::vector<float> offsets(dims);
+  ParallelFor(
+      0, dims,
+      [&](uint64_t j) {
+        float lo = embedding.At(0, j);
+        float hi = lo;
+        for (uint64_t i = 1; i < rows; ++i) {
+          const float x = embedding.At(i, j);
+          if (x < lo) lo = x;
+          if (x > hi) hi = x;
+        }
+        ColumnCodebook(kind, lo, hi, &scales[j], &offsets[j]);
+      },
+      /*grain=*/1);
+
+  const uint64_t payload_bytes = rows * dims * QuantElemBytes(kind);
+  BudgetReservation reservation(budget, payload_bytes);
+  if (!reservation.ok()) {
+    return Status::ResourceExhausted(
+        "embedding store code buffer (" + HumanBytes(payload_bytes) +
+        ") does not fit the memory budget");
+  }
+  std::vector<uint8_t> codes(payload_bytes);
+  const uint64_t row_bytes = dims * QuantElemBytes(kind);
+  ParallelFor(0, rows, [&](uint64_t i) {
+    EncodeRow(kind, embedding.Row(i), dims, scales.data(), offsets.data(),
+              codes.data() + i * row_bytes);
+  });
+
+  StoreFileHeader header = {};
+  header.quant_kind = static_cast<uint32_t>(kind);
+  header.rows = rows;
+  header.dims = dims;
+  header.source_fingerprint = Fingerprint(embedding);
+
+  ArtifactWriter writer;
+  LIGHTNE_RETURN_IF_ERROR(writer.Open(path, kEmbeddingStoreSchemaId,
+                                      kEmbeddingStoreSchemaVersion));
+  LIGHTNE_RETURN_IF_ERROR(writer.AppendFrame(&header, sizeof(header)));
+  LIGHTNE_RETURN_IF_ERROR(
+      writer.AppendFrame(scales.data(), dims * sizeof(float)));
+  LIGHTNE_RETURN_IF_ERROR(
+      writer.AppendFrame(offsets.data(), dims * sizeof(float)));
+  LIGHTNE_RETURN_IF_ERROR(writer.AppendFrame(codes.data(), payload_bytes));
+  LIGHTNE_RETURN_IF_ERROR(writer.Commit());
+  MetricsRegistry::Global().GetCounter("serve/stores_written")->Increment();
+  return Status::Ok();
+}
+
+Result<EmbeddingStore> EmbeddingStore::Open(const std::string& path,
+                                            MemoryBudget* budget) {
+  TraceSpan span("serve/store_open");
+  auto mapped = MappedArtifact::Open(path, kEmbeddingStoreSchemaId);
+  LIGHTNE_RETURN_IF_ERROR(mapped.status());
+
+  EmbeddingStore store;
+  store.artifact_ = std::move(mapped).value();
+  if (store.artifact_.schema_version() != kEmbeddingStoreSchemaVersion) {
+    return Status::InvalidArgument(
+        path + " holds embedding store schema version " +
+        std::to_string(store.artifact_.schema_version()) + ", expected " +
+        std::to_string(kEmbeddingStoreSchemaVersion));
+  }
+  if (store.artifact_.num_frames() != kFrameCount) {
+    return Status::DataLoss(path + " holds " +
+                            std::to_string(store.artifact_.num_frames()) +
+                            " frames, embedding store needs 4");
+  }
+  const MappedArtifact::FrameView& header_frame =
+      store.artifact_.frame(kFrameHeader);
+  if (header_frame.bytes != sizeof(StoreFileHeader)) {
+    return Status::DataLoss("bad embedding store header size in " + path);
+  }
+  StoreFileHeader header;
+  std::memcpy(&header, header_frame.data, sizeof(header));
+  if (!ValidQuantKind(header.quant_kind)) {
+    return Status::DataLoss("bad quantization kind in " + path);
+  }
+  // Shape sanity before any size arithmetic: a corrupt header that survived
+  // the CRC (it cannot, but belt-and-braces for the multiply below) must not
+  // overflow rows * dims * elem.
+  if (header.rows == 0 || header.dims == 0 || header.rows > (1ull << 40) ||
+      header.dims > (1ull << 24)) {
+    return Status::DataLoss("bad embedding store shape in " + path);
+  }
+  store.kind_ = static_cast<QuantKind>(header.quant_kind);
+  store.rows_ = header.rows;
+  store.dims_ = header.dims;
+  store.source_fingerprint_ = header.source_fingerprint;
+
+  const uint64_t codebook_bytes = store.dims_ * sizeof(float);
+  if (store.artifact_.frame(kFrameScales).bytes != codebook_bytes ||
+      store.artifact_.frame(kFrameOffsets).bytes != codebook_bytes) {
+    return Status::DataLoss("bad codebook frame size in " + path);
+  }
+  const uint64_t payload_bytes =
+      store.rows_ * store.dims_ * QuantElemBytes(store.kind_);
+  if (store.artifact_.frame(kFramePayload).bytes != payload_bytes) {
+    return Status::DataLoss("bad payload frame size in " + path);
+  }
+
+  store.reservation_ = BudgetReservation(budget, store.artifact_.file_bytes());
+  if (!store.reservation_.ok()) {
+    return Status::ResourceExhausted(
+        "embedding store " + path + " (" +
+        HumanBytes(store.artifact_.file_bytes()) +
+        " mapped) does not fit the memory budget");
+  }
+
+  store.scales_.resize(store.dims_);
+  store.offsets_.resize(store.dims_);
+  std::memcpy(store.scales_.data(), store.artifact_.frame(kFrameScales).data,
+              codebook_bytes);
+  std::memcpy(store.offsets_.data(),
+              store.artifact_.frame(kFrameOffsets).data, codebook_bytes);
+  store.payload_ =
+      static_cast<const uint8_t*>(store.artifact_.frame(kFramePayload).data);
+
+  MetricsRegistry::Global().GetCounter("serve/stores_opened")->Increment();
+  MetricsRegistry::Global()
+      .GetGauge("serve/store_bytes")
+      ->Set(store.artifact_.file_bytes());
+  return store;
+}
+
+Result<EmbeddingStore> EmbeddingStore::OpenValidated(
+    const std::string& path, uint64_t expected_fingerprint,
+    MemoryBudget* budget) {
+  auto store = Open(path, budget);
+  LIGHTNE_RETURN_IF_ERROR(store.status());
+  if (store.value().source_fingerprint() != expected_fingerprint) {
+    return Status::FailedPrecondition(
+        path + " was built from a different embedding (stale store): "
+        "stored fingerprint " +
+        std::to_string(store.value().source_fingerprint()) + ", expected " +
+        std::to_string(expected_fingerprint));
+  }
+  return store;
+}
+
+float EmbeddingStore::CodeValue(uint64_t i, uint64_t j) const {
+  const auto* row = static_cast<const uint8_t*>(RowData(i));
+  switch (kind_) {
+    case QuantKind::kInt8:
+      return static_cast<float>(row[j]);
+    case QuantKind::kFp16: {
+      uint16_t half;
+      std::memcpy(&half, row + 2 * j, sizeof(half));
+      return HalfToFloat(half);
+    }
+    case QuantKind::kFp32: {
+      float value;
+      std::memcpy(&value, row + 4 * j, sizeof(value));
+      return value;
+    }
+  }
+  return 0.0f;
+}
+
+void EmbeddingStore::CodeRow(uint64_t i, float* out) const {
+  const auto* row = static_cast<const uint8_t*>(RowData(i));
+  switch (kind_) {
+    case QuantKind::kInt8: {
+      for (uint64_t j = 0; j < dims_; ++j) {
+        out[j] = static_cast<float>(row[j]);
+      }
+      return;
+    }
+    case QuantKind::kFp16: {
+      for (uint64_t j = 0; j < dims_; ++j) {
+        uint16_t half;
+        std::memcpy(&half, row + 2 * j, sizeof(half));
+        out[j] = HalfToFloat(half);
+      }
+      return;
+    }
+    case QuantKind::kFp32:
+      std::memcpy(out, row, dims_ * sizeof(float));
+      return;
+  }
+}
+
+void EmbeddingStore::DequantizeRow(uint64_t i, float* out) const {
+  const auto* row = static_cast<const uint8_t*>(RowData(i));
+  switch (kind_) {
+    case QuantKind::kInt8: {
+      for (uint64_t j = 0; j < dims_; ++j) {
+        out[j] = static_cast<float>(
+            static_cast<double>(offsets_[j]) +
+            static_cast<double>(scales_[j]) * row[j]);
+      }
+      return;
+    }
+    case QuantKind::kFp16: {
+      for (uint64_t j = 0; j < dims_; ++j) {
+        uint16_t half;
+        std::memcpy(&half, row + 2 * j, sizeof(half));
+        out[j] = static_cast<float>(
+            static_cast<double>(offsets_[j]) +
+            static_cast<double>(scales_[j]) *
+                static_cast<double>(HalfToFloat(half)));
+      }
+      return;
+    }
+    case QuantKind::kFp32:
+      std::memcpy(out, row, dims_ * sizeof(float));
+      return;
+  }
+}
+
+Matrix EmbeddingStore::Dequantize() const {
+  Matrix out(rows_, dims_);
+  ParallelFor(0, rows_, [&](uint64_t i) { DequantizeRow(i, out.Row(i)); });
+  return out;
+}
+
+}  // namespace lightne

@@ -1,0 +1,264 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "la/kernels.h"
+#include "parallel/parallel_for.h"
+#include "parallel/scratch.h"
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace lightne {
+
+namespace {
+
+/// Strict total order on candidates with distinct ids: score descending,
+/// vertex id ascending on ties. Both the per-tile selection heap and the
+/// final per-query sort use this single comparator, so "tie-break by id" is
+/// one definition, not two.
+inline bool Better(const ScoredNeighbor& a, const ScoredNeighbor& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Folds the store's per-dimension codebook into one query:
+///   score(q, r) = bias + sum_j w_j * code_rj
+/// with w_j = q_j * scale_j and bias accumulated j-ascending in float.
+/// Shared by the blocked engine and the naive oracle so both see
+/// bit-identical folded weights. (For fp32 stores scale/offset are 1/0, so
+/// w == q and bias == 0 without a special case.)
+void FoldQuery(const EmbeddingStore& store, const float* query, float* w,
+               float* bias) {
+  const uint64_t dims = store.dims();
+  const float* scales = store.scales().data();
+  const float* offsets = store.offsets().data();
+  float b = 0.0f;
+  for (uint64_t j = 0; j < dims; ++j) {
+    w[j] = query[j] * scales[j];
+    b += query[j] * offsets[j];
+  }
+  *bias = b;
+}
+
+/// Streams `n` biased scores into a bounded worst-at-top heap of capacity
+/// `keep` in `out`. Row order is fixed (r ascending), so the kept set and
+/// the final array layout are a pure function of the tile's inputs.
+void SelectTopK(const float* dots, uint64_t n, uint64_t first_id, float bias,
+                uint64_t keep, ScoredNeighbor* out, uint32_t* out_count) {
+  uint64_t count = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    const ScoredNeighbor candidate{static_cast<NodeId>(first_id + r),
+                                   dots[r] + bias};
+    if (count < keep) {
+      out[count++] = candidate;
+      std::push_heap(out, out + count, Better);
+    } else if (Better(candidate, out[0])) {
+      std::pop_heap(out, out + count, Better);
+      out[count - 1] = candidate;
+      std::push_heap(out, out + count, Better);
+    }
+  }
+  *out_count = static_cast<uint32_t>(count);
+}
+
+Histogram* BatchLatencyHistogram() {
+  static Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "serve/batch_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000});
+  return h;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const EmbeddingStore* store,
+                         QueryEngineOptions options)
+    : store_(store), options_(options) {
+  LIGHTNE_CHECK_MSG(store_ != nullptr, "QueryEngine needs a store");
+  LIGHTNE_CHECK_MSG(options_.block_rows > 0 && options_.query_chunk > 0,
+                    "QueryEngine tile geometry must be positive");
+}
+
+Result<std::vector<std::vector<ScoredNeighbor>>> QueryEngine::TopK(
+    const float* queries, uint64_t batch, uint64_t k) const {
+  const uint64_t rows = store_->rows();
+  const uint64_t dims = store_->dims();
+  if (batch == 0) {
+    return Status::InvalidArgument("TopK batch must be non-empty");
+  }
+  if (k == 0 || k > rows) {
+    return Status::InvalidArgument(
+        "TopK k must be in [1, rows]; got k=" + std::to_string(k) +
+        " with rows=" + std::to_string(rows));
+  }
+  for (uint64_t i = 0; i < batch * dims; ++i) {
+    if (!std::isfinite(queries[i])) {
+      return Status::InvalidArgument(
+          "TopK query contains non-finite values");
+    }
+  }
+  TraceSpan span("serve/topk");
+  Timer timer;
+
+  std::vector<float> weights(batch * dims);
+  std::vector<float> biases(batch);
+  ParallelFor(0, batch, [&](uint64_t q) {
+    FoldQuery(*store_, queries + q * dims, weights.data() + q * dims,
+              &biases[q]);
+  });
+
+  // Tile geometry is a function of (rows, batch, options) only — never the
+  // worker count — and every tile writes its own disjoint candidate slots,
+  // so the candidate arrays are bit-identical at any pool size.
+  const uint64_t block_rows = options_.block_rows;
+  const uint64_t query_chunk = options_.query_chunk;
+  const uint64_t num_blocks = (rows + block_rows - 1) / block_rows;
+  const uint64_t num_chunks = (batch + query_chunk - 1) / query_chunk;
+  const uint64_t keep = std::min(k, block_rows);
+
+  std::vector<ScoredNeighbor> candidates(batch * num_blocks * keep);
+  std::vector<uint32_t> candidate_counts(batch * num_blocks, 0);
+
+  ParallelFor(
+      0, num_chunks * num_blocks,
+      [&](uint64_t tile) {
+        const uint64_t chunk = tile / num_blocks;
+        const uint64_t block = tile % num_blocks;
+        const uint64_t q0 = chunk * query_chunk;
+        const uint64_t qn = std::min(query_chunk, batch - q0);
+        const uint64_t r0 = block * block_rows;
+        const uint64_t rn = std::min(block_rows, rows - r0);
+
+        ScratchArena::Scope scope(ScratchArena::ForCurrentThread());
+        float* decoded = scope.AllocArray<float>(rn * dims);
+        float* transposed = scope.AllocArray<float>(dims * rn);
+        float* dots = scope.AllocArray<float>(qn * rn);
+        for (uint64_t r = 0; r < rn; ++r) {
+          store_->CodeRow(r0 + r, decoded + r * dims);
+        }
+        kernels::TransposeBlock(decoded, dims, transposed, rn, rn, dims);
+        // dots[qi][r] accumulates w[p] * code[p] in strict p-ascending
+        // float order (MicroGemm's contract) — the same per-element
+        // operation sequence as the naive oracle's scalar loop.
+        kernels::MicroGemm(weights.data() + q0 * dims, dims, transposed, rn,
+                           dots, rn, qn, dims, rn);
+        for (uint64_t qi = 0; qi < qn; ++qi) {
+          const uint64_t slot = (q0 + qi) * num_blocks + block;
+          SelectTopK(dots + qi * rn, rn, r0, biases[q0 + qi], keep,
+                     candidates.data() + slot * keep,
+                     &candidate_counts[slot]);
+        }
+      },
+      /*grain=*/1);
+
+  // Per-query merge: concatenate the per-block candidate lists in block
+  // order, sort by the strict (score desc, id asc) order, truncate to k.
+  // The input is a deterministic array and the comparator a total order on
+  // distinct ids, so the merge cannot depend on timing.
+  std::vector<std::vector<ScoredNeighbor>> results(batch);
+  ParallelFor(0, batch, [&](uint64_t q) {
+    std::vector<ScoredNeighbor> merged;
+    merged.reserve(num_blocks * keep);
+    for (uint64_t block = 0; block < num_blocks; ++block) {
+      const uint64_t slot = q * num_blocks + block;
+      const ScoredNeighbor* first = candidates.data() + slot * keep;
+      merged.insert(merged.end(), first, first + candidate_counts[slot]);
+    }
+    std::sort(merged.begin(), merged.end(), Better);
+    merged.resize(k);
+    results[q] = std::move(merged);
+  });
+
+  MetricsRegistry::Global().GetCounter("serve/queries")->Add(batch);
+  MetricsRegistry::Global().GetCounter("serve/batches")->Increment();
+  MetricsRegistry::Global().GetCounter("serve/rows_scored")
+      ->Add(batch * rows);
+  BatchLatencyHistogram()->Observe(timer.Seconds() * 1e6);
+  return results;
+}
+
+Result<std::vector<std::vector<ScoredNeighbor>>> QueryEngine::TopKByVertex(
+    const std::vector<NodeId>& ids, uint64_t k) const {
+  const uint64_t dims = store_->dims();
+  for (const NodeId id : ids) {
+    if (id >= store_->rows()) {
+      return Status::InvalidArgument(
+          "TopKByVertex id " + std::to_string(id) + " out of range (rows=" +
+          std::to_string(store_->rows()) + ")");
+    }
+  }
+  if (ids.empty()) {
+    return Status::InvalidArgument("TopKByVertex batch must be non-empty");
+  }
+  std::vector<float> queries(ids.size() * dims);
+  ParallelFor(0, ids.size(), [&](uint64_t i) {
+    store_->DequantizeRow(ids[i], queries.data() + i * dims);
+  });
+  return TopK(queries.data(), ids.size(), k);
+}
+
+Result<std::vector<float>> QueryEngine::LinkScores(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs) const {
+  const uint64_t rows = store_->rows();
+  const uint64_t dims = store_->dims();
+  for (const auto& [u, v] : pairs) {
+    if (u >= rows || v >= rows) {
+      return Status::InvalidArgument(
+          "LinkScores pair (" + std::to_string(u) + ", " + std::to_string(v) +
+          ") out of range (rows=" + std::to_string(rows) + ")");
+    }
+  }
+  TraceSpan span("serve/link_scores");
+  Timer timer;
+  std::vector<float> scores(pairs.size());
+  ParallelFor(0, pairs.size(), [&](uint64_t i) {
+    ScratchArena::Scope scope(ScratchArena::ForCurrentThread());
+    float* u_row = scope.AllocArray<float>(dims);
+    float* v_row = scope.AllocArray<float>(dims);
+    store_->DequantizeRow(pairs[i].first, u_row);
+    store_->DequantizeRow(pairs[i].second, v_row);
+    float acc = 0.0f;  // j-ascending float dot, same as NaiveLinkScore
+    for (uint64_t j = 0; j < dims; ++j) acc += u_row[j] * v_row[j];
+    scores[i] = acc;
+  });
+  MetricsRegistry::Global().GetCounter("serve/link_pairs")
+      ->Add(pairs.size());
+  BatchLatencyHistogram()->Observe(timer.Seconds() * 1e6);
+  return scores;
+}
+
+std::vector<ScoredNeighbor> NaiveTopK(const EmbeddingStore& store,
+                                      const float* query, uint64_t k) {
+  const uint64_t rows = store.rows();
+  const uint64_t dims = store.dims();
+  std::vector<float> weights(dims);
+  float bias = 0.0f;
+  FoldQuery(store, query, weights.data(), &bias);
+  std::vector<float> code(dims);
+  std::vector<ScoredNeighbor> all(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    store.CodeRow(r, code.data());
+    float acc = 0.0f;
+    for (uint64_t j = 0; j < dims; ++j) acc += weights[j] * code[j];
+    all[r] = ScoredNeighbor{static_cast<NodeId>(r), acc + bias};
+  }
+  std::sort(all.begin(), all.end(), Better);
+  all.resize(std::min(k, rows));
+  return all;
+}
+
+float NaiveLinkScore(const EmbeddingStore& store, NodeId u, NodeId v) {
+  const uint64_t dims = store.dims();
+  std::vector<float> u_row(dims);
+  std::vector<float> v_row(dims);
+  store.DequantizeRow(u, u_row.data());
+  store.DequantizeRow(v, v_row.data());
+  float acc = 0.0f;
+  for (uint64_t j = 0; j < dims; ++j) acc += u_row[j] * v_row[j];
+  return acc;
+}
+
+}  // namespace lightne

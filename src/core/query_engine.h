@@ -1,0 +1,112 @@
+// Batched, deterministic query engine over an opened EmbeddingStore
+// (DESIGN.md §14, "Serving contract").
+//
+// Serves two request shapes:
+//   - top-k nearest neighbors by inner product, for a batch of float query
+//     vectors (TopK) or a batch of stored vertices (TopKByVertex);
+//   - link scores for explicit (u, v) pairs (LinkScores), the serving form
+//     of the link-prediction task the quality gate measures.
+//
+// Scoring never materializes dequantized embeddings. A query q against an
+// affine-coded row r folds the codebook into the query once:
+//
+//   score(q, r) = sum_j q_j * (offset_j + scale_j * code_rj)
+//               = bias_q + sum_j w_qj * code_rj
+//   with w_qj = q_j * scale_j  and  bias_q = sum_j q_j * offset_j,
+//
+// so the hot loop is a plain GEMM of folded weights against raw codes
+// (decoded to float: uint8 -> its integer value, half -> its float value,
+// fp32 -> itself). The GEMM runs blocked: each (query-chunk, row-block)
+// tile decodes its block into worker scratch, transposes it, and calls
+// kernels::MicroGemm.
+//
+// Determinism contract (the serving extension of DESIGN.md §8): results are
+// bit-identical at any worker count and any batch size.
+//   - Every score is produced by exactly one tile, with a fixed j-ascending
+//     float accumulation (MicroGemm's contract) and the bias added after
+//     the dot — the same operation sequence the naive oracle uses.
+//   - The tile partition is a function of (rows, dims, options) only, never
+//     of the worker count; tiles write disjoint result slots.
+//   - The per-query reduction concatenates per-block top-k candidates in
+//     block order and sorts by (score desc, id asc) — a strict total order
+//     on distinct ids, so ties are broken by vertex id, not by timing.
+// tests/query_test.cc pins all of this against NaiveTopK/NaiveLinkScore,
+// the kept-compiled single-thread oracle below.
+//
+// Observability: per-batch latency goes to the "serve/batch_us" histogram,
+// volumes to "serve/queries" / "serve/rows_scored" / "serve/link_pairs",
+// and every request runs under a TraceSpan for the Chrome trace export.
+#ifndef LIGHTNE_CORE_QUERY_ENGINE_H_
+#define LIGHTNE_CORE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedding_store.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace lightne {
+
+/// One scored result row. `score` is the folded inner product, float.
+struct ScoredNeighbor {
+  NodeId id = 0;
+  float score = 0.0f;
+};
+
+/// Tile geometry. Both values shape the partition (and therefore the work
+/// items), but results are bit-identical for ANY setting of either — the
+/// invariance is property-tested. Defaults keep a tile's decoded block plus
+/// score panel comfortably inside L2.
+struct QueryEngineOptions {
+  uint64_t block_rows = 1024;  // store rows per scoring tile
+  uint64_t query_chunk = 16;   // queries scored together per tile
+};
+
+class QueryEngine {
+ public:
+  /// The engine borrows `store` (not owned); it must outlive the engine.
+  explicit QueryEngine(const EmbeddingStore* store,
+                       QueryEngineOptions options = {});
+
+  /// Top-k by inner product for `batch` query vectors (row-major,
+  /// batch x dims floats). Returns one descending (score, then id asc)
+  /// list of exactly k entries per query. kInvalidArgument on batch == 0,
+  /// k == 0, k > rows, or non-finite query values.
+  Result<std::vector<std::vector<ScoredNeighbor>>> TopK(const float* queries,
+                                                        uint64_t batch,
+                                                        uint64_t k) const;
+
+  /// TopK with stored vertices as queries (each dequantized through the
+  /// store's own codebook). The source vertex itself is kept in its result
+  /// list if it ranks. kInvalidArgument on out-of-range ids.
+  Result<std::vector<std::vector<ScoredNeighbor>>> TopKByVertex(
+      const std::vector<NodeId>& ids, uint64_t k) const;
+
+  /// Folded inner-product scores for explicit (u, v) pairs, parallel over
+  /// pairs. kInvalidArgument on out-of-range ids.
+  Result<std::vector<float>> LinkScores(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs) const;
+
+  const EmbeddingStore& store() const { return *store_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+ private:
+  const EmbeddingStore* store_;
+  QueryEngineOptions options_;
+};
+
+/// Kept-compiled single-thread oracle: scores every row with a scalar
+/// j-ascending loop (identical operation order to the engine's tiles), full
+/// sort by (score desc, id asc), truncate to k. O(rows log rows) per query —
+/// tests and bench verification only, but compiled into the library so the
+/// golden semantics can never drift from a test-only copy.
+std::vector<ScoredNeighbor> NaiveTopK(const EmbeddingStore& store,
+                                      const float* query, uint64_t k);
+
+/// Single-pair oracle for LinkScores, same operation order.
+float NaiveLinkScore(const EmbeddingStore& store, NodeId u, NodeId v);
+
+}  // namespace lightne
+
+#endif  // LIGHTNE_CORE_QUERY_ENGINE_H_

@@ -1,6 +1,7 @@
 #include "util/artifact_io.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -182,6 +183,108 @@ Status ArtifactWriter::AppendFrame(const void* data, uint64_t bytes) {
 }
 
 Status ArtifactWriter::Commit() { return file_.Commit(); }
+
+// --------------------------------------------------------- MappedArtifact --
+
+MappedArtifact::~MappedArtifact() {
+  if (map_ != nullptr) ::munmap(map_, file_bytes_);
+}
+
+MappedArtifact::MappedArtifact(MappedArtifact&& other) noexcept
+    : map_(other.map_),
+      file_bytes_(other.file_bytes_),
+      schema_version_(other.schema_version_),
+      frames_(std::move(other.frames_)) {
+  other.map_ = nullptr;
+  other.file_bytes_ = 0;
+  other.frames_.clear();
+}
+
+MappedArtifact& MappedArtifact::operator=(MappedArtifact&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_ != nullptr) ::munmap(map_, file_bytes_);
+  map_ = other.map_;
+  file_bytes_ = other.file_bytes_;
+  schema_version_ = other.schema_version_;
+  frames_ = std::move(other.frames_);
+  other.map_ = nullptr;
+  other.file_bytes_ = 0;
+  other.frames_.clear();
+  return *this;
+}
+
+const MappedArtifact::FrameView& MappedArtifact::frame(size_t index) const {
+  LIGHTNE_CHECK_MSG(index < frames_.size(), "frame index out of range");
+  return frames_[index];
+}
+
+Result<MappedArtifact> MappedArtifact::Open(const std::string& path,
+                                            uint32_t expected_schema_id) {
+  if (LIGHTNE_FAULT_POINT("io/read")) {
+    return Status::IOError("injected fault io/read mapping " + path);
+  }
+  if (!FileExists(path)) return Status::NotFound(path + " does not exist");
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const uint64_t file_bytes = static_cast<uint64_t>(st.st_size);
+  if (file_bytes < sizeof(FileHeader)) {
+    ::close(fd);
+    return Status::DataLoss("truncated artifact header in " + path);
+  }
+  void* map = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) return Status::IOError("cannot mmap " + path);
+
+  MappedArtifact artifact;
+  artifact.map_ = map;
+  artifact.file_bytes_ = file_bytes;
+  const auto* base = static_cast<const uint8_t*>(map);
+
+  FileHeader header;
+  std::memcpy(&header, base, sizeof(header));
+  if (header.magic != kArtifactMagic) {
+    return Status::DataLoss("bad artifact magic in " + path);
+  }
+  if (header.schema_id != expected_schema_id) {
+    return Status::InvalidArgument(
+        path + " holds schema id " + std::to_string(header.schema_id) +
+        ", expected " + std::to_string(expected_schema_id));
+  }
+  artifact.schema_version_ = header.schema_version;
+
+  // Walk every frame up front: a MappedArtifact that Opens OK has had each
+  // payload checksummed, so later zero-copy frame() reads cannot surface
+  // silent corruption. The walk must end exactly at the file's last byte —
+  // trailing garbage means the file is not what the writer committed.
+  uint64_t offset = sizeof(FileHeader);
+  while (offset < file_bytes) {
+    if (file_bytes - offset < sizeof(FrameHeader)) {
+      return Status::DataLoss("truncated artifact: torn frame header in " +
+                              path);
+    }
+    FrameHeader frame;
+    std::memcpy(&frame, base + offset, sizeof(frame));
+    offset += sizeof(FrameHeader);
+    if (frame.payload_bytes > file_bytes - offset) {
+      return Status::DataLoss("truncated artifact frame in " + path);
+    }
+    const uint8_t* payload = base + offset;
+    if (Crc32c(payload, frame.payload_bytes) != frame.crc32c) {
+      return Status::DataLoss("artifact frame checksum mismatch in " + path);
+    }
+    artifact.frames_.push_back(
+        FrameView{frame.payload_bytes > 0 ? payload : nullptr,
+                  frame.payload_bytes});
+    offset += frame.payload_bytes;
+  }
+  LIGHTNE_CHECK_MSG(offset == file_bytes, "frame walk overran the map");
+  return artifact;
+}
 
 // --------------------------------------------------------- ArtifactReader --
 

@@ -113,6 +113,52 @@ class ArtifactWriter {
   uint64_t bytes_written_ = 0;
 };
 
+/// Read-only mmap view of a committed artifact. Open() maps the whole file
+/// and validates the header plus EVERY frame checksum in one pass, so a
+/// returned MappedArtifact guarantees the mapped bytes are exactly what the
+/// writer committed; after that, frames are served zero-copy out of the map
+/// (the embedding store serves multi-GiB payloads this way without a heap
+/// copy). Error mapping matches ArtifactReader: missing file kNotFound,
+/// wrong schema_id kInvalidArgument, anything structurally wrong — short
+/// header, truncated frame, checksum mismatch, trailing bytes — kDataLoss.
+class MappedArtifact {
+ public:
+  /// One validated frame inside the map. `data` stays valid as long as the
+  /// owning MappedArtifact is alive; alignment is whatever the on-disk
+  /// layout gives (header and frame headers are 16 bytes, so frame payloads
+  /// start 16-byte aligned relative to the preceding payload end).
+  struct FrameView {
+    const void* data = nullptr;
+    uint64_t bytes = 0;
+  };
+
+  /// Maps `path` and validates every frame. Evaluates fault point "io/read".
+  static Result<MappedArtifact> Open(const std::string& path,
+                                     uint32_t expected_schema_id);
+
+  MappedArtifact() = default;
+  ~MappedArtifact();
+  MappedArtifact(MappedArtifact&& other) noexcept;
+  MappedArtifact& operator=(MappedArtifact&& other) noexcept;
+  MappedArtifact(const MappedArtifact&) = delete;
+  MappedArtifact& operator=(const MappedArtifact&) = delete;
+
+  /// Schema version from the header (valid after Open).
+  uint32_t schema_version() const { return schema_version_; }
+  /// Total mapped size, header and frame headers included.
+  uint64_t file_bytes() const { return file_bytes_; }
+  size_t num_frames() const { return frames_.size(); }
+  /// CHECK-fails on out-of-range index: callers know their schema's frame
+  /// count (and validated it) before asking.
+  const FrameView& frame(size_t index) const;
+
+ private:
+  void* map_ = nullptr;
+  uint64_t file_bytes_ = 0;
+  uint32_t schema_version_ = 0;
+  std::vector<FrameView> frames_;
+};
+
 /// Framed artifact reader. Every structural problem is kDataLoss; a missing
 /// file is kNotFound; wrong schema_id is kInvalidArgument.
 class ArtifactReader {

@@ -8,10 +8,14 @@
 // by the tolerance noted next to each; re-measure and update them together
 // with any intentional quality-affecting change (and say so in the PR).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/embedding_store.h"
 #include "core/lightne.h"
 #include "data/generators.h"
 #include "data/labels.h"
@@ -73,25 +77,85 @@ constexpr uint64_t kRmatEvalSeed = 7;
 // negatives are seeded, so the slack is for float/platform drift only).
 constexpr double kRmatAucFloor = 0.85;
 
+/// The RMAT gate's split and embedding, computed once and shared by the
+/// fp32 floor test and the quantization-delta test below (the pipeline is
+/// deterministic per seed, so sharing changes nothing but runtime).
+const EdgeSplit& RmatSplit() {
+  static const EdgeSplit* split = [] {
+    CsrGraph full =
+        CsrGraph::FromEdges(GenerateRmat(11, 30000, kRmatGraphSeed));
+    return new EdgeSplit(SplitEdges(full.ToEdgeList(), 0.02, kRmatSplitSeed));
+  }();
+  return *split;
+}
+
+const Matrix& RmatEmbedding() {
+  static const Matrix* embedding = [] {
+    CsrGraph train = CsrGraph::FromCleanEdgeList(RmatSplit().train);
+    LightNeOptions opt;
+    opt.dim = 32;
+    opt.window = 5;
+    opt.samples_ratio = 2.0;
+    opt.seed = kRmatPipelineSeed;
+    auto r = RunLightNe(train, opt);
+    LIGHTNE_CHECK_MSG(r.ok(), "RMAT gate pipeline failed");
+    return new Matrix(std::move(r->embedding));
+  }();
+  return *embedding;
+}
+
 TEST(QualityGateTest, RmatLinkPredictionAucStaysAboveFloor) {
-  CsrGraph full = CsrGraph::FromEdges(GenerateRmat(11, 30000, kRmatGraphSeed));
-  EdgeSplit split = SplitEdges(full.ToEdgeList(), 0.02, kRmatSplitSeed);
+  const EdgeSplit& split = RmatSplit();
   ASSERT_GT(split.test_positives.size(), 50u);
-  CsrGraph train = CsrGraph::FromCleanEdgeList(split.train);
-
-  LightNeOptions opt;
-  opt.dim = 32;
-  opt.window = 5;
-  opt.samples_ratio = 2.0;
-  opt.seed = kRmatPipelineSeed;
-  auto r = RunLightNe(train, opt);
-  ASSERT_TRUE(r.ok()) << r.status().ToString();
-
   const double auc =
-      EvaluateAuc(r->embedding, split.test_positives, kRmatEvalSeed);
+      EvaluateAuc(RmatEmbedding(), split.test_positives, kRmatEvalSeed);
   std::printf("[quality-gate] rmat link-prediction auc=%.4f (floor %.2f)\n",
               auc, kRmatAucFloor);
   EXPECT_GE(auc, kRmatAucFloor);
+}
+
+// ------------------- quantized store link prediction (AUC delta gate) -------
+
+// Measured on the RMAT gate embedding at these seeds: fp32 AUC 0.8857,
+// int8-dequantized AUC delta 7.3e-4, fp16 delta 1.8e-4. Tolerances are the
+// measured deltas rounded up with ~7-10x headroom — per-dimension affine
+// quantization must stay quality-neutral for link prediction, and a delta
+// past these bounds means the codebook (not the pipeline) regressed.
+constexpr double kInt8AucDeltaTolerance = 0.005;
+constexpr double kFp16AucDeltaTolerance = 0.002;
+
+TEST(QualityGateTest, QuantizedStoreKeepsLinkPredictionAuc) {
+  const EdgeSplit& split = RmatSplit();
+  const Matrix& embedding = RmatEmbedding();
+  const double fp32_auc =
+      EvaluateAuc(embedding, split.test_positives, kRmatEvalSeed);
+  const uint64_t fingerprint = EmbeddingStore::Fingerprint(embedding);
+
+  const struct {
+    QuantKind kind;
+    double tolerance;
+  } cases[] = {{QuantKind::kInt8, kInt8AucDeltaTolerance},
+               {QuantKind::kFp16, kFp16AucDeltaTolerance}};
+  for (const auto& c : cases) {
+    const std::string path = ::testing::TempDir() + "/quality_gate_" +
+                             QuantKindName(c.kind) + "_" +
+                             std::to_string(::getpid()) + ".est";
+    ASSERT_TRUE(EmbeddingStore::Write(embedding, path, c.kind).ok());
+    // Round-trip through the real serving artifact (not an in-memory
+    // shortcut), fingerprint-validated like a serving process would.
+    auto store = EmbeddingStore::OpenValidated(path, fingerprint);
+    ASSERT_TRUE(store.status().ok()) << store.status().ToString();
+    const Matrix dequantized = store->Dequantize();
+    const double auc =
+        EvaluateAuc(dequantized, split.test_positives, kRmatEvalSeed);
+    const double delta = std::fabs(auc - fp32_auc);
+    std::printf(
+        "[quality-gate] rmat %s-dequantized auc=%.4f fp32=%.4f "
+        "delta=%.2e (tolerance %.0e)\n",
+        QuantKindName(c.kind), auc, fp32_auc, delta, c.tolerance);
+    EXPECT_LE(delta, c.tolerance) << QuantKindName(c.kind);
+    std::remove(path.c_str());
+  }
 }
 
 }  // namespace

@@ -1,0 +1,277 @@
+// QueryEngine exactness goldens (DESIGN.md §14, "Serving contract"): the
+// blocked, batched, parallel top-k must match the kept-compiled naive
+// single-thread oracle bit-for-bit — same ids, same order, same score bits,
+// ties broken by vertex id — across batch sizes {1, 7, 64}, worker counts
+// {1 (SequentialRegion), pool} (the _mt4 ctest variant reruns on a 4-worker
+// pool), k in {1, 10, dim}, every quantization kind, and any tile geometry.
+#include "core/query_engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/embedding_store.h"
+#include "parallel/parallel_for.h"
+#include "util/metrics.h"
+
+namespace lightne {
+namespace {
+
+constexpr uint64_t kRows = 230;
+constexpr uint64_t kDims = 12;
+
+/// Embedding with planted exact ties: rows 50..59 are identical (equal
+/// codes, equal scores against every query), so top-k ordering inside that
+/// band is decided purely by the id tie-break.
+Matrix TiedEmbedding() {
+  Matrix m = Matrix::Gaussian(kRows, kDims, 31);
+  // High norm so the band actually occupies the top ranks for a query
+  // pointed its way — the tie-break then decides the order.
+  for (uint64_t j = 0; j < kDims; ++j) m.At(50, j) *= 25.0f;
+  for (uint64_t i = 51; i < 60; ++i) {
+    std::memcpy(m.Row(i), m.Row(50), kDims * sizeof(float));
+  }
+  return m;
+}
+
+/// A written-and-opened store of the tied embedding, cleaned up on
+/// destruction.
+struct StoreFixture {
+  explicit StoreFixture(QuantKind kind)
+      : path(::testing::TempDir() + "/query_" + QuantKindName(kind) + "_" +
+             std::to_string(::getpid()) + ".est") {
+    const Matrix m = TiedEmbedding();
+    LIGHTNE_CHECK_MSG(EmbeddingStore::Write(m, path, kind).ok(),
+                      "store write failed");
+    auto opened = EmbeddingStore::Open(path);
+    LIGHTNE_CHECK_MSG(opened.status().ok(), "store open failed");
+    store.emplace(std::move(opened).value());
+  }
+  ~StoreFixture() { std::remove(path.c_str()); }
+
+  std::string path;
+  std::optional<EmbeddingStore> store;
+};
+
+std::vector<float> QueryBatch(uint64_t batch, uint64_t seed) {
+  const Matrix q = Matrix::Gaussian(batch, kDims, seed);
+  return std::vector<float>(q.data(), q.data() + batch * kDims);
+}
+
+void ExpectBitIdentical(const std::vector<ScoredNeighbor>& got,
+                        const std::vector<ScoredNeighbor>& want,
+                        const std::string& tag) {
+  ASSERT_EQ(got.size(), want.size()) << tag;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << tag << " rank " << i;
+    EXPECT_EQ(std::bit_cast<uint32_t>(got[i].score),
+              std::bit_cast<uint32_t>(want[i].score))
+        << tag << " rank " << i << ": " << got[i].score << " vs "
+        << want[i].score;
+  }
+}
+
+// ------------------------------------------------------------- exactness --
+
+TEST(QueryExactness, MatchesNaiveOracleAcrossBatchWorkersAndK) {
+  for (const QuantKind kind :
+       {QuantKind::kInt8, QuantKind::kFp16, QuantKind::kFp32}) {
+    StoreFixture fixture(kind);
+    // block_rows 64 forces a multi-block merge (230 rows -> 4 blocks);
+    // query_chunk 5 forces partial chunks at every batch size tested.
+    QueryEngine engine(&*fixture.store, {/*block_rows=*/64,
+                                         /*query_chunk=*/5});
+    for (const uint64_t batch : {uint64_t{1}, uint64_t{7}, uint64_t{64}}) {
+      const std::vector<float> queries = QueryBatch(batch, 7 + batch);
+      for (const uint64_t k : {uint64_t{1}, uint64_t{10}, kDims}) {
+        auto pool_result = engine.TopK(queries.data(), batch, k);
+        ASSERT_TRUE(pool_result.status().ok());
+        decltype(pool_result) seq_result = pool_result;  // placeholder init
+        {
+          SequentialRegion seq;
+          seq_result = engine.TopK(queries.data(), batch, k);
+        }
+        ASSERT_TRUE(seq_result.status().ok());
+        for (uint64_t q = 0; q < batch; ++q) {
+          const std::string tag = std::string(QuantKindName(kind)) +
+                                  " batch=" + std::to_string(batch) +
+                                  " k=" + std::to_string(k) +
+                                  " q=" + std::to_string(q);
+          const std::vector<ScoredNeighbor> naive =
+              NaiveTopK(*fixture.store, queries.data() + q * kDims, k);
+          ExpectBitIdentical(pool_result.value()[q], naive, tag + " [pool]");
+          ExpectBitIdentical(seq_result.value()[q], naive, tag + " [1w]");
+        }
+      }
+    }
+  }
+}
+
+TEST(QueryExactness, TiedScoresBreakByAscendingId) {
+  StoreFixture fixture(QuantKind::kInt8);
+  QueryEngine engine(&*fixture.store, {/*block_rows=*/32, /*query_chunk=*/3});
+  // Query with the tied band's own direction so rows 50..59 score equal and
+  // high; they must come back id-ascending and contiguous.
+  std::vector<float> query(kDims);
+  fixture.store->DequantizeRow(50, query.data());
+  auto result = engine.TopK(query.data(), 1, 12);
+  ASSERT_TRUE(result.status().ok());
+  const std::vector<ScoredNeighbor>& top = result.value()[0];
+  const std::vector<ScoredNeighbor> naive =
+      NaiveTopK(*fixture.store, query.data(), 12);
+  ExpectBitIdentical(top, naive, "tied band");
+  // The ten identical rows share one score; within that score the ids must
+  // ascend.
+  for (size_t i = 1; i < top.size(); ++i) {
+    if (top[i].score == top[i - 1].score) {
+      EXPECT_LT(top[i - 1].id, top[i].id) << "rank " << i;
+    }
+  }
+  size_t tied_seen = 0;
+  for (const ScoredNeighbor& n : top) {
+    if (n.id >= 50 && n.id < 60) ++tied_seen;
+  }
+  EXPECT_EQ(tied_seen, 10u) << "the identical band must rank together";
+}
+
+TEST(QueryExactness, ResultsInvariantToTileGeometry) {
+  StoreFixture fixture(QuantKind::kFp16);
+  const std::vector<float> queries = QueryBatch(13, 99);
+  const QueryEngine reference(&*fixture.store);  // default geometry
+  auto want = reference.TopK(queries.data(), 13, 10);
+  ASSERT_TRUE(want.status().ok());
+  for (const uint64_t block_rows : {uint64_t{1}, uint64_t{37}, uint64_t{64},
+                                    kRows + 11}) {
+    for (const uint64_t query_chunk : {uint64_t{1}, uint64_t{4},
+                                       uint64_t{100}}) {
+      QueryEngine engine(&*fixture.store, {block_rows, query_chunk});
+      auto got = engine.TopK(queries.data(), 13, 10);
+      ASSERT_TRUE(got.status().ok());
+      for (uint64_t q = 0; q < 13; ++q) {
+        ExpectBitIdentical(got.value()[q], want.value()[q],
+                           "block_rows=" + std::to_string(block_rows) +
+                               " query_chunk=" + std::to_string(query_chunk) +
+                               " q=" + std::to_string(q));
+      }
+    }
+  }
+}
+
+TEST(QueryExactness, ResultsInvariantToBatchSize) {
+  StoreFixture fixture(QuantKind::kInt8);
+  QueryEngine engine(&*fixture.store, {/*block_rows=*/50, /*query_chunk=*/4});
+  const std::vector<float> queries = QueryBatch(64, 123);
+  auto batched = engine.TopK(queries.data(), 64, 10);
+  ASSERT_TRUE(batched.status().ok());
+  for (const uint64_t q : {uint64_t{0}, uint64_t{17}, uint64_t{63}}) {
+    auto single = engine.TopK(queries.data() + q * kDims, 1, 10);
+    ASSERT_TRUE(single.status().ok());
+    ExpectBitIdentical(single.value()[0], batched.value()[q],
+                       "q=" + std::to_string(q));
+  }
+}
+
+// --------------------------------------------------------- other requests --
+
+TEST(QueryRequests, TopKByVertexMatchesDequantizedQueries) {
+  StoreFixture fixture(QuantKind::kInt8);
+  QueryEngine engine(&*fixture.store, {/*block_rows=*/64, /*query_chunk=*/3});
+  const std::vector<NodeId> ids = {0, 50, 55, 229};
+  auto got = engine.TopKByVertex(ids, 5);
+  ASSERT_TRUE(got.status().ok());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::vector<float> query(kDims);
+    fixture.store->DequantizeRow(ids[i], query.data());
+    const std::vector<ScoredNeighbor> naive =
+        NaiveTopK(*fixture.store, query.data(), 5);
+    ExpectBitIdentical(got.value()[i], naive,
+                       "vertex " + std::to_string(ids[i]));
+  }
+}
+
+TEST(QueryRequests, LinkScoresMatchNaivePairScorer) {
+  StoreFixture fixture(QuantKind::kFp16);
+  QueryEngine engine(&*fixture.store);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId u = 0; u < 40; ++u) {
+    pairs.emplace_back(u, (u * 7 + 3) % kRows);
+  }
+  pairs.emplace_back(50, 51);  // identical rows: self-similarity score
+  pairs.emplace_back(11, 11);
+  auto got = engine.LinkScores(pairs);
+  ASSERT_TRUE(got.status().ok());
+  ASSERT_EQ(got.value().size(), pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const float naive =
+        NaiveLinkScore(*fixture.store, pairs[i].first, pairs[i].second);
+    EXPECT_EQ(std::bit_cast<uint32_t>(got.value()[i]),
+              std::bit_cast<uint32_t>(naive))
+        << "pair " << i;
+    // The inner product is order-symmetric even in float (same j-ascending
+    // products), so (v, u) must score bit-identically to (u, v).
+    const float swapped =
+        NaiveLinkScore(*fixture.store, pairs[i].second, pairs[i].first);
+    EXPECT_EQ(std::bit_cast<uint32_t>(naive), std::bit_cast<uint32_t>(swapped));
+  }
+}
+
+TEST(QueryRequests, ServeCountersAccumulate) {
+  StoreFixture fixture(QuantKind::kInt8);
+  QueryEngine engine(&*fixture.store);
+  Counter* queries = MetricsRegistry::Global().GetCounter("serve/queries");
+  Counter* rows = MetricsRegistry::Global().GetCounter("serve/rows_scored");
+  const uint64_t queries_before = queries->Value();
+  const uint64_t rows_before = rows->Value();
+  const std::vector<float> batch = QueryBatch(7, 5);
+  ASSERT_TRUE(engine.TopK(batch.data(), 7, 3).status().ok());
+  EXPECT_EQ(queries->Value() - queries_before, 7u);
+  EXPECT_EQ(rows->Value() - rows_before, 7u * kRows);
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(QueryValidation, RejectsBadArguments) {
+  StoreFixture fixture(QuantKind::kInt8);
+  QueryEngine engine(&*fixture.store);
+  const std::vector<float> one = QueryBatch(1, 1);
+
+  EXPECT_EQ(engine.TopK(one.data(), 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.TopK(one.data(), 1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.TopK(one.data(), 1, kRows + 1).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<float> nan_query(kDims, 0.0f);
+  nan_query[3] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(engine.TopK(nan_query.data(), 1, 1).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(engine.TopKByVertex({}, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.TopKByVertex({static_cast<NodeId>(kRows)}, 1)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine
+                .LinkScores({{0, static_cast<NodeId>(kRows)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // An empty pair list is a fine no-op, not an error.
+  auto empty = engine.LinkScores({});
+  ASSERT_TRUE(empty.status().ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+}  // namespace
+}  // namespace lightne
