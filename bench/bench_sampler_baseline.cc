@@ -1,13 +1,21 @@
-// Machine-readable sampler perf baseline (DESIGN.md §11), schema v2.
+// Machine-readable sampler perf baseline (DESIGN.md §11), schema v3.
 //
 // Measures the sparsifier ingestion hot path on a skewed RMAT graph —
 // combiner+edge-balanced scheduling vs the direct shared-table path at the
-// same worker count — plus the walk-step primitives: CSR, compressed decode
-// variants (naive per-draw, legacy DecodeCursor, the cold-tier batch-decode
-// WalkContext, and the hub-pinned two-tier context), weighted prefix-scan vs
-// full alias vs degree-gated alias, and an out-of-LLC RMAT-20 section where
-// the adjacency no longer fits any cache level. Writes a JSON trajectory
-// artifact (default BENCH_sampler.json, overridable as argv[1]).
+// same worker count, plus a contended 4-thread shared-table row pair that
+// revalidates UpsertBatch's prefetch pipeline under real cross-thread
+// traffic — and the walk-step primitives: CSR, compressed decode variants
+// (naive per-draw, the retired lazy cursor kept bench-local, the cold-tier
+// batch-decode WalkContext, and the hub-pinned two-tier context), weighted
+// prefix-scan vs full alias vs degree-gated alias, and an out-of-LLC
+// RMAT-20 section where the adjacency no longer fits any cache level. The
+// xllc section runs the full engine under both varint decode arms (forced
+// scalar and the dispatched SIMD backend) so the artifact shows what the
+// SIMD batch decoder buys at DRAM-bound scale. A cross-variant checksum
+// matrix — {scalar, simd} x {naive, cold, pinned} x {1, 4 threads} with
+// per-start seeded RNGs and an order-independent XOR reduction — proves the
+// decode tiers are pure caches: any divergence fails the run. Writes a JSON
+// trajectory artifact (default BENCH_sampler.json, overridable as argv[1]).
 // `scripts/bench_baseline.sh` re-runs this at scale 1.0 and commits the
 // result; scripts/check.sh runs a reduced-scale smoke and validates the
 // schema.
@@ -19,10 +27,12 @@
 // time internal::RunPerEdgeSampling into a pre-allocated table (cleared
 // between runs) so table sizing/extraction are excluded from the medians.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -30,9 +40,11 @@
 #include "data/generators.h"
 #include "graph/compressed.h"
 #include "graph/csr.h"
+#include "graph/varint_simd.h"
 #include "graph/walk_cursor.h"
 #include "graph/weighted_csr.h"
 #include "graph/weights.h"
+#include "parallel/concurrent_hash_table.h"
 #include "parallel/parallel_for.h"
 #include "util/artifact_io.h"
 #include "util/random.h"
@@ -49,8 +61,9 @@ constexpr uint32_t kDegreeGate = 32;
 
 // Pin budget for the hub-pinned walk rows. On the cache-resident RMAT-14
 // graph this pins essentially every row (the decoded graph is ~3.6 MiB);
-// on the out-of-LLC graph it fits the per-vertex index plus the top hubs
-// only, which is the realistic partial-coverage regime.
+// on the out-of-LLC graph it fits the per-vertex prefix index plus
+// block-aligned prefixes of the hottest rows only, which is the realistic
+// partial-coverage regime the block knapsack was built for.
 constexpr uint64_t kPinBudget = uint64_t{4} << 20;
 constexpr uint64_t kPinBudgetXllc = uint64_t{16} << 20;
 
@@ -75,7 +88,7 @@ double FindMs(const std::string& name) {
 }
 
 void PrintRow(const ResultRow& r) {
-  std::printf("  %-30s %4d thread(s)  %10.3f ms  %12.3e %s/s\n",
+  std::printf("  %-34s %4d thread(s)  %10.3f ms  %12.3e %s/s\n",
               r.name.c_str(), r.threads, r.median_ms, r.rate_per_sec,
               r.unit.c_str());
 }
@@ -135,6 +148,77 @@ void RecordSamplingRow(const std::string& name, const CsrGraph& g,
   g_rows.push_back(std::move(row));
 }
 
+// ------------------------------------------------ contended table upserts
+// UpsertBatch's hash-prefetch pipeline was tuned on single-threaded runs;
+// these rows revalidate it with kContendedThreads plain threads hammering
+// one shared table — the regime combiner flushes actually run in. The key
+// mix sends a quarter of traffic to 1K hot keys (flush bursts colliding on
+// popular edges) and the rest across ~1M cold keys (the hash-miss traffic
+// the prefetch stage exists for). hw_cores is recorded in the JSON: on a
+// machine with fewer cores than threads the rows measure oversubscribed
+// interleaving rather than true parallel contention, and readers should
+// weigh them accordingly.
+constexpr int kContendedThreads = 4;
+constexpr uint32_t kContendedBatch = 64;
+constexpr uint64_t kContendedKeyspace = uint64_t{1} << 20;
+
+uint64_t ContendedOpsPerThread() {
+  return std::max<uint64_t>(
+      static_cast<uint64_t>(262144 * BenchScale()), 16384);
+}
+
+void RecordContendedRow(const std::string& name, bool batched,
+                        ConcurrentHashTable<double>& table, int runs) {
+  const uint64_t ops = ContendedOpsPerThread();
+  auto worker = [&table, ops, batched](int t) {
+    Rng rng(HashCombine64(0xC0117E47, static_cast<uint64_t>(t)));
+    std::pair<uint64_t, double> batch[kContendedBatch];
+    uint32_t fill = 0;
+    bool ok = true;
+    for (uint64_t op = 0; op < ops; ++op) {
+      const uint64_t r = rng.Next();
+      const uint64_t key = ((r & 3) == 0)
+                               ? ((r >> 2) & 1023)
+                               : (((r >> 2) % kContendedKeyspace) + 1024);
+      if (batched) {
+        batch[fill++] = {key, 1.0};
+        if (fill == kContendedBatch) {
+          ok = table.UpsertBatch(batch, fill) && ok;
+          fill = 0;
+        }
+      } else {
+        ok = table.Upsert(key, 1.0) && ok;
+      }
+    }
+    if (fill > 0) ok = table.UpsertBatch(batch, fill) && ok;
+    if (!ok) {
+      std::fprintf(stderr, "contended table overflowed\n");
+      std::abort();
+    }
+  };
+  auto pass = [&] {
+    table.Clear();
+    std::vector<std::thread> threads;
+    threads.reserve(kContendedThreads);
+    for (int t = 0; t < kContendedThreads; ++t) {
+      threads.emplace_back(worker, t);
+    }
+    for (std::thread& th : threads) th.join();
+  };
+  ResultRow row;
+  row.name = name;
+  row.kind = "sampling";
+  row.variant = batched ? "contended_batch" : "contended_direct";
+  row.threads = kContendedThreads;
+  row.runs = runs;
+  row.median_ms = MedianMs(runs, pass);
+  row.unit = "samples";
+  row.rate_per_sec = static_cast<double>(ops) * kContendedThreads /
+                     (row.median_ms / 1000.0);
+  PrintRow(row);
+  g_rows.push_back(std::move(row));
+}
+
 // ------------------------------------------------------------------- walks
 
 // Walk starts with degree >= 1, fixed across variants.
@@ -173,6 +257,96 @@ std::vector<std::pair<NodeId, NodeId>> PathEdges(const CsrGraph& g) {
   }
   return edges;
 }
+
+// ------------------------------------------------- legacy decode cursor
+// The lazily-extending DecodeCursor the graph library used to ship.
+// Retired from src/ — the two-tier WalkContext with SIMD batch decode
+// replaced it (BENCH_sampler.json v2 measured the cursor at parity-at-best
+// against naive decode on the sampler's edge stream) — but kept alive here,
+// bench-local, so the `walk_compressed_cursor` row keeps tracking the
+// alternative. Anchors blocks through the graph's public BlockBytes() and
+// re-implements the LEB128 helpers locally; behavior is byte-for-byte the
+// retired implementation: direct-mapped (vertex, block) slots, inline
+// decode for draws within kDirectWithin of a block start, and lazy prefix
+// extension up to the requested index.
+class LegacyDecodeCursor {
+ public:
+  NodeId Get(const CompressedGraph& g, NodeId v, uint64_t i) {
+    const uint64_t b = i / g.block_size();
+    const uint64_t within = i - b * g.block_size();
+    if (within <= kDirectWithin) {
+      return g.Neighbor(v, i);
+    }
+    const uint64_t key = (static_cast<uint64_t>(v) << 20) ^ b;
+    Entry& e = entries_[(key * 0x9E3779B97F4A7C15ull) >> (64 - kLog2Entries)];
+    if (v == e.v && b == e.block && within < e.filled) {
+      ++hits_;
+      return e.buf[within];
+    }
+    ++misses_;
+    if (v != e.v || b != e.block) {
+      e.next = g.BlockBytes(v, b);
+      e.v = v;
+      e.block = b;
+      e.filled = 0;
+      if (e.buf.size() < g.block_size()) e.buf.resize(g.block_size());
+    }
+    uint64_t filled = e.filled;
+    int64_t running = e.running;
+    const uint8_t* p = e.next;
+    NodeId* buf = e.buf.data();
+    if (filled == 0) {
+      running = static_cast<int64_t>(v) + DecodeZigzag(&p);
+      buf[filled++] = static_cast<NodeId>(running);
+    }
+    while (filled <= within) {
+      running += static_cast<int64_t>(DecodeVarint(&p));
+      buf[filled++] = static_cast<NodeId>(running);
+    }
+    e.filled = filled;
+    e.running = running;
+    e.next = p;
+    return buf[within];
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr uint32_t kLog2Entries = 7;  // 128 direct-mapped slots
+  static constexpr uint64_t kDirectWithin = 8;
+  static constexpr uint64_t kNoVertex = ~uint64_t{0};
+
+  static uint64_t DecodeVarint(const uint8_t** p) {
+    uint64_t out = 0;
+    int shift = 0;
+    for (;;) {
+      const uint8_t byte = *(*p)++;
+      out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return out;
+  }
+
+  static int64_t DecodeZigzag(const uint8_t** p) {
+    const uint64_t u = DecodeVarint(p);
+    return static_cast<int64_t>(u >> 1) ^ -static_cast<int64_t>(u & 1);
+  }
+
+  struct Entry {
+    uint64_t v = kNoVertex;         // vertex id (kNoVertex = empty)
+    uint64_t block = 0;
+    uint64_t filled = 0;            // decoded prefix length of the block
+    const uint8_t* next = nullptr;  // byte position after buf[filled - 1]
+    int64_t running = 0;            // last decoded neighbor id
+    std::vector<NodeId> buf;        // decoded prefix, size >= filled
+  };
+
+  Entry entries_[uint64_t{1} << kLog2Entries];
+  uint64_t hits_ = 0;    // served without decoding a varint
+  uint64_t misses_ = 0;  // had to extend or (re-)anchor an entry
+};
 
 // Times the PathSampling pattern over the edge stream via one-step
 // `step(v, rng) -> next`, accumulating endpoints into a checksum so the
@@ -257,11 +431,71 @@ uint64_t RecordWalkRow(const std::string& name, const std::string& variant,
   return pass_checksum;
 }
 
-// Decode-cache tier counters of the hub-pinned walk row, captured before
-// the measuring context dies (its destructor drains them into the global
+// Per-walk RNG stream for the out-of-LLC rows: walk `a` of start index `si`
+// draws from its own deterministic generator, so the workload's walks are
+// schedulable in any order — sequentially draw-by-draw (the naive baseline)
+// or in lockstep lanes (WeightedRandomWalkBatch) — with bit-identical
+// endpoints, which is exactly what the cross-row checksums compare.
+inline uint64_t XllcWalkSeed(uint64_t si, uint64_t a) {
+  return HashCombine64(99, si * kWalksPerStart + a);
+}
+
+// Times the out-of-LLC walk workload (kWalksPerStart walks of kStepsPerWalk
+// steps from every start, per-walk rng streams) through `run(starts, nwalks,
+// rngs, ends)`, which must leave walk w's endpoint in ends[w]. Starts are
+// handed over kXllcGroup at a time so batched engines can schedule lanes
+// wider than one start's walks; a sequential `run` just loops.
+constexpr uint64_t kXllcGroup = 4;
+template <typename RunFn>
+uint64_t RecordXllcWalkRow(const std::string& name, const std::string& variant,
+                           const std::vector<NodeId>& starts, int runs,
+                           const RunFn& run) {
+  uint64_t pass_checksum = 0;
+  auto pass = [&] {
+    uint64_t local = 0;
+    std::vector<NodeId> sv(kXllcGroup * kWalksPerStart);
+    std::vector<NodeId> ends(kXllcGroup * kWalksPerStart);
+    std::vector<Rng> rngs(kXllcGroup * kWalksPerStart);
+    for (uint64_t si = 0; si < starts.size(); si += kXllcGroup) {
+      const uint64_t gs =
+          std::min<uint64_t>(kXllcGroup, starts.size() - si);
+      for (uint64_t j = 0; j < gs; ++j) {
+        for (uint64_t a = 0; a < kWalksPerStart; ++a) {
+          sv[j * kWalksPerStart + a] = starts[si + j];
+          rngs[j * kWalksPerStart + a].Reseed(XllcWalkSeed(si + j, a));
+        }
+      }
+      run(sv.data(), gs * kWalksPerStart, rngs.data(), ends.data());
+      for (uint64_t j = 0; j < gs * kWalksPerStart; ++j) local += ends[j];
+    }
+    pass_checksum = local;
+  };
+  ResultRow row;
+  row.name = name;
+  row.kind = "walk";
+  row.variant = variant;
+  {
+    SequentialRegion guard;
+    row.median_ms = MedianMs(runs, pass);
+  }
+  row.threads = 1;
+  row.runs = runs;
+  row.unit = "steps";
+  const double total_steps = static_cast<double>(starts.size()) *
+                             static_cast<double>(kWalksPerStart) *
+                             static_cast<double>(kStepsPerWalk);
+  row.rate_per_sec = total_steps / (row.median_ms / 1000.0);
+  PrintRow(row);
+  g_rows.push_back(std::move(row));
+  return pass_checksum;
+}
+
+// Decode-cache tier counters of a hub-pinned walk row, captured before the
+// measuring context dies (its destructor drains them into the global
 // metrics registry).
 struct WalkCacheStats {
   uint64_t pinned_vertices = 0;
+  uint64_t pinned_entries = 0;
   uint64_t pinned_bytes = 0;
   uint64_t pin_hits = 0;
   uint64_t cold_hits = 0;
@@ -275,13 +509,133 @@ struct GatedAliasStats {
   uint64_t sampling_bytes_gated = 0;  // slot index + gated rows
 };
 
+// ------------------------------------------- cross-variant walk checksums
+// Proof rows for the "pure decode cache" contract: every combination of
+// decode backend {scalar, simd}, pin tier {naive, cold, pinned}, and thread
+// count {1, kChecksumThreads} must draw the identical walk stream. Each
+// start's RNG is seeded from its index alone and its trajectory folds into
+// a per-start hash; the per-start hashes XOR-reduce, so the total is
+// independent of which thread walked which start and in what order. Any
+// divergence is a correctness bug (not a perf regression) and fails the
+// run. Threads here are plain std::threads with their own contexts — this
+// exercises real cross-thread context independence even when the process
+// pool has a single worker.
+enum class Tier { kNaive, kCold, kPinned };
+
+constexpr int kChecksumThreads = 4;
+constexpr uint64_t kChecksumSteps = 16;
+
+struct ChecksumEntry {
+  const char* backend;  // "scalar" | "simd"
+  const char* tier;     // "naive" | "cold" | "pinned"
+  int threads = 1;
+  uint64_t value = 0;
+};
+
+uint64_t ChecksumWalks(const CompressedGraph& g, Tier tier,
+                       const WalkAccel<CompressedGraph>& accel,
+                       const std::vector<NodeId>& starts, int nthreads) {
+  auto shard = [&](int t, int nt) -> uint64_t {
+    WalkContext<CompressedGraph> cold_ctx;
+    WalkContext<CompressedGraph> pinned_ctx(accel);
+    uint64_t local = 0;
+    for (uint64_t s = static_cast<uint64_t>(t); s < starts.size();
+         s += static_cast<uint64_t>(nt)) {
+      Rng rng(HashCombine64(0x5EEDC0DE, s));
+      NodeId v = starts[s];
+      uint64_t h = 0;
+      for (uint64_t k = 0; k < kChecksumSteps; ++k) {
+        const uint64_t i = rng.UniformInt(g.Degree(v));
+        switch (tier) {
+          case Tier::kNaive:
+            v = g.Neighbor(v, i);
+            break;
+          case Tier::kCold:
+            v = cold_ctx.Neighbor(g, v, i);
+            break;
+          case Tier::kPinned:
+            v = pinned_ctx.Neighbor(g, v, i);
+            break;
+        }
+        h = HashCombine64(h, v);
+      }
+      local ^= h;
+    }
+    return local;
+  };
+  if (nthreads <= 1) return shard(0, 1);
+  std::atomic<uint64_t> total{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nthreads));
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&shard, &total, t, nthreads] {
+      total.fetch_xor(shard(t, nthreads), std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  return total.load(std::memory_order_relaxed);
+}
+
+// Runs the full matrix and restores automatic dispatch. Exits nonzero on
+// any divergence.
+std::vector<ChecksumEntry> RunChecksumMatrix(
+    const CompressedGraph& g, const WalkAccel<CompressedGraph>& accel,
+    const std::vector<NodeId>& starts) {
+  struct BackendCase {
+    VarintBackend backend;
+    const char* name;
+  };
+  struct TierCase {
+    Tier tier;
+    const char* name;
+  };
+  std::vector<ChecksumEntry> entries;
+  for (const BackendCase& bc :
+       {BackendCase{VarintBackend::kScalar, "scalar"},
+        BackendCase{VarintBackend::kSimd, "simd"}}) {
+    SetVarintBackend(bc.backend);
+    for (const TierCase& tc : {TierCase{Tier::kNaive, "naive"},
+                               TierCase{Tier::kCold, "cold"},
+                               TierCase{Tier::kPinned, "pinned"}}) {
+      for (const int nthreads : {1, kChecksumThreads}) {
+        ChecksumEntry e;
+        e.backend = bc.name;
+        e.tier = tc.name;
+        e.threads = nthreads;
+        e.value = ChecksumWalks(g, tc.tier, accel, starts, nthreads);
+        entries.push_back(e);
+      }
+    }
+  }
+  SetVarintBackend(VarintBackend::kAuto);
+  bool all_equal = true;
+  for (const ChecksumEntry& e : entries) {
+    if (e.value != entries[0].value) {
+      all_equal = false;
+      std::fprintf(stderr,
+                   "walk checksum diverged: backend=%s tier=%s threads=%d "
+                   "got %016llx want %016llx\n",
+                   e.backend, e.tier, e.threads,
+                   static_cast<unsigned long long>(e.value),
+                   static_cast<unsigned long long>(entries[0].value));
+    }
+  }
+  std::printf("  checksum matrix: %zu variants, %s (value %016llx)\n",
+              entries.size(), all_equal ? "all equal" : "DIVERGED",
+              static_cast<unsigned long long>(entries[0].value));
+  if (!all_equal) std::exit(1);
+  return entries;
+}
+
 // ------------------------------------------------------------------- JSON
 
 void WriteJson(const std::string& path, const CsrGraph& g,
                const CsrGraph& g_xllc, const CompressedGraph& cg_xllc,
                const SparsifierResult& direct_e2e,
                const SparsifierResult& combiner_e2e,
-               const WalkCacheStats& cache, const GatedAliasStats& gated) {
+               const WalkCacheStats& cache, const WalkCacheStats& xllc_cache,
+               const std::vector<ChecksumEntry>& checksums,
+               const GatedAliasStats& gated) {
   // Atomic write-tmp -> fsync -> rename: a crash or disk-full mid-write
   // never replaces a previous baseline file with torn JSON.
   AtomicFileWriter writer;
@@ -292,8 +646,8 @@ void WriteJson(const std::string& path, const CsrGraph& g,
   std::FILE* f = writer.stream();
   const char* sha = std::getenv("LIGHTNE_GIT_SHA");
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema\": \"lightne-sampler-v2\",\n");
-  std::fprintf(f, "  \"schema_version\": 2,\n");
+  std::fprintf(f, "  \"schema\": \"lightne-sampler-v3\",\n");
+  std::fprintf(f, "  \"schema_version\": 3,\n");
   std::fprintf(f, "  \"git_sha\": \"%s\",\n", sha ? sha : "unknown");
   std::fprintf(f, "  \"workers\": %d,\n", NumWorkers());
   std::fprintf(f, "  \"bench_scale\": %.3f,\n", BenchScale());
@@ -301,6 +655,12 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                static_cast<long long>(
                    std::time(nullptr)));  // lint-ok: random (timestamp
                                           // field, not an RNG seed)
+  // Which varint decode arm automatic dispatch resolved to on this machine,
+  // and whether the SIMD arms were compiled in at all (the
+  // LIGHTNE_FORCE_SCALAR_DECODE CMake arm compiles them out).
+  std::fprintf(f, "  \"decode\": {\"backend\": \"%s\", "
+               "\"simd_compiled_in\": %s},\n",
+               VarintBackendName(), VarintSimdCompiledIn() ? "true" : "false");
   std::fprintf(f,
                "  \"graph\": {\"vertices\": %llu, \"directed_edges\": %llu},\n",
                static_cast<unsigned long long>(g.NumVertices()),
@@ -347,26 +707,75 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                static_cast<unsigned long long>(
                    combiner_e2e.table_batch_upserts));
   std::fprintf(f, "  },\n");
-  // Tier traffic of the walk_compressed_pinned row (cache-resident graph).
-  const uint64_t cache_draws =
-      cache.pin_hits + cache.cold_hits + cache.decode_misses;
-  std::fprintf(f, "  \"walk_cache\": {\n");
-  std::fprintf(f, "    \"pin_budget_bytes\": %llu,\n",
-               static_cast<unsigned long long>(kPinBudget));
-  std::fprintf(f, "    \"pinned_vertices\": %llu,\n",
-               static_cast<unsigned long long>(cache.pinned_vertices));
-  std::fprintf(f, "    \"pinned_bytes\": %llu,\n",
-               static_cast<unsigned long long>(cache.pinned_bytes));
-  std::fprintf(f, "    \"pin_hits\": %llu,\n",
-               static_cast<unsigned long long>(cache.pin_hits));
-  std::fprintf(f, "    \"cold_hits\": %llu,\n",
-               static_cast<unsigned long long>(cache.cold_hits));
-  std::fprintf(f, "    \"decode_misses\": %llu,\n",
-               static_cast<unsigned long long>(cache.decode_misses));
-  std::fprintf(f, "    \"pin_hit_rate\": %.4f\n",
-               cache_draws > 0 ? static_cast<double>(cache.pin_hits) /
-                                     static_cast<double>(cache_draws)
-                               : 0.0);
+  // The contended revalidation of UpsertBatch's prefetch pipeline: medians
+  // of the two 4-thread shared-table rows plus the honest hardware context
+  // (oversubscribed when hw_cores < threads).
+  const double contended_direct = FindMs("sampler_contended_direct_4t");
+  const double contended_batch = FindMs("sampler_contended_batch_4t");
+  std::fprintf(f, "  \"contended_combiner\": {\n");
+  std::fprintf(f, "    \"threads\": %d,\n", kContendedThreads);
+  std::fprintf(f, "    \"hw_cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "    \"ops_per_thread\": %llu,\n",
+               static_cast<unsigned long long>(ContendedOpsPerThread()));
+  std::fprintf(f, "    \"batch_size\": %u,\n", kContendedBatch);
+  std::fprintf(f, "    \"direct_median_ms\": %.4f,\n", contended_direct);
+  std::fprintf(f, "    \"batch_median_ms\": %.4f,\n", contended_batch);
+  std::fprintf(f, "    \"batch_vs_direct\": %.3f\n",
+               (contended_direct > 0 && contended_batch > 0)
+                   ? contended_direct / contended_batch
+                   : -1.0);
+  std::fprintf(f, "  },\n");
+  // Tier traffic of the two hub-pinned rows: the cache-resident RMAT-14 row
+  // and the out-of-LLC RMAT-20 row (the regime the block-granular knapsack
+  // was built for — compare pinned_vertices/pinned_entries across the two).
+  auto write_cache = [&](const char* key, const WalkCacheStats& c,
+                         uint64_t pin_budget) {
+    const uint64_t draws = c.pin_hits + c.cold_hits + c.decode_misses;
+    std::fprintf(f, "  \"%s\": {\n", key);
+    std::fprintf(f, "    \"pin_budget_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(pin_budget));
+    std::fprintf(f, "    \"pinned_vertices\": %llu,\n",
+                 static_cast<unsigned long long>(c.pinned_vertices));
+    std::fprintf(f, "    \"pinned_entries\": %llu,\n",
+                 static_cast<unsigned long long>(c.pinned_entries));
+    std::fprintf(f, "    \"pinned_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(c.pinned_bytes));
+    std::fprintf(f, "    \"pin_hits\": %llu,\n",
+                 static_cast<unsigned long long>(c.pin_hits));
+    std::fprintf(f, "    \"cold_hits\": %llu,\n",
+                 static_cast<unsigned long long>(c.cold_hits));
+    std::fprintf(f, "    \"decode_misses\": %llu,\n",
+                 static_cast<unsigned long long>(c.decode_misses));
+    std::fprintf(f, "    \"pin_hit_rate\": %.4f\n",
+                 draws > 0 ? static_cast<double>(c.pin_hits) /
+                                 static_cast<double>(draws)
+                           : 0.0);
+    std::fprintf(f, "  },\n");
+  };
+  write_cache("walk_cache", cache, kPinBudget);
+  write_cache("walk_cache_xllc", xllc_cache, kPinBudgetXllc);
+  // The cross-variant checksum matrix (values as hex strings — JSON numbers
+  // cannot carry 64 bits exactly). all_equal is the committed determinism
+  // claim; main() already aborted if it does not hold.
+  std::fprintf(f, "  \"checksums\": {\n");
+  std::fprintf(f, "    \"steps_per_start\": %llu,\n",
+               static_cast<unsigned long long>(kChecksumSteps));
+  std::fprintf(f, "    \"all_equal\": true,\n");
+  std::fprintf(f, "    \"value\": \"%016llx\",\n",
+               static_cast<unsigned long long>(
+                   checksums.empty() ? 0 : checksums[0].value));
+  std::fprintf(f, "    \"entries\": [\n");
+  for (size_t i = 0; i < checksums.size(); ++i) {
+    const ChecksumEntry& e = checksums[i];
+    std::fprintf(f,
+                 "      {\"backend\": \"%s\", \"tier\": \"%s\", \"threads\": "
+                 "%d, \"value\": \"%016llx\"}%s\n",
+                 e.backend, e.tier, e.threads,
+                 static_cast<unsigned long long>(e.value),
+                 i + 1 < checksums.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  },\n");
   // Degree-gated alias memory accounting (same weighted edges both ways).
   const double cut =
@@ -386,7 +795,7 @@ void WriteJson(const std::string& path, const CsrGraph& g,
     const double a = FindMs(num), b = FindMs(den);
     return (a > 0 && b > 0) ? a / b : -1.0;
   };
-  // The acceptance ratios this repo tracks. v1 keys are kept verbatim so
+  // The acceptance ratios this repo tracks. v2 keys are kept verbatim so
   // trajectory tooling can diff across the schema bump.
   std::fprintf(f, "  \"speedups\": {\n");
   std::fprintf(f, "    \"sampler_w1_combiner_vs_direct_mt\": %.3f,\n",
@@ -395,6 +804,9 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                ratio("sampler_w1_direct_1t", "sampler_w1_combiner_1t"));
   std::fprintf(f, "    \"sampler_w10_combiner_vs_direct_mt\": %.3f,\n",
                ratio("sampler_w10_direct_mt", "sampler_w10_combiner_mt"));
+  std::fprintf(f, "    \"sampler_contended_batch_vs_direct\": %.3f,\n",
+               ratio("sampler_contended_direct_4t",
+                     "sampler_contended_batch_4t"));
   std::fprintf(f, "    \"walk_cursor_vs_naive_compressed\": %.3f,\n",
                ratio("walk_compressed_naive", "walk_compressed_cursor"));
   std::fprintf(f, "    \"walk_coldtier_vs_naive_compressed\": %.3f,\n",
@@ -403,8 +815,17 @@ void WriteJson(const std::string& path, const CsrGraph& g,
                ratio("walk_compressed_naive", "walk_compressed_pinned"));
   std::fprintf(f, "    \"walk_pinned_vs_cursor_compressed\": %.3f,\n",
                ratio("walk_compressed_cursor", "walk_compressed_pinned"));
+  std::fprintf(f, "    \"walk_coldtier_vs_naive_xllc\": %.3f,\n",
+               ratio("walk_compressed_naive_xllc",
+                     "walk_compressed_coldtier_xllc"));
+  std::fprintf(f, "    \"walk_pinned_scalar_vs_naive_xllc\": %.3f,\n",
+               ratio("walk_compressed_naive_xllc",
+                     "walk_compressed_pinned_scalar_xllc"));
   std::fprintf(f, "    \"walk_pinned_vs_naive_xllc\": %.3f,\n",
                ratio("walk_compressed_naive_xllc",
+                     "walk_compressed_pinned_xllc"));
+  std::fprintf(f, "    \"walk_pinned_vs_pinned_scalar_xllc\": %.3f,\n",
+               ratio("walk_compressed_pinned_scalar_xllc",
                      "walk_compressed_pinned_xllc"));
   std::fprintf(f, "    \"walk_alias_vs_prefix_weighted\": %.3f,\n",
                ratio("walk_weighted_prefix", "walk_weighted_alias"));
@@ -417,9 +838,11 @@ void WriteJson(const std::string& path, const CsrGraph& g,
     std::exit(1);
   }
   std::printf(
-      "\nwrote %s (%zu results, pinned-vs-cursor %.2fx, gated cut %.1f%%)\n",
+      "\nwrote %s (%zu results, pinned-vs-naive xllc %.2fx, gated cut "
+      "%.1f%%)\n",
       path.c_str(), g_rows.size(),
-      ratio("walk_compressed_cursor", "walk_compressed_pinned"), cut);
+      ratio("walk_compressed_naive_xllc", "walk_compressed_pinned_xllc"),
+      cut);
 }
 
 }  // namespace
@@ -429,8 +852,9 @@ int main(int argc, char** argv) {
   using namespace lightne::bench;
   using namespace lightne;
   const std::string out = argc > 1 ? argv[1] : "BENCH_sampler.json";
-  std::printf("LightNE sampler perf baseline (scale %.2f, %d workers)\n\n",
-              BenchScale(), NumWorkers());
+  std::printf("LightNE sampler perf baseline (scale %.2f, %d workers, "
+              "varint decode backend: %s)\n\n",
+              BenchScale(), NumWorkers(), VarintBackendName());
 
   const uint64_t edges = std::max<uint64_t>(
       static_cast<uint64_t>(600000 * BenchScale()), 20000);
@@ -456,6 +880,19 @@ int main(int argc, char** argv) {
   RecordSamplingRow("sampler_w10_direct_mt", g, {10, false, m_w10}, false, 3);
   RecordSamplingRow("sampler_w10_combiner_mt", g, {10, true, m_w10}, false, 3);
 
+  std::printf("\nContended shared-table upserts (%d plain threads, "
+              "%u hw cores)\n",
+              kContendedThreads, std::thread::hardware_concurrency());
+  {
+    // Sized so the full hot+cold keyspace fits without resize; shared by
+    // both rows and cleared between runs (single-threaded at that point).
+    ConcurrentHashTable<double> contended_table(kContendedKeyspace + 4096);
+    RecordContendedRow("sampler_contended_direct_4t", /*batched=*/false,
+                       contended_table, 3);
+    RecordContendedRow("sampler_contended_batch_4t", /*batched=*/true,
+                       contended_table, 3);
+  }
+
   // --- walk-step primitives (cache-resident graph) ------------------------
   std::printf(
       "\nWalk steps (single thread; compressed rows replay the "
@@ -479,8 +916,8 @@ int main(int argc, char** argv) {
                           return cg.Neighbor(v, rng.UniformInt(cg.Degree(v)));
                         });
   {
-    // Legacy cursor, demoted to this bench-only reference row.
-    CompressedGraph::DecodeCursor cursor;
+    // Legacy cursor, retired from the library; bench-local reference row.
+    LegacyDecodeCursor cursor;
     const uint64_t sum = RecordPathWalkRow(
         "walk_compressed_cursor", "cursor", path_edges, 5,
         [&](NodeId v, Rng& rng) {
@@ -523,6 +960,7 @@ int main(int argc, char** argv) {
           return SampleNeighborProportional(cg, ctx, v, rng);
         });
     cache_stats.pinned_vertices = accel.pinned.pinned_vertices();
+    cache_stats.pinned_entries = accel.pinned.pinned_entries();
     cache_stats.pinned_bytes = accel.pinned.pinned_bytes();
     cache_stats.pin_hits = ctx.pin_hits();
     cache_stats.cold_hits = ctx.cold_hits();
@@ -541,10 +979,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- cross-variant walk checksums ---------------------------------------
+  std::printf("\nCross-variant walk checksums "
+              "({scalar, simd} x {naive, cold, pinned} x {1, %d threads})\n",
+              kChecksumThreads);
+  std::vector<ChecksumEntry> checksums;
+  {
+    const WalkAccel<CompressedGraph> accel = MakeWalkAccel(cg, kPinBudget);
+    checksums = RunChecksumMatrix(cg, accel, starts);
+  }
+
   // --- out-of-LLC walks ---------------------------------------------------
-  // RMAT scale 20: the CSR adjacency is tens of MiB, past any LLC, so every
-  // uncached step pays DRAM latency — the regime where decoding compressed
-  // blocks competes against cache-missing CSR reads instead of L1 hits.
+  // RMAT scale 20: the adjacency no longer fits the fast cache levels, so a
+  // walk step is a serial chain of dependent misses (degree -> draw ->
+  // neighbor) — the regime where decoding compressed blocks competes
+  // against cache-missing CSR reads instead of L1 hits. The workload is
+  // kWalksPerStart independent walks per start on per-walk rng streams
+  // (RecordXllcWalkRow): the naive row resolves them sequentially with
+  // per-draw full decode — the PR-7 status quo — while the engine rows
+  // schedule the same walks in lockstep lanes (WeightedRandomWalkBatch), so
+  // their speedup measures the full walk engine: pinned-tier hits, exact
+  // cold prefixes, and lane-overlapped miss chains. Endpoint checksums
+  // assert every row resolved bit-identical walks. The pinned rows run the
+  // identical engine under both decode arms (the accel is shared; HubCache
+  // contents are backend-independent) so the scalar-vs-SIMD delta is
+  // attributable to the batch decoder alone.
   std::printf("\nWalk steps, out-of-LLC graph (single thread)\n");
   const uint64_t xllc_edges = std::max<uint64_t>(
       static_cast<uint64_t>(6000000 * BenchScale()), 200000);
@@ -558,39 +1017,81 @@ int main(int argc, char** argv) {
               static_cast<double>(g_xllc.SizeBytes()) / (1 << 20),
               static_cast<double>(cg_xllc.SizeBytes()) / (1 << 20));
   const std::vector<NodeId> xstarts = WalkStarts(g_xllc, num_starts);
-  RecordWalkRow("walk_csr_xllc", "csr", xstarts, 3,
-                [&](NodeId s, uint64_t steps, Rng& rng) {
-                  WalkContext<CsrGraph> ctx;
-                  return WeightedRandomWalk(g_xllc, ctx, s, steps, rng);
-                });
-  const uint64_t xsum_naive = RecordWalkRow(
+  {
+    WalkContext<CsrGraph> ctx;
+    RecordXllcWalkRow("walk_csr_xllc", "csr", xstarts, 3,
+                      [&](const NodeId* sv, uint64_t n, Rng* rngs,
+                          NodeId* ends) {
+                        WeightedRandomWalkBatch(g_xllc, ctx, sv, n,
+                                                kStepsPerWalk, rngs, ends);
+                      });
+  }
+  const uint64_t xsum_naive = RecordXllcWalkRow(
       "walk_compressed_naive_xllc", "naive", xstarts, 3,
-      [&](NodeId s, uint64_t steps, Rng& rng) {
-        NodeId v = s;
-        for (uint64_t k = 0; k < steps; ++k) {
-          v = cg_xllc.Neighbor(v, rng.UniformInt(cg_xllc.Degree(v)));
+      [&](const NodeId* sv, uint64_t n, Rng* rngs, NodeId* ends) {
+        for (uint64_t w = 0; w < n; ++w) {
+          NodeId v = sv[w];
+          for (uint64_t k = 0; k < kStepsPerWalk; ++k) {
+            v = cg_xllc.Neighbor(v, rngs[w].UniformInt(cg_xllc.Degree(v)));
+          }
+          ends[w] = v;
         }
-        return v;
       });
+  {
+    WalkContext<CompressedGraph> ctx;  // cold tier only, dispatched backend
+    const uint64_t sum = RecordXllcWalkRow(
+        "walk_compressed_coldtier_xllc", "coldtier", xstarts, 3,
+        [&](const NodeId* sv, uint64_t n, Rng* rngs, NodeId* ends) {
+          WeightedRandomWalkBatch(cg_xllc, ctx, sv, n, kStepsPerWalk, rngs,
+                                  ends);
+        });
+    if (sum != xsum_naive) {
+      std::fprintf(stderr, "xllc cold-tier checksum diverged from naive\n");
+      return 1;
+    }
+  }
+  WalkCacheStats xllc_cache_stats;
   {
     const WalkAccel<CompressedGraph> accel =
         MakeWalkAccel(cg_xllc, kPinBudgetXllc);
+    {
+      // Full engine, scalar decode arm: same pinned set, same walk stream,
+      // same prefix policy (it is backend-independent); the delta against
+      // the pinned row below is purely the SIMD batch decoder.
+      SetVarintBackend(VarintBackend::kScalar);
+      WalkContext<CompressedGraph> ctx(accel);
+      const uint64_t sum = RecordXllcWalkRow(
+          "walk_compressed_pinned_scalar_xllc", "pinned_scalar", xstarts, 3,
+          [&](const NodeId* sv, uint64_t n, Rng* rngs, NodeId* ends) {
+            WeightedRandomWalkBatch(cg_xllc, ctx, sv, n, kStepsPerWalk, rngs,
+                                    ends);
+          });
+      SetVarintBackend(VarintBackend::kAuto);
+      if (sum != xsum_naive) {
+        std::fprintf(stderr, "xllc scalar-arm checksum diverged from naive\n");
+        return 1;
+      }
+    }
     WalkContext<CompressedGraph> ctx(accel);
-    const uint64_t sum = RecordWalkRow(
+    const uint64_t sum = RecordXllcWalkRow(
         "walk_compressed_pinned_xllc", "pinned", xstarts, 3,
-        [&](NodeId s, uint64_t steps, Rng& rng) {
-          NodeId v = s;
-          for (uint64_t k = 0; k < steps; ++k) {
-            v = SampleNeighborProportional(cg_xllc, ctx, v, rng);
-          }
-          return v;
+        [&](const NodeId* sv, uint64_t n, Rng* rngs, NodeId* ends) {
+          WeightedRandomWalkBatch(cg_xllc, ctx, sv, n, kStepsPerWalk, rngs,
+                                  ends);
         });
+    xllc_cache_stats.pinned_vertices = accel.pinned.pinned_vertices();
+    xllc_cache_stats.pinned_entries = accel.pinned.pinned_entries();
+    xllc_cache_stats.pinned_bytes = accel.pinned.pinned_bytes();
+    xllc_cache_stats.pin_hits = ctx.pin_hits();
+    xllc_cache_stats.cold_hits = ctx.cold_hits();
+    xllc_cache_stats.decode_misses = ctx.decode_misses();
     const double draws = static_cast<double>(
         ctx.pin_hits() + ctx.cold_hits() + ctx.decode_misses());
     std::printf(
-        "  (pinned %llu vertices / %.1f MiB, pin hit rate %.3f over %.0f "
-        "draws)\n",
+        "  (pinned %llu vertices / %llu entries / %.1f MiB, pin hit rate "
+        "%.3f over %.0f draws)\n",
         static_cast<unsigned long long>(accel.pinned.pinned_vertices()),
+        static_cast<unsigned long long>(accel.pinned.pinned_entries()),
         static_cast<double>(accel.pinned.pinned_bytes()) / (1 << 20),
         draws > 0 ? static_cast<double>(ctx.pin_hits()) / draws : 0.0, draws);
     if (sum != xsum_naive) {
@@ -684,6 +1185,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(combiner_e2e->table_upserts));
 
   WriteJson(out, g, g_xllc, cg_xllc, *direct_e2e, *combiner_e2e, cache_stats,
-            gated_stats);
+            xllc_cache_stats, checksums, gated_stats);
   return 0;
 }

@@ -56,7 +56,10 @@ CompressedGraph CompressedGraph::FromCsr(const CsrGraph& g,
   ParallelFor(0, n,
               [&](uint64_t v) { cg.vertex_offset_[v + 1] += sizes[v]; });
   const uint64_t total_bytes = cg.vertex_offset_[n];
-  cg.bytes_.resize(total_bytes);
+  cg.encoded_bytes_ = total_bytes;
+  // Trailing slack keeps 16-byte SIMD loads in bounds even when a decode
+  // starts at the stream's last byte (graph/varint_simd.h contract).
+  cg.bytes_.resize(total_bytes + kVarintDecodeSlack);
 
   // Pass 2: encode in place.
   ParallelFor(
@@ -90,73 +93,44 @@ CompressedGraph CompressedGraph::FromCsr(const CsrGraph& g,
   return cg;
 }
 
-NodeId CompressedGraph::DecodeCursor::Get(const CompressedGraph& g, NodeId v,
-                                          uint64_t i) {
-  const uint64_t d = g.degrees_[v];
-  LIGHTNE_CHECK_LT(i, d);
-  const uint64_t b = i / g.block_size_;
-  const uint64_t within = i - b * g.block_size_;
-  // A draw's decode cost is proportional to `within`: cheap draws (the bulk
-  // on an avg-degree graph) cost fewer cycles than a cache probe, so they
-  // decode inline without touching — or evicting — any entry.
-  if (within <= kDirectWithin) {
-    return g.Neighbor(v, i);
-  }
-  // Direct-mapped slot for (v, b). Multiplicative mix on the packed key;
-  // taking high bits keeps distinct blocks of the same hub from colliding.
-  const uint64_t key = (static_cast<uint64_t>(v) << 20) ^ b;
-  Entry& e = entries_[(key * 0x9E3779B97F4A7C15ull) >> (64 - kLog2Entries)];
-  if (v == e.v && b == e.block && within < e.filled) {
-    ++hits_;
-    return e.buf[within];
-  }
-  ++misses_;
-  if (v != e.v || b != e.block) {
-    // Evict whatever lived here and anchor on the requested block; the
-    // decoded prefix restarts empty.
-    const uint8_t* region = g.bytes_.data() + g.vertex_offset_[v];
-    e.next = region + BlockStart(region, g.NumBlocks(d), b);
-    e.v = v;
-    e.block = b;
-    e.filled = 0;
-    if (e.buf.size() < g.block_size_) e.buf.resize(g.block_size_);
-  }
-  decoded_varints_ += within + 1 - e.filled;
-  // Locals keep the decode loop in registers; the byte-stream reads would
-  // otherwise force the entry fields back to memory every iteration.
-  uint64_t filled = e.filled;
-  int64_t running = e.running;
-  const uint8_t* p = e.next;
-  NodeId* buf = e.buf.data();
-  if (filled == 0) {
-    running = static_cast<int64_t>(v) + DecodeZigzag(&p);
-    buf[filled++] = static_cast<NodeId>(running);
-  }
-  while (filled <= within) {
-    running += static_cast<int64_t>(DecodeVarint(&p));
-    buf[filled++] = static_cast<NodeId>(running);
-  }
-  e.filled = filled;
-  e.running = running;
-  e.next = p;
-  return buf[within];
+uint64_t CompressedGraph::DecodeBlock(NodeId v, uint64_t b, NodeId* out) const {
+  BlockCursor cur;
+  DecodeBlockPrefix(v, b, ~uint64_t{0}, out, &cur);
+  return cur.len;
 }
 
-uint64_t CompressedGraph::DecodeBlock(NodeId v, uint64_t b, NodeId* out) const {
+uint64_t CompressedGraph::DecodeBlockPrefix(NodeId v, uint64_t b,
+                                            uint64_t upto, NodeId* out,
+                                            BlockCursor* cur) const {
   const uint64_t d = degrees_[v];
   const uint64_t nblocks = NumBlocks(d);
   LIGHTNE_CHECK_LT(b, nblocks);
-  const uint8_t* region = bytes_.data() + vertex_offset_[v];
-  const uint8_t* p = region + BlockStart(region, nblocks, b);
+  const uint8_t* p = BlockBytes(v, b);
   const uint64_t in_block =
       (b + 1 < nblocks) ? block_size_ : d - b * block_size_;
-  int64_t running = static_cast<int64_t>(v) + DecodeZigzag(&p);
+  const int64_t running = static_cast<int64_t>(v) + DecodeZigzag(&p);
   out[0] = static_cast<NodeId>(running);
-  for (uint64_t k = 1; k < in_block; ++k) {
-    running += static_cast<int64_t>(DecodeVarint(&p));
-    out[k] = static_cast<NodeId>(running);
-  }
-  return in_block;
+  cur->next = p;
+  cur->running = running;
+  cur->decoded = 1;
+  cur->len = static_cast<uint32_t>(in_block);
+  ExtendBlockPrefix(cur, upto, out);
+  return cur->decoded;
+}
+
+void CompressedGraph::ExtendBlockPrefix(BlockCursor* cur, uint64_t upto,
+                                        NodeId* out) const {
+  const uint64_t want = std::min<uint64_t>(upto, cur->len);
+  if (want <= cur->decoded) return;
+  // Fused difference-decode through the dispatched backend: varint decode
+  // and prefix sum in one pass, no staging buffer. Every decoded value is a
+  // node id (< NumVertices), so the uint32 accumulation the fused decoders
+  // use agrees exactly with the old int64 sweep, under every backend.
+  uint32_t base = static_cast<uint32_t>(cur->running);
+  cur->next = ActiveDeltaPrefixDecoder()(cur->next, want - cur->decoded,
+                                         &base, out + cur->decoded);
+  cur->running = static_cast<int64_t>(base);
+  cur->decoded = static_cast<uint32_t>(want);
 }
 
 CompressedGraph::HubCache CompressedGraph::HubCache::Build(
@@ -170,12 +144,8 @@ CompressedGraph::HubCache CompressedGraph::HubCache::Build(
     // limited governor, spend at most a quarter of what is still available.
     effective = std::min(effective, budget->available_bytes() / 4);
   }
-  const uint64_t index_bytes =
-      static_cast<uint64_t>(n) * sizeof(const NodeId*);
-  if (index_bytes >= effective) return cache;
-
-  // Pin order: (degree desc, id asc) — a pure function of the graph, so the
-  // pinned set is deterministic for a fixed budget.
+  // Admission order: (degree desc, id asc) — a pure function of the graph,
+  // so the pinned set is deterministic for a fixed budget.
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), NodeId{0});
   ParallelSort(order.data(), order.size(), [&](NodeId a, NodeId b) {
@@ -183,38 +153,110 @@ CompressedGraph::HubCache CompressedGraph::HubCache::Build(
     return da != db ? da > db : a < b;
   });
 
-  uint64_t bytes = index_bytes;
+  // Block-granular knapsack. Under the walk's stationary distribution every
+  // decoded entry has the same expected hit rate (visit prob ∝ degree, draw
+  // uniform within the row), so the objective is simply to pin as many
+  // entries as fit: each vertex takes its whole row if it fits the
+  // remaining budget, else its largest block-aligned prefix (blocks decode
+  // independently, so a prefix needs no tail re-decode), and the scan
+  // continues past giant hubs so smaller rows can fill the remainder. The
+  // index is sized dynamically: admitting a vertex may double the hash
+  // table (load factor capped at 1/2), so each candidate is charged against
+  // the entry capacity left once the index it would need is paid for.
+  const auto slots_for = [](uint64_t pinned_vertices) {
+    uint64_t s = 8;
+    while (s < 2 * pinned_vertices) s <<= 1;
+    return s;
+  };
+  // Pool entries pack at 3 bytes when every node id fits 24 bits — the
+  // same budget then holds a third more entries, and entries fraction is
+  // exactly the pin hit rate under the walk's stationary distribution.
+  const uint32_t width = n <= (NodeId{1} << 24) ? 3 : 4;
+  const uint64_t bs = g.block_size_;
+  std::vector<uint32_t> take(n, 0);
   uint64_t entries = 0;
   uint64_t pinned = 0;
-  std::vector<uint64_t> row_offset;
-  for (; pinned < n; ++pinned) {
-    const uint64_t d = g.Degree(order[pinned]);
+  uint32_t gate = kEmptyKey;
+  for (NodeId idx = 0; idx < n; ++idx) {
+    const NodeId v = order[idx];
+    const uint64_t d = g.Degree(v);
     if (d == 0) break;  // degree-sorted: nothing left worth pinning
-    const uint64_t row_bytes = d * sizeof(NodeId);
-    if (bytes + row_bytes > effective) break;
-    row_offset.push_back(entries);
-    bytes += row_bytes;
-    entries += d;
+    const uint64_t idx_bytes = slots_for(pinned + 1) * sizeof(Entry);
+    if (idx_bytes >= effective) break;
+    // uint32 pool offsets bound the pool at 4 Gi entries.
+    const uint64_t cap =
+        std::min<uint64_t>((effective - idx_bytes) / width, UINT32_MAX);
+    if (cap <= entries) break;  // no room for another vertex's index + data
+    const uint64_t rem = cap - entries;
+    const uint64_t t = d <= rem ? d : bs * (rem / bs);
+    if (t == 0) continue;  // row larger than the tail budget; keep scanning
+    take[v] = static_cast<uint32_t>(t);
+    entries += t;
+    ++pinned;
+    gate = std::min(gate, static_cast<uint32_t>(d));
   }
-  if (pinned == 0) return cache;
+  if (entries == 0) return cache;
 
+  const uint64_t slots = slots_for(pinned);
+  const uint64_t bytes = slots * sizeof(Entry) + entries * width;
   BudgetReservation reservation(budget, bytes);
   if (!reservation.ok()) return cache;  // governor raced below the cap
-  cache.pool_.resize(entries);
-  cache.rows_.assign(n, nullptr);
-  ParallelFor(0, pinned, [&](uint64_t j) {
-    const NodeId v = order[j];
-    NodeId* out = cache.pool_.data() + row_offset[j];
-    uint64_t k = 0;
-    g.MapNeighbors(v, [&](NodeId u) { out[k++] = u; });
-    cache.rows_[v] = out;
+
+  // Insert in vertex-id order: both the pool packing and the probe-chain
+  // layout are then pure functions of the admitted set, so rebuilds are
+  // bit-identical.
+  cache.index_.assign(slots, Entry{});
+  cache.idx_mask_ = static_cast<uint32_t>(slots - 1);
+  cache.gate_ = gate;
+  cache.pool_width_ = width;
+  cache.pool_mask_ = width == 3 ? 0xffffffu : 0xffffffffu;
+  std::vector<NodeId> pinned_ids;
+  std::vector<uint64_t> pinned_off;
+  pinned_ids.reserve(pinned);
+  pinned_off.reserve(pinned);
+  uint64_t off = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (take[v] == 0) continue;
+    uint32_t s = ProbeSlot(v, cache.idx_mask_);
+    while (cache.index_[s].key != kEmptyKey) s = (s + 1) & cache.idx_mask_;
+    cache.index_[s] =
+        Entry{static_cast<uint32_t>(v), static_cast<uint32_t>(off), take[v],
+              static_cast<uint32_t>(g.Degree(v))};
+    pinned_ids.push_back(v);
+    pinned_off.push_back(off);
+    off += take[v];
+  }
+  cache.pool_.assign(entries * width + kPoolSlack, 0);
+  ParallelFor(0, pinned_ids.size(), [&](uint64_t j) {
+    const NodeId v = pinned_ids[j];
+    const uint64_t t = take[v];
+    uint8_t* out = cache.pool_.data() + pinned_off[j] * width;
+    // The prefix is block-aligned or the whole row, so it decomposes into
+    // leading blocks of the row; decode each block to a scratch row and
+    // pack it little-endian at the entry width (only a whole-row tail
+    // block holds fewer than bs entries). Packing writes exactly `width`
+    // bytes per entry: a wider store would race the neighboring row's
+    // first byte under the parallel fill.
+    std::vector<NodeId> tmp(bs);
+    const uint64_t nb = (t + bs - 1) / bs;
+    for (uint64_t b = 0; b < nb; ++b) {
+      const uint64_t len = std::min<uint64_t>(bs, t - b * bs);
+      g.DecodeBlock(v, b, tmp.data());
+      uint8_t* dst = out + b * bs * width;
+      for (uint64_t k = 0; k < len; ++k) {
+        const uint32_t val = tmp[k];
+        std::memcpy(dst + k * width, &val, width);
+      }
+    }
   });
+  cache.pinned_entries_ = entries;
   cache.pinned_vertices_ = pinned;
   cache.pinned_bytes_ = bytes;
   cache.reservation_ = std::move(reservation);
   MetricsRegistry& m = MetricsRegistry::Global();
   m.GetGauge("walk/pinned_bytes")->Set(bytes);
   m.GetGauge("walk/pinned_vertices")->Set(pinned);
+  m.GetGauge("walk/pinned_entries")->Set(entries);
   return cache;
 }
 

@@ -11,6 +11,11 @@
 // The paper chose block size 64 as the sweet spot between compressed size
 // and the latency of fetching arbitrary incident edges; that is the default
 // here and bench_compression reproduces the trade-off.
+//
+// Block decode dispatches to the SIMD batch varint decoder
+// (graph/varint_simd.h); the byte stream carries kVarintDecodeSlack readable
+// slack bytes so 16-byte SIMD loads starting at the last encoded byte are
+// always in bounds.
 #ifndef LIGHTNE_GRAPH_COMPRESSED_H_
 #define LIGHTNE_GRAPH_COMPRESSED_H_
 
@@ -20,6 +25,7 @@
 
 #include "graph/csr.h"
 #include "graph/types.h"
+#include "graph/varint_simd.h"
 #include "parallel/parallel_for.h"
 #include "util/check.h"
 #include "util/memory.h"
@@ -43,118 +49,219 @@ class CompressedGraph {
 
   uint64_t Degree(NodeId v) const { return degrees_[v]; }
 
+  /// Hints the loads a cold walk draw from v serializes on (degree, byte
+  /// offset) into cache without waiting. Both addresses depend only on v,
+  /// so a caller that must first resolve something else about v (e.g. probe
+  /// a pin index) can overlap that work with these fetches. Pure hint:
+  /// never changes results.
+  void PrefetchVertex(NodeId v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&degrees_[v], /*rw=*/0, /*locality=*/2);
+    __builtin_prefetch(&vertex_offset_[v], /*rw=*/0, /*locality=*/2);
+#else
+    (void)v;
+#endif
+  }
+
+  /// Second-stage hint: fetches the first line of v's encoded region (the
+  /// block-offset table, which for single-block rows is also where the
+  /// bytes start). Reads vertex_offset_[v] to form the address, so callers
+  /// should have issued PrefetchVertex(v) a little earlier. Pure hint.
+  void PrefetchRegion(NodeId v) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const uint8_t* region = bytes_.data() + vertex_offset_[v];
+    __builtin_prefetch(region, /*rw=*/0, /*locality=*/2);
+    // Median rows span more than one line (offset table + ~1.5 B/neighbor
+    // of deltas), so fetch the second line too; rows shorter than that own
+    // the next row's bytes, making the extra line useful either way.
+    __builtin_prefetch(region + 64, /*rw=*/0, /*locality=*/2);
+#else
+    (void)v;
+#endif
+  }
+
   /// Decodes the i-th neighbor of v: locates the containing block via the
   /// offset table, then decodes at most block_size varints.
   NodeId Neighbor(NodeId v, uint64_t i) const;
 
   /// Decodes block `b` of vertex `v` in one pass into `out` (which must hold
   /// block_size() entries). Returns the number of neighbors decoded (the
-  /// block length; the last block of a vertex may be short). One linear
-  /// varint sweep — the batch-decode primitive the walk engine uses to
-  /// amortize decode cost when several draws land in the same block.
+  /// block length; the last block of a vertex may be short). One batch
+  /// varint sweep through the dispatched decoder (graph/varint_simd.h) —
+  /// the batch-decode primitive the walk engine uses to amortize decode
+  /// cost when several draws land in the same block.
   uint64_t DecodeBlock(NodeId v, uint64_t b, NodeId* out) const;
 
-  /// Permanently pinned decoded adjacencies of the highest-degree vertices.
+  /// Resumable decode state for one block, owned by the caller alongside the
+  /// output buffer it was started against. The split points never change the
+  /// decoded values: the batch decoder consumes an exact varint count and
+  /// returns the exact stream position, so prefix + extensions reproduce
+  /// DecodeBlock byte-for-byte under every dispatch backend.
+  struct BlockCursor {
+    const uint8_t* next = nullptr;  ///< first undecoded varint byte
+    int64_t running = 0;            ///< value of the last decoded entry
+    uint32_t decoded = 0;           ///< entries decoded into the buffer
+    uint32_t len = 0;               ///< total entries in the block
+  };
+
+  /// Starts a resumable decode of block `b` of `v`: decodes the first
+  /// min(upto, block length) entries into `out` (which must hold
+  /// block_size() entries for later extension) and primes `cur` for
+  /// ExtendBlockPrefix. Returns the number of entries decoded (>= 1). This
+  /// is the walk cold tier's workhorse: a draw at index `i` pays one offset
+  /// walk plus `i+1` batch-decoded varints, never a full-block sweep, and
+  /// later draws extend from the saved stream position without re-touching
+  /// the offset tables.
+  uint64_t DecodeBlockPrefix(NodeId v, uint64_t b, uint64_t upto, NodeId* out,
+                             BlockCursor* cur) const;
+
+  /// Extends a started block decode to min(upto, block length) total
+  /// entries, appending to the same `out` the cursor was started with.
+  /// No-op when the prefix already covers `upto`.
+  void ExtendBlockPrefix(BlockCursor* cur, uint64_t upto, NodeId* out) const;
+
+  /// First encoded byte of block `b` of vertex `v`. Exposed for bench-local
+  /// decode baselines (bench_sampler_baseline keeps the retired lazy cursor
+  /// alive as a comparison row) and format tests; production decode goes
+  /// through Neighbor/DecodeBlock/MapNeighbors.
+  const uint8_t* BlockBytes(NodeId v, uint64_t b) const {
+    const uint8_t* region = bytes_.data() + vertex_offset_[v];
+    return region + BlockStart(region, NumBlocks(degrees_[v]), b);
+  }
+
+  /// Permanently pinned decoded neighbor prefixes of the hottest vertices.
   ///
-  /// Random walks visit vertices with probability proportional to degree, so
-  /// on power-law graphs a small set of hubs absorbs most draws. HubCache
-  /// decodes those hubs' full neighbor lists once at build time; a pinned
-  /// draw is then a plain array read (`Row(v)[i]`), with no hashing, no
-  /// varint decode, and no possibility of eviction. Built per sampling phase
-  /// (see MakeWalkAccel in graph/walk_cursor.h) and shared read-only by all
-  /// worker contexts.
+  /// Random walks visit vertices with probability proportional to degree,
+  /// and a uniform draw within a row spreads hits evenly over its entries —
+  /// so under the walk's stationary distribution every pinned entry is worth
+  /// the same and the right policy is to pin as many entries as the budget
+  /// holds. HubCache therefore pins block-aligned *prefixes*: vertices are
+  /// visited in (degree desc, id asc) order and each takes its full decoded
+  /// row if it fits, else the largest block_size-aligned prefix that does,
+  /// and the scan continues so smaller rows can fill what a giant hub could
+  /// not. A pinned draw is a plain array read with no hashing, no varint
+  /// decode, and no possibility of eviction; draws past a pinned prefix fall
+  /// through to the cold tier. Built per sampling phase (see MakeWalkAccel
+  /// in graph/walk_cursor.h) and shared read-only by all worker contexts.
   ///
-  /// Sizing: `byte_budget` caps the footprint (the per-vertex row index plus
-  /// the decoded rows). When a limited MemoryBudget governor is supplied the
-  /// spend is further capped at a quarter of its available bytes — pinning
-  /// is an accelerator and must never starve the sparsifier hash table — and
-  /// the actual footprint is reserved against the governor for the cache's
-  /// lifetime. Vertices are pinned greedily in (degree desc, id asc) order,
-  /// a pure function of the graph, so the pinned set is deterministic.
+  /// Sizing: `byte_budget` caps the footprint — a compact open-addressing
+  /// hash index over just the pinned vertices plus the decoded entries. At
+  /// a 16 MiB budget on an RMAT-20 only a couple thousand hubs pin, so the
+  /// index is tens of KiB and L1/L2-resident (the previous 4-byte-per-
+  /// vertex prefix array cost 4 MiB at n=1M — a quarter of the budget spent
+  /// on index, and an LLC miss on every probe). A degree gate makes the
+  /// index free for cold draws: admission is degree-descending, so a draw
+  /// probes the index only when Degree(v) >= degree_gate() — a load the
+  /// sampler made hot one instruction earlier. When a limited MemoryBudget
+  /// governor is supplied the spend is further capped at a quarter of its
+  /// available bytes — pinning is an accelerator and must never starve the
+  /// sparsifier hash table — and the actual footprint is reserved against
+  /// the governor for the cache's lifetime. The admission order is a pure
+  /// function of the graph, so the pinned set is deterministic.
   class HubCache {
    public:
+    /// One index slot: a pinned vertex, its pool offset (in entries), its
+    /// prefix length, and its exact degree. Carrying the degree here lets a
+    /// walk step on a pinned vertex draw its index without ever touching
+    /// the n-sized degree array — one less LLC miss on the serial per-step
+    /// chain (the probe is L2-resident; degrees_[v] for a random hub is
+    /// not).
+    struct Entry {
+      uint32_t key = kEmptyKey;
+      uint32_t off = 0;
+      uint32_t len = 0;
+      uint32_t deg = 0;
+    };
+    static constexpr uint32_t kEmptyKey = 0xffffffffu;
+    /// Readable slack past the packed pool so a width-3 entry can be read
+    /// with one 4-byte load.
+    static constexpr uint64_t kPoolSlack = 4;
+
     HubCache() = default;
 
-    /// Builds the cache. Returns an empty cache (every Row() nullptr) when
-    /// the budget cannot hold the index plus at least one row, or when the
-    /// governor reservation fails. Reports `walk/pinned_bytes` and
-    /// `walk/pinned_vertices` gauges on success.
+    /// Builds the cache. Returns an empty cache (every PinnedLen() 0) when
+    /// the budget cannot hold the index plus at least one block, or when
+    /// the governor reservation fails. Reports `walk/pinned_bytes`,
+    /// `walk/pinned_vertices`, and `walk/pinned_entries` gauges on success.
     static HubCache Build(const CompressedGraph& g, uint64_t byte_budget,
                           MemoryBudget* budget = nullptr);
 
-    /// The decoded adjacency of v (degree entries), or nullptr if unpinned.
-    const NodeId* Row(NodeId v) const {
-      return rows_.empty() ? nullptr : rows_[v];
+    /// First probe slot for vertex v (multiplicative hash, linear probing;
+    /// load factor is kept at or below 1/2).
+    static uint32_t ProbeSlot(NodeId v, uint32_t mask) {
+      return (static_cast<uint32_t>(v) * 2654435761u) & mask;
     }
 
-    bool empty() const { return pool_.empty(); }
+    /// Pinned prefix length of v in entries (0 when unpinned). A draw
+    /// Neighbor(v, i) is pinned iff i < PinnedLen(v).
+    uint64_t PinnedLen(NodeId v) const {
+      const Entry* e = Find(v);
+      return e != nullptr ? e->len : 0;
+    }
+
+    /// Entry k of v's pinned prefix (k < PinnedLen(v)): one unaligned
+    /// 4-byte load masked to the pool width. Exactly g.Neighbor(v, k).
+    NodeId PinnedNeighbor(NodeId v, uint64_t k) const {
+      const Entry* e = Find(v);
+      uint32_t val = 0;
+      std::memcpy(&val,
+                  pool_.data() + (uint64_t{e->off} + k) * pool_width_,
+                  sizeof(val));
+      return static_cast<NodeId>(val & pool_mask_);
+    }
+
+    /// Raw accessors for the walk hot path (graph/walk_cursor.h caches
+    /// these so a pinned probe is a degree compare plus an L1/L2 index
+    /// walk). index() is nullptr when the cache is empty.
+    const Entry* index() const {
+      return index_.empty() ? nullptr : index_.data();
+    }
+    uint32_t index_mask() const { return idx_mask_; }
+    /// Smallest degree among pinned vertices: draws on vertices below this
+    /// can skip the index probe entirely (admission is degree-descending).
+    uint32_t degree_gate() const { return gate_; }
+    /// The packed pool: pinned entries at pool_entry_width() bytes each
+    /// (3 when every node id fits 24 bits, else 4), with kPoolSlack
+    /// readable bytes past the end. The narrow width is where the hit rate
+    /// comes from: the same 16 MiB budget holds a third more entries.
+    const uint8_t* pool() const { return pool_.data(); }
+    uint32_t pool_entry_width() const { return pool_width_; }
+    uint32_t pool_value_mask() const { return pool_mask_; }
+
+    bool empty() const { return pinned_entries_ == 0; }
+    /// Vertices with a nonzero pinned prefix.
     uint64_t pinned_vertices() const { return pinned_vertices_; }
-    /// Accounted footprint: row index + decoded rows.
+    /// Total pinned entries across all prefixes.
+    uint64_t pinned_entries() const { return pinned_entries_; }
+    /// Index slots (power of two; >= 2x pinned vertices).
+    uint64_t index_slots() const { return index_.size(); }
+    /// Accounted footprint: hash index + decoded entries.
     uint64_t pinned_bytes() const { return pinned_bytes_; }
 
    private:
-    std::vector<const NodeId*> rows_;  // size n; nullptr = not pinned
-    std::vector<NodeId> pool_;         // decoded rows, hubs first
+    const Entry* Find(NodeId v) const {
+      if (index_.empty()) return nullptr;
+      uint32_t s = ProbeSlot(v, idx_mask_);
+      for (;;) {
+        const Entry& e = index_[s];
+        if (e.key == static_cast<uint32_t>(v)) return &e;
+        if (e.key == kEmptyKey) return nullptr;
+        s = (s + 1) & idx_mask_;
+      }
+    }
+
+    std::vector<Entry> index_;  // open addressing, power-of-two size
+    uint32_t idx_mask_ = 0;     // index_.size() - 1
+    uint32_t gate_ = kEmptyKey;   // min pinned degree (kEmptyKey: none)
+    std::vector<uint8_t> pool_;   // packed decoded prefixes + kPoolSlack
+    uint32_t pool_width_ = 4;     // bytes per pinned entry
+    uint32_t pool_mask_ = 0xffffffffu;  // value mask for a 4-byte load
+    uint64_t pinned_entries_ = 0;
     uint64_t pinned_vertices_ = 0;
     uint64_t pinned_bytes_ = 0;
     // Held for the cache lifetime so the governor sees the pinned bytes as
-    // long as walks can touch them (vector moves keep rows_ pointers valid).
+    // long as walks can touch them (vector moves keep pointers valid).
     BudgetReservation reservation_;
-  };
-
-  /// Legacy lazily-extending decode cursor, demoted to a bench reference.
-  /// Measured parity-at-best against naive decode on the sampler's edge
-  /// stream (BENCH_sampler.json: 0.97x, 1.3% hit rate), so the default walk
-  /// path now uses the two-tier WalkContext (graph/walk_cursor.h: HubCache
-  /// pinned tier + batch-decoded cold tier). Kept only so
-  /// bench_sampler_baseline's `walk_compressed_cursor` row can keep tracking
-  /// the alternative; not referenced by any production call site.
-  ///
-  /// A small direct-mapped cache of lazily-decoded blocks, keyed by
-  /// (vertex, block). A draw's
-  /// decode cost is proportional to its offset within the block, so cheap
-  /// draws (within <= kDirectWithin — the bulk of traffic on an average-
-  /// degree graph) decode inline and never evict anything; expensive draws
-  /// anchor their block in the cache, decoding up to the requested index —
-  /// never more work than Neighbor, plus one hash — and later draws of a
-  /// resident block are array reads, extending the decoded prefix only
-  /// when a larger index is asked for. Random walks visit vertices with
-  /// probability proportional to degree, so the expensive draws
-  /// concentrate on exactly the hub blocks that stay resident. 128 entries
-  /// * one block of NodeIds ~= 48 KiB, L1/L2-resident alongside the
-  /// sampler combiner. Entries cache pointers into the graph's byte
-  /// stream: a cursor must not outlive its graph and must always be used
-  /// with the same graph. Returns exactly Neighbor(v, i) — walks draw
-  /// identical endpoints with or without a cursor.
-  class DecodeCursor {
-   public:
-    NodeId Get(const CompressedGraph& g, NodeId v, uint64_t i);
-
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
-    uint64_t decoded_varints() const { return decoded_varints_; }
-
-   private:
-    static constexpr uint32_t kLog2Entries = 7;  // 128 direct-mapped slots
-    // Draws this close to a block start decode inline instead of entering
-    // the cache: their cost is a handful of varints, below the bookkeeping
-    // cost, and filling entries with them would evict expensive blocks.
-    static constexpr uint64_t kDirectWithin = 8;
-    static constexpr uint64_t kNoVertex = ~0ull;
-
-    struct Entry {
-      uint64_t v = kNoVertex;         // vertex id (kNoVertex = empty)
-      uint64_t block = 0;
-      uint64_t filled = 0;            // decoded prefix length of the block
-      const uint8_t* next = nullptr;  // byte position after buf[filled - 1]
-      int64_t running = 0;            // last decoded neighbor id
-      std::vector<NodeId> buf;        // decoded prefix, size >= filled
-    };
-
-    Entry entries_[uint64_t{1} << kLog2Entries];
-    uint64_t hits_ = 0;    // served without decoding a varint
-    uint64_t misses_ = 0;  // had to extend or (re-)anchor an entry
-    uint64_t decoded_varints_ = 0;  // varints decoded into entries
   };
 
   /// Applies fn(neighbor) over v's full (sorted) neighbor list.
@@ -196,14 +303,15 @@ class CompressedGraph {
                 [&](uint64_t v) { fn(static_cast<NodeId>(v)); });
   }
 
-  /// Total footprint: byte stream + offsets + degree array.
+  /// Total footprint: byte stream (incl. decode slack) + offsets + degrees.
   uint64_t SizeBytes() const {
     return bytes_.size() + vertex_offset_.size() * sizeof(uint64_t) +
            degrees_.size() * sizeof(NodeId);
   }
 
-  /// Bytes of the encoded neighbor stream alone.
-  uint64_t EncodedBytes() const { return bytes_.size(); }
+  /// Bytes of the encoded neighbor stream alone (excludes the
+  /// kVarintDecodeSlack trailing slack kept for SIMD over-reads).
+  uint64_t EncodedBytes() const { return encoded_bytes_; }
 
  private:
   uint64_t NumBlocks(uint64_t degree) const {
@@ -262,9 +370,10 @@ class CompressedGraph {
   NodeId num_vertices_ = 0;
   EdgeId num_directed_edges_ = 0;
   uint32_t block_size_ = 64;
+  uint64_t encoded_bytes_ = 0;  // bytes_.size() minus decode slack
   std::vector<NodeId> degrees_;
   std::vector<uint64_t> vertex_offset_;  // size n+1, into bytes_
-  std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> bytes_;  // encoded stream + kVarintDecodeSlack slack
 };
 
 }  // namespace lightne

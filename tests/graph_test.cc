@@ -131,6 +131,45 @@ TEST(CompressionTest, IthNeighborMatchesCsr) {
   }
 }
 
+TEST(CompressionTest, BlockPrefixResumesExactly) {
+  // DecodeBlockPrefix + ExtendBlockPrefix must reproduce DecodeBlock for
+  // every split of a block into prefix steps, under both dispatch arms —
+  // the walk cold tier leans on this to grow slot prefixes lazily.
+  const CsrGraph g = CsrGraph::FromEdges(GenerateRmat(11, 30000, 3));
+  const CompressedGraph cg = CompressedGraph::FromCsr(g, 64);
+  const VarintBackend arms[] = {VarintBackend::kScalar, VarintBackend::kAuto};
+  Rng rng(17);
+  for (const VarintBackend arm : arms) {
+    SetVarintBackend(arm);
+    for (int trial = 0; trial < 400; ++trial) {
+      const NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
+      if (g.Degree(v) == 0) continue;
+      const uint64_t nblocks = (g.Degree(v) + 63) / 64;
+      const uint64_t b = rng.UniformInt(nblocks);
+      NodeId full[64];
+      const uint64_t len = cg.DecodeBlock(v, b, full);
+      NodeId lazy[64];
+      CompressedGraph::BlockCursor cur;
+      uint64_t upto = 1 + rng.UniformInt(len);
+      ASSERT_EQ(cg.DecodeBlockPrefix(v, b, upto, lazy, &cur),
+                std::min<uint64_t>(upto, len));
+      while (cur.decoded < len) {
+        upto = cur.decoded + 1 + rng.UniformInt(len - cur.decoded);
+        cg.ExtendBlockPrefix(&cur, upto, lazy);
+        ASSERT_EQ(cur.decoded, std::min<uint64_t>(upto, len));
+      }
+      ASSERT_EQ(cur.len, len);
+      for (uint64_t k = 0; k < len; ++k) {
+        ASSERT_EQ(lazy[k], full[k]) << "v=" << v << " b=" << b << " k=" << k;
+      }
+      // Over-asking clamps to the block length and is then a no-op.
+      cg.ExtendBlockPrefix(&cur, len + 100, lazy);
+      ASSERT_EQ(cur.decoded, len);
+    }
+  }
+  SetVarintBackend(VarintBackend::kAuto);
+}
+
 TEST(CompressionTest, CompressesPowerLawGraph) {
   CsrGraph g = CsrGraph::FromEdges(GenerateRmat(14, 300000, 9));
   CompressedGraph cg = CompressedGraph::FromCsr(g, 64);

@@ -2,15 +2,16 @@
 // equivalence (bit-identical integer counters, 1-ulp matrix values), the
 // alias-table sampler's exact distribution and RNG-consumption contract
 // against the prefix-scan reference (full and degree-gated), the
-// compressed-graph walk engine (hub-pinned + batch-decode tiers and the
-// legacy cursor) against naive Neighbor, and the edge-balanced scheduling
-// partition.
+// compressed-graph walk engine (hub-pinned + batch-decode tiers, in both
+// varint decode arms) against naive Neighbor, and the edge-balanced
+// scheduling partition.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <numeric>
 #include <vector>
 
 #include "core/sparsifier.h"
@@ -270,47 +271,9 @@ TEST(WeightsTest, SampleNeighborProportionalRejectsZeroDegree) {
   EXPECT_EQ(*good, NodeId{1});
 }
 
-// ------------------------------------------------------------ decode cursor ----
+// ------------------------------------------------------------ walk context ----
 
-TEST(DecodeCursorTest, MatchesNaiveNeighborOnRmat) {
-  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 3));
-  const CompressedGraph g = CompressedGraph::FromCsr(csr);
-  CompressedGraph::DecodeCursor cursor;
-  Rng rng(17);
-  // Mixed access pattern: bursts at one vertex (the walk-loop common case)
-  // interleaved with jumps, covering re-anchors, block switches and the
-  // lazy prefix extension.
-  for (int burst = 0; burst < 2000; ++burst) {
-    const NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumVertices()));
-    const uint64_t d = g.Degree(v);
-    if (d == 0) continue;
-    const int len = 1 + static_cast<int>(rng.UniformInt(6));
-    for (int k = 0; k < len; ++k) {
-      const uint64_t i = rng.UniformInt(d);
-      ASSERT_EQ(cursor.Get(g, v, i), g.Neighbor(v, i))
-          << "v=" << v << " i=" << i;
-    }
-  }
-  EXPECT_GT(cursor.hits() + cursor.misses(), 0u);
-  EXPECT_GT(cursor.hits(), 0u);  // bursts must actually reuse the prefix
-}
-
-TEST(DecodeCursorTest, SequentialScanIsMostlyHits) {
-  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(8, 4000, 9));
-  const CompressedGraph g = CompressedGraph::FromCsr(csr);
-  CompressedGraph::DecodeCursor cursor;
-  // Descending scan of each vertex: the first access decodes the whole
-  // block, every later one is a prefix hit.
-  for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    const uint64_t d = g.Degree(v);
-    for (uint64_t i = d; i-- > 0;) {
-      ASSERT_EQ(cursor.Get(g, v, i), g.Neighbor(v, i));
-    }
-  }
-  EXPECT_GT(cursor.hits(), cursor.misses());
-}
-
-TEST(DecodeCursorTest, WalkContextMatchesPlainWalks) {
+TEST(WalkContextTest, WalkContextMatchesPlainWalks) {
   const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(9, 6000, 21));
   const CompressedGraph g = CompressedGraph::FromCsr(csr);
   WalkContext<CompressedGraph> ctx;
@@ -321,6 +284,55 @@ TEST(DecodeCursorTest, WalkContextMatchesPlainWalks) {
     const NodeId with_ctx = WeightedRandomWalk(g, ctx, start, 8, rng_a);
     const NodeId without = WeightedRandomWalk(g, start, 8, rng_b);
     ASSERT_EQ(with_ctx, without) << "walk " << s;
+  }
+}
+
+TEST(WalkContextTest, BatchedWalksBitIdenticalToSequentialWalks) {
+  // The lockstep batch scheduler only reorders *when* independent lanes'
+  // draws execute — each lane consumes its own rng, so every lane's
+  // endpoint matches the sequential walk at any batch width (70 lanes
+  // exercises chunking and a ragged tail), with and without a pinned tier,
+  // under both decode arms.
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 77));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  std::vector<NodeId> starts;
+  Rng pick(5);
+  while (starts.size() < 70) {
+    const NodeId v = static_cast<NodeId>(pick.UniformInt(g.NumVertices()));
+    if (g.Degree(v) > 0) starts.push_back(v);
+  }
+  for (const uint64_t budget : {uint64_t{0}, uint64_t{1} << 30}) {
+    const WalkAccel<CompressedGraph> accel = MakeWalkAccel(g, budget);
+    for (const VarintBackend backend :
+         {VarintBackend::kScalar, VarintBackend::kSimd}) {
+      SetVarintBackend(backend);
+      for (const uint64_t steps : {uint64_t{0}, uint64_t{1}, uint64_t{9}}) {
+        std::vector<Rng> rngs(starts.size());
+        for (size_t w = 0; w < starts.size(); ++w) rngs[w].Reseed(1000 + w);
+        std::vector<NodeId> got(starts.size());
+        WalkContext<CompressedGraph> ctx(accel);
+        WeightedRandomWalkBatch(g, ctx, starts.data(), starts.size(), steps,
+                                rngs.data(), got.data());
+        for (size_t w = 0; w < starts.size(); ++w) {
+          Rng rng(1000 + w);
+          WalkContext<CompressedGraph> seq(accel);
+          ASSERT_EQ(got[w], WeightedRandomWalk(g, seq, starts[w], steps, rng))
+              << "budget " << budget << " steps " << steps << " lane " << w;
+        }
+      }
+    }
+    SetVarintBackend(VarintBackend::kAuto);
+  }
+  // Direct-access graphs run the same scheduler through the no-op hints.
+  std::vector<Rng> rngs(starts.size());
+  for (size_t w = 0; w < starts.size(); ++w) rngs[w].Reseed(7000 + w);
+  std::vector<NodeId> got(starts.size());
+  WalkContext<CsrGraph> ctx;
+  WeightedRandomWalkBatch(csr, ctx, starts.data(), starts.size(), 7,
+                          rngs.data(), got.data());
+  for (size_t w = 0; w < starts.size(); ++w) {
+    Rng rng(7000 + w);
+    EXPECT_EQ(got[w], WeightedRandomWalk(csr, starts[w], 7, rng)) << w;
   }
 }
 
@@ -356,7 +368,7 @@ TEST(WalkEngineTest, StreamsBitIdenticalAcrossDecodeVariants) {
     const std::vector<NodeId> stream = DrawStream(
         g, [&](NodeId v, uint64_t i) { return cold.Neighbor(g, v, i); });
     ASSERT_EQ(stream, naive);
-    // The bursty pattern must actually exercise batch promotion.
+    // The bursty pattern must actually exercise prefix reuse.
     EXPECT_GT(cold.cold_hits(), 0u);
     EXPECT_GT(cold.decode_misses(), 0u);
   }
@@ -369,6 +381,37 @@ TEST(WalkEngineTest, StreamsBitIdenticalAcrossDecodeVariants) {
         g, [&](NodeId v, uint64_t i) { return pinned.Neighbor(g, v, i); });
     ASSERT_EQ(stream, naive);
     EXPECT_GT(pinned.pin_hits(), 0u);
+  }
+}
+
+TEST(WalkEngineTest, StreamsBitIdenticalAcrossDecodeBackends) {
+  // The dispatch contract: forcing the scalar arm or the best SIMD arm must
+  // not move a single drawn vertex, in any tier. (On machines without SIMD
+  // support kSimd resolves to scalar and the comparison is trivially true.)
+  const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 77));
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  const WalkAccel<CompressedGraph> accel =
+      MakeWalkAccel(g, /*pin_budget_bytes=*/64 << 10);
+  std::vector<std::vector<NodeId>> streams;
+  for (const VarintBackend backend :
+       {VarintBackend::kScalar, VarintBackend::kSimd}) {
+    SetVarintBackend(backend);
+    streams.push_back(DrawStream(
+        g, [&](NodeId v, uint64_t i) { return g.Neighbor(v, i); }));
+    {
+      WalkContext<CompressedGraph> cold;
+      streams.push_back(DrawStream(
+          g, [&](NodeId v, uint64_t i) { return cold.Neighbor(g, v, i); }));
+    }
+    {
+      WalkContext<CompressedGraph> pinned(accel);
+      streams.push_back(DrawStream(
+          g, [&](NodeId v, uint64_t i) { return pinned.Neighbor(g, v, i); }));
+    }
+  }
+  SetVarintBackend(VarintBackend::kAuto);
+  for (size_t s = 1; s < streams.size(); ++s) {
+    ASSERT_EQ(streams[s], streams[0]) << "stream variant " << s;
   }
 }
 
@@ -395,31 +438,85 @@ TEST(WalkEngineTest, SparsifierBitIdenticalAcrossTiersAndWorkerCounts) {
   }
 }
 
-TEST(WalkEngineTest, HubCachePinsTopDegreesWithinBudget) {
+TEST(WalkEngineTest, HubCachePinsBlockAlignedPrefixesWithinBudget) {
   const CsrGraph csr = CsrGraph::FromEdges(GenerateRmat(10, 12000, 5));
   const CompressedGraph g = CompressedGraph::FromCsr(csr);
-  const uint64_t budget = 64 << 10;
+  // A budget well below the full edge set: the cache is built for the
+  // skewed regime where pinned vertices are a small fraction of n, which is
+  // where the per-pinned-vertex hash index beats any per-vertex array.
+  const uint64_t budget = 16 << 10;
   const CompressedGraph::HubCache cache =
       CompressedGraph::HubCache::Build(g, budget);
   ASSERT_FALSE(cache.empty());
   EXPECT_LE(cache.pinned_bytes(), budget);
   EXPECT_GT(cache.pinned_vertices(), 0u);
   EXPECT_LT(cache.pinned_vertices(), g.NumVertices());
-  // Pinned rows decode correctly, and the pinned set is exactly a top
-  // slice by degree: every pinned vertex has degree >= every unpinned one.
-  uint64_t min_pinned = ~uint64_t{0}, max_unpinned = 0;
+  // Every pinned prefix is block-aligned or the whole row, never exceeds
+  // the degree, and decodes to exactly the row prefix.
+  uint64_t entries = 0;
   for (NodeId v = 0; v < g.NumVertices(); ++v) {
-    const NodeId* row = cache.Row(v);
-    if (row == nullptr) {
-      max_unpinned = std::max(max_unpinned, g.Degree(v));
-      continue;
+    const uint64_t len = cache.PinnedLen(v);
+    if (len == 0) continue;
+    ASSERT_LE(len, g.Degree(v)) << "v=" << v;
+    if (len != g.Degree(v)) {
+      ASSERT_EQ(len % g.block_size(), 0u) << "v=" << v;
     }
-    min_pinned = std::min(min_pinned, g.Degree(v));
-    for (uint64_t i = 0; i < g.Degree(v); ++i) {
-      ASSERT_EQ(row[i], g.Neighbor(v, i)) << "v=" << v << " i=" << i;
+    for (uint64_t i = 0; i < len; ++i) {
+      ASSERT_EQ(cache.PinnedNeighbor(v, i), g.Neighbor(v, i))
+          << "v=" << v << " i=" << i;
     }
+    entries += len;
   }
-  EXPECT_GE(min_pinned, max_unpinned);
+  EXPECT_EQ(entries, cache.pinned_entries());
+  // Small graph: every node id fits 24 bits, so the pool packs at 3 bytes.
+  EXPECT_EQ(cache.pool_entry_width(), 3u);
+  // Accounting identity: hash index slots + packed entries. The index is
+  // power-of-two sized at a load factor of at most 1/2.
+  EXPECT_EQ(cache.pinned_bytes(),
+            cache.index_slots() * sizeof(CompressedGraph::HubCache::Entry) +
+                entries * cache.pool_entry_width());
+  // Every index entry carries the exact degree of its vertex (the walk's
+  // probe-first Degree() depends on it).
+  for (uint64_t s = 0; s < cache.index_slots(); ++s) {
+    const CompressedGraph::HubCache::Entry& e = cache.index()[s];
+    if (e.key == CompressedGraph::HubCache::kEmptyKey) continue;
+    ASSERT_EQ(e.deg, g.Degree(e.key)) << "key=" << e.key;
+  }
+  EXPECT_GE(cache.index_slots(), 2 * cache.pinned_vertices());
+  EXPECT_EQ(cache.index_slots() & (cache.index_slots() - 1), 0u);
+  // The degree gate is the smallest pinned degree: admission is degree-
+  // descending, so draws on vertices below it can skip the index probe.
+  uint64_t min_pinned_degree = ~uint64_t{0};
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    if (cache.PinnedLen(v) == 0) continue;
+    min_pinned_degree = std::min(min_pinned_degree, g.Degree(v));
+  }
+  EXPECT_EQ(cache.degree_gate(), min_pinned_degree);
+  // The block-granular knapsack must pin strictly more entries than the
+  // whole-row greedy packer it replaced (8-byte pointer index, whole rows
+  // in (degree desc, id asc) order) under the same budget.
+  std::vector<NodeId> order(g.NumVertices());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const uint64_t da = g.Degree(a), db = g.Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  uint64_t old_entries = 0;
+  uint64_t old_bytes = static_cast<uint64_t>(g.NumVertices()) * 8;
+  for (const NodeId v : order) {
+    const uint64_t d = g.Degree(v);
+    if (d == 0) break;
+    if (old_bytes + d * sizeof(NodeId) > budget) break;
+    old_bytes += d * sizeof(NodeId);
+    old_entries += d;
+  }
+  EXPECT_GT(cache.pinned_entries(), old_entries);
+  // Deterministic: a rebuild pins the identical prefix set.
+  const CompressedGraph::HubCache again =
+      CompressedGraph::HubCache::Build(g, budget);
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(cache.PinnedLen(v), again.PinnedLen(v)) << "v=" << v;
+  }
 }
 
 TEST(WalkEngineTest, HubCacheReservesAndReleasesGovernorBytes) {
@@ -438,9 +535,10 @@ TEST(WalkEngineTest, HubCacheReservesAndReleasesGovernorBytes) {
   }
   // Destroying the accel releases the reservation.
   EXPECT_EQ(budget.reserved_bytes(), 0u);
-  // A budget too small for the row index yields an empty cache, not a
-  // failed reservation.
-  MemoryBudget tiny(4 << 10);
+  // A budget too small for even the minimum hash index plus one entry
+  // yields an empty cache, not a failed reservation. (The quarter cap makes
+  // the effective spend 64 bytes here — below the 8-slot index.)
+  MemoryBudget tiny(256);
   const WalkAccel<CompressedGraph> none = MakeWalkAccel(g, 1 << 20, &tiny);
   EXPECT_TRUE(none.pinned.empty());
   EXPECT_EQ(tiny.reserved_bytes(), 0u);

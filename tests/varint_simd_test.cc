@@ -1,0 +1,310 @@
+// SIMD-vs-scalar varint decode bit-equality (graph/varint_simd.h).
+//
+// The dispatch contract says every arm decodes every well-formed stream
+// identically; these tests drive the batch decoder directly across all
+// varint widths (1..10 bytes) and random width mixes, drive the fused
+// difference-decoder (decode + uint32 prefix sum, with mid-stream resume)
+// the same way, and drive CompressedGraph::DecodeBlock across the row
+// shapes that matter to the format — zigzag (negative) first deltas, exact
+// block boundaries, short tail blocks, empty and degree-1 rows — in both
+// dispatch arms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/compressed.h"
+#include "graph/csr.h"
+#include "graph/varint_simd.h"
+#include "util/random.h"
+
+namespace lightne {
+namespace {
+
+// Restores automatic dispatch when a test scope ends, so backend forcing
+// never leaks into other tests in this binary.
+struct BackendGuard {
+  ~BackendGuard() { SetVarintBackend(VarintBackend::kAuto); }
+};
+
+// LEB128 encoder mirroring CompressedGraph's EncodeVarint (payload only;
+// callers append the decode slack the SIMD arms are entitled to read).
+std::vector<uint8_t> Encode(const std::vector<uint64_t>& values) {
+  std::vector<uint8_t> bytes;
+  for (uint64_t v : values) {
+    while (v >= 0x80) {
+      bytes.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes.push_back(static_cast<uint8_t>(v));
+  }
+  return bytes;
+}
+
+// Decodes `values.size()` varints under the given backend and checks both
+// the values and the consumed byte count against the input.
+void ExpectRoundTrip(const std::vector<uint64_t>& values,
+                     VarintBackend backend) {
+  BackendGuard guard;
+  std::vector<uint8_t> bytes;
+  for (uint64_t v : values) {
+    while (v >= 0x80) {
+      bytes.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes.push_back(static_cast<uint8_t>(v));
+  }
+  const size_t encoded = bytes.size();
+  bytes.resize(encoded + kVarintDecodeSlack, 0);  // SIMD over-read slack
+  SetVarintBackend(backend);
+  std::vector<uint64_t> out(values.size() + 1, ~uint64_t{0});
+  const uint8_t* end =
+      ActiveVarintDecoder()(bytes.data(), values.size(), out.data());
+  EXPECT_EQ(static_cast<size_t>(end - bytes.data()), encoded);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(out[i], values[i]) << "varint " << i << " under backend "
+                                 << VarintBackendName();
+  }
+  EXPECT_EQ(out[values.size()], ~uint64_t{0});  // no overwrite past count
+}
+
+TEST(VarintSimdTest, BackendForcingAndNames) {
+  BackendGuard guard;
+  SetVarintBackend(VarintBackend::kScalar);
+  EXPECT_STREQ(VarintBackendName(), "scalar");
+  EXPECT_FALSE(VarintBackendIsSimd());
+  EXPECT_EQ(ActiveVarintDecoder(), &DecodeVarintBatchScalar);
+  SetVarintBackend(VarintBackend::kSimd);
+  if (VarintSimdCompiledIn()) {
+    // kSimd picks the best CPU-supported arm, or scalar on machines
+    // without one; either way the name must agree with the predicate.
+    EXPECT_EQ(VarintBackendIsSimd(),
+              std::string(VarintBackendName()) != "scalar");
+  } else {
+    EXPECT_STREQ(VarintBackendName(), "scalar");
+  }
+}
+
+TEST(VarintSimdTest, EnvOverrideForcesScalarUnderAuto) {
+  BackendGuard guard;
+  ASSERT_EQ(::setenv("LIGHTNE_FORCE_SCALAR_DECODE", "1", 1), 0);
+  SetVarintBackend(VarintBackend::kAuto);
+  EXPECT_STREQ(VarintBackendName(), "scalar");
+  // "0" and unset mean no override.
+  ASSERT_EQ(::setenv("LIGHTNE_FORCE_SCALAR_DECODE", "0", 1), 0);
+  SetVarintBackend(VarintBackend::kAuto);
+  EXPECT_EQ(VarintBackendIsSimd(), VarintSimdCompiledIn() &&
+                                       std::string(VarintBackendName()) !=
+                                           "scalar");
+  ASSERT_EQ(::unsetenv("LIGHTNE_FORCE_SCALAR_DECODE"), 0);
+}
+
+TEST(VarintSimdTest, AllWidthsBothArms) {
+  // Smallest and largest value of every encoded width 1..10 bytes, plus
+  // neighbors of each boundary, in one stream (mixed widths exercise the
+  // shuffle table's invalid-pattern fallback).
+  std::vector<uint64_t> values = {0, 1, 0x7f};
+  for (int width = 2; width <= 9; ++width) {
+    const uint64_t lo = uint64_t{1} << (7 * (width - 1));
+    values.push_back(lo);
+    values.push_back(lo + 1);
+    const uint64_t hi = (width == 9) ? ~uint64_t{0} >> 1
+                                     : (uint64_t{1} << (7 * width)) - 1;
+    values.push_back(hi);
+  }
+  values.push_back(~uint64_t{0});  // 10-byte encoding
+  for (const VarintBackend backend :
+       {VarintBackend::kScalar, VarintBackend::kSimd}) {
+    ExpectRoundTrip(values, backend);
+  }
+}
+
+TEST(VarintSimdTest, FuzzRandomWidthMixesBothArms) {
+  Rng rng(20260809);
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t count = 1 + rng.UniformInt(300);
+    std::vector<uint64_t> values;
+    values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      // Random bit length 1..64 so short runs (the SIMD fast paths) and
+      // long varints (the scalar fallback) interleave unpredictably.
+      const uint64_t bits = 1 + rng.UniformInt(64);
+      const uint64_t mask =
+          bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+      values.push_back(rng.Next() & mask);
+    }
+    ExpectRoundTrip(values, VarintBackend::kScalar);
+    ExpectRoundTrip(values, VarintBackend::kSimd);
+    // And the two arms agree with each other byte for byte.
+    std::vector<uint8_t> bytes = Encode(values);
+    bytes.resize(bytes.size() + kVarintDecodeSlack, 0);
+    std::vector<uint64_t> scalar(count), simd(count);
+    DecodeVarintBatchScalar(bytes.data(), count, scalar.data());
+    BackendGuard guard;
+    SetVarintBackend(VarintBackend::kSimd);
+    ActiveVarintDecoder()(bytes.data(), count, simd.data());
+    ASSERT_EQ(scalar, simd) << "round " << round;
+  }
+}
+
+TEST(VarintSimdTest, FuzzDeltaPrefixBothArms) {
+  // The fused difference-decoder: both arms must agree with each other and
+  // with (batch decode + uint32 prefix sum) on every stream — including
+  // sums that wrap mod 2^32 and deltas wider than 32 bits (which truncate
+  // into the accumulator identically in both arms).
+  Rng rng(20260810);
+  for (int round = 0; round < 40; ++round) {
+    const uint64_t count = 1 + rng.UniformInt(300);
+    std::vector<uint64_t> values;
+    values.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const uint64_t bits = 1 + rng.UniformInt(64);
+      const uint64_t mask =
+          bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+      values.push_back(rng.Next() & mask);
+    }
+    std::vector<uint8_t> bytes = Encode(values);
+    const size_t encoded = bytes.size();
+    bytes.resize(encoded + kVarintDecodeSlack, 0);
+    const uint32_t base0 = static_cast<uint32_t>(rng.Next());
+    // Reference: batch-scalar decode, then a uint32 running sum.
+    std::vector<uint64_t> raw(count);
+    DecodeVarintBatchScalar(bytes.data(), count, raw.data());
+    std::vector<uint32_t> expect(count);
+    uint32_t run = base0;
+    for (uint64_t i = 0; i < count; ++i) {
+      run += static_cast<uint32_t>(raw[i]);
+      expect[i] = run;
+    }
+    BackendGuard guard;
+    for (const VarintBackend backend :
+         {VarintBackend::kScalar, VarintBackend::kSimd}) {
+      SetVarintBackend(backend);
+      std::vector<uint32_t> out(count + 1, ~uint32_t{0});
+      uint32_t base = base0;
+      const uint8_t* end = ActiveDeltaPrefixDecoder()(bytes.data(), count,
+                                                      &base, out.data());
+      ASSERT_EQ(static_cast<size_t>(end - bytes.data()), encoded)
+          << "round " << round << " backend " << VarintBackendName();
+      ASSERT_EQ(base, run) << "round " << round;
+      for (uint64_t i = 0; i < count; ++i) {
+        ASSERT_EQ(out[i], expect[i]) << "round " << round << " entry " << i
+                                     << " backend " << VarintBackendName();
+      }
+      EXPECT_EQ(out[count], ~uint32_t{0});  // no overwrite past count
+    }
+  }
+}
+
+TEST(VarintSimdTest, DeltaPrefixResumesMidStream) {
+  // Split points must be invisible: decoding [0, k) then [k, n) with the
+  // carried base and stream position equals one whole-stream decode. This
+  // is the exact contract CompressedGraph::ExtendBlockPrefix leans on.
+  Rng rng(20260811);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Next() & 0x3ffff);
+  std::vector<uint8_t> bytes = Encode(values);
+  bytes.resize(bytes.size() + kVarintDecodeSlack, 0);
+  std::vector<uint32_t> whole(values.size());
+  uint32_t base_whole = 7;
+  DecodeDeltaPrefixScalar(bytes.data(), values.size(), &base_whole,
+                          whole.data());
+  BackendGuard guard;
+  for (const VarintBackend backend :
+       {VarintBackend::kScalar, VarintBackend::kSimd}) {
+    SetVarintBackend(backend);
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<uint32_t> split(values.size());
+      uint32_t base = 7;
+      const uint8_t* p = bytes.data();
+      uint64_t done = 0;
+      while (done < values.size()) {
+        const uint64_t step =
+            1 + rng.UniformInt(values.size() - done);
+        p = ActiveDeltaPrefixDecoder()(p, step, &base, split.data() + done);
+        done += step;
+      }
+      ASSERT_EQ(split, whole) << "backend " << VarintBackendName();
+      ASSERT_EQ(base, base_whole);
+    }
+  }
+}
+
+// Star graph: vertex `center` adjacent to `degree` consecutive ids starting
+// at `first` (plus the reverse edges FromEdges adds).
+CsrGraph Star(NodeId num_vertices, NodeId center, NodeId first,
+              uint32_t degree) {
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  for (uint32_t k = 0; k < degree; ++k) {
+    list.Add(center, static_cast<NodeId>(first + k));
+  }
+  return CsrGraph::FromEdges(list);
+}
+
+// Decodes every block of every vertex under both arms and compares against
+// MapNeighbors (the scalar in-header reference sweep) and Neighbor.
+void ExpectBlocksMatchInBothArms(const CompressedGraph& g) {
+  BackendGuard guard;
+  std::vector<NodeId> block(g.block_size());
+  for (NodeId v = 0; v < g.NumVertices(); ++v) {
+    const uint64_t d = g.Degree(v);
+    std::vector<NodeId> expect;
+    expect.reserve(d);
+    g.MapNeighbors(v, [&](NodeId u) { expect.push_back(u); });
+    ASSERT_EQ(expect.size(), d);
+    const uint64_t nblocks = (d + g.block_size() - 1) / g.block_size();
+    for (const VarintBackend backend :
+         {VarintBackend::kScalar, VarintBackend::kSimd}) {
+      SetVarintBackend(backend);
+      uint64_t seen = 0;
+      for (uint64_t b = 0; b < nblocks; ++b) {
+        const uint64_t len = g.DecodeBlock(v, b, block.data());
+        for (uint64_t k = 0; k < len; ++k) {
+          ASSERT_EQ(block[k], expect[seen + k])
+              << "v=" << v << " b=" << b << " k=" << k << " backend "
+              << VarintBackendName();
+        }
+        seen += len;
+      }
+      ASSERT_EQ(seen, d) << "v=" << v;
+    }
+  }
+}
+
+TEST(VarintSimdTest, BlockShapesEmptyToTailBothArms) {
+  // Degrees straddling every interesting block shape at block size 64:
+  // empty rows, degree 1, one short of a block boundary, exactly one
+  // block, one past it (tail block of length 1), and multi-block rows with
+  // short tails. Every reverse-edge row (vertices 101+) starts below its
+  // source id, so their first deltas are negative (zigzag arm).
+  for (const uint32_t degree : {1u, 8u, 63u, 64u, 65u, 128u, 129u, 200u}) {
+    const CsrGraph csr = Star(/*num_vertices=*/400, /*center=*/90,
+                              /*first=*/101, degree);
+    const CompressedGraph g = CompressedGraph::FromCsr(csr);
+    ASSERT_EQ(g.Degree(90), degree);
+    ASSERT_EQ(g.Degree(399), 0u);  // isolated tail vertex: empty row
+    ExpectBlocksMatchInBothArms(g);
+  }
+}
+
+TEST(VarintSimdTest, WideDeltasAtStreamEndBothArms) {
+  // Multi-byte deltas (spread-out neighbor ids) on the numerically last
+  // vertex, so the final block's decode starts near the end of the byte
+  // stream — the case the kVarintDecodeSlack over-read contract exists for.
+  EdgeList list;
+  const NodeId n = 1u << 20;
+  list.num_vertices = n;
+  for (uint32_t k = 0; k < 130; ++k) {
+    // Neighbors of the last vertex, descending from it in strides that need
+    // 1..3-byte deltas after the zigzag first entry.
+    list.Add(n - 1, static_cast<NodeId>(k * (k + 13) * 57));
+  }
+  const CsrGraph csr = CsrGraph::FromEdges(list);
+  const CompressedGraph g = CompressedGraph::FromCsr(csr);
+  ExpectBlocksMatchInBothArms(g);
+}
+
+}  // namespace
+}  // namespace lightne
